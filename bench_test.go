@@ -1,0 +1,700 @@
+package repro
+
+// Benchmark harness: one benchmark family per figure of the paper's
+// evaluation section, plus ablations for the design choices DESIGN.md
+// calls out. The cmd/histbench and cmd/scalebench executables produce the
+// paper-formatted tables; these testing.B benchmarks regenerate the same
+// measurements under `go test -bench`.
+//
+// The shared dataset is generated once per process into a temp directory
+// (generation time is not benchmarked).
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bitmap"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+const (
+	benchSteps     = 6
+	benchParticles = 120000
+	benchBeam      = 400
+)
+
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchErr  error
+)
+
+func benchDataset(b *testing.B) string {
+	b.Helper()
+	benchOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "repro-bench-*")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Steps = benchSteps
+		cfg.BackgroundPerStep = benchParticles
+		cfg.BeamParticles = benchBeam
+		if _, err := sim.WriteDataset(dir, cfg, sim.WriteOptions{
+			Index: fastbit.IndexOptions{Bins: 256},
+		}); err != nil {
+			benchErr = err
+			return
+		}
+		benchDir = dir
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if benchDir != "" {
+		os.RemoveAll(benchDir)
+	}
+	os.Exit(code)
+}
+
+func benchStep(b *testing.B) *fastquery.Step {
+	b.Helper()
+	src, err := fastquery.Open(benchDataset(b))
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := src.OpenStep(benchSteps / 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { st.Close() })
+	return st
+}
+
+// --- Fig. 11: unconditional 2D histograms vs bin count ---------------------
+
+func BenchmarkFig11UnconditionalHistogram(b *testing.B) {
+	st := benchStep(b)
+	for _, bins := range []int{32, 256, 1024} {
+		for _, variant := range []struct {
+			name    string
+			binning histogram.Binning
+			backend fastquery.Backend
+		}{
+			{"FastBitRegular", histogram.Uniform, fastquery.FastBit},
+			{"FastBitAdaptive", histogram.Adaptive, fastquery.FastBit},
+			{"CustomRegular", histogram.Uniform, fastquery.Scan},
+		} {
+			b.Run(fmt.Sprintf("%s/bins=%d", variant.name, bins), func(b *testing.B) {
+				spec := histogram.NewSpec2D("x", "px", bins, bins).WithBinning(variant.binning)
+				for i := 0; i < b.N; i++ {
+					if _, err := st.Histogram2D(nil, spec, variant.backend); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Fig. 12: conditional 2D histograms vs hit count ------------------------
+
+// benchThresholds returns px thresholds for approximate hit-count targets.
+func benchThresholds(b *testing.B, st *fastquery.Step, targets []int) map[int]float64 {
+	b.Helper()
+	px, err := st.ReadColumn("px")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sorted := append([]float64(nil), px...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	out := map[int]float64{}
+	for _, k := range targets {
+		if k > 0 && k < len(sorted) {
+			out[k] = (sorted[k-1] + sorted[k]) / 2
+		}
+	}
+	return out
+}
+
+func BenchmarkFig12ConditionalHistogram(b *testing.B) {
+	st := benchStep(b)
+	thresholds := benchThresholds(b, st, []int{100, 10000, int(st.Rows()) * 3 / 4})
+	keys := make([]int, 0, len(thresholds))
+	for k := range thresholds {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, hits := range keys {
+		cond := &query.Compare{Var: "px", Op: query.GT, Value: thresholds[hits]}
+		for _, variant := range []struct {
+			name    string
+			binning histogram.Binning
+			backend fastquery.Backend
+		}{
+			{"FastBitRegular", histogram.Uniform, fastquery.FastBit},
+			{"FastBitAdaptive", histogram.Adaptive, fastquery.FastBit},
+			{"CustomRegular", histogram.Uniform, fastquery.Scan},
+		} {
+			b.Run(fmt.Sprintf("%s/hits=%d", variant.name, hits), func(b *testing.B) {
+				spec := histogram.NewSpec2D("x", "px", 1024, 1024).WithBinning(variant.binning)
+				for i := 0; i < b.N; i++ {
+					if _, err := st.Histogram2D(cond, spec, variant.backend); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Fig. 13: identifier queries vs search-set size -------------------------
+
+func BenchmarkFig13IDQuery(b *testing.B) {
+	st := benchStep(b)
+	all, err := st.ReadIDs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{10, 1000, 100000} {
+		if size > len(all) {
+			continue
+		}
+		set := make([]int64, size)
+		for i := range set {
+			set[i] = all[rng.Intn(len(all))]
+		}
+		for _, variant := range []struct {
+			name    string
+			backend fastquery.Backend
+		}{
+			{"FastBit", fastquery.FastBit},
+			{"Custom", fastquery.Scan},
+		} {
+			b.Run(fmt.Sprintf("%s/set=%d", variant.name, size), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := st.FindIDs(set, variant.backend); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- Figs. 14/15: parallel histogram computation ----------------------------
+
+func BenchmarkFig14ParallelHistograms(b *testing.B) {
+	dir := benchDataset(b)
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := src.OpenStep(benchSteps - 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, hi, err := st.MinMax("px")
+	st.Close()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cond := &query.Compare{Var: "px", Op: query.GT, Value: 0.6 * hi}
+
+	makeTasks := func(c query.Expr, backend fastquery.Backend) []cluster.Task {
+		tasks := make([]cluster.Task, src.Steps())
+		for t := 0; t < src.Steps(); t++ {
+			t := t
+			tasks[t] = cluster.Task{Step: t, Run: func() (uint64, int, error) {
+				step, err := src.OpenStep(t)
+				if err != nil {
+					return 0, 0, err
+				}
+				defer step.Close()
+				spec := histogram.NewSpec2D("x", "px", 1024, 1024)
+				if _, err := step.Histogram2D(c, spec, backend); err != nil {
+					return 0, 0, err
+				}
+				return step.IOBytes(), 2, nil
+			}}
+		}
+		return tasks
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for _, variant := range []struct {
+		name    string
+		cond    query.Expr
+		backend fastquery.Backend
+	}{
+		{"FastBitUncond", nil, fastquery.FastBit},
+		{"CustomUncond", nil, fastquery.Scan},
+		{"FastBitCond", cond, fastquery.FastBit},
+		{"CustomCond", cond, fastquery.Scan},
+	} {
+		b.Run(fmt.Sprintf("%s/workers=%d", variant.name, workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.Run(makeTasks(variant.cond, variant.backend), workers, cluster.IOModel{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Figs. 16/17: parallel particle tracking --------------------------------
+
+func BenchmarkFig16ParallelTracking(b *testing.B) {
+	dir := benchDataset(b)
+	ex, err := core.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := ex.Steps() - 1
+	_, hi, err := ex.VarRange(last, "px")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel, err := ex.Select(last, fmt.Sprintf("px > %g", 0.75*hi))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := sel.IDs()
+	if len(ids) == 0 {
+		b.Fatal("no particles selected")
+	}
+	workers := runtime.GOMAXPROCS(0)
+	for _, variant := range []struct {
+		name    string
+		backend fastquery.Backend
+	}{
+		{"FastBit", fastquery.FastBit},
+		{"Custom", fastquery.Scan},
+	} {
+		b.Run(fmt.Sprintf("%s/ids=%d/workers=%d", variant.name, len(ids), workers), func(b *testing.B) {
+			ex.SetBackend(variant.backend)
+			defer ex.SetBackend(fastquery.FastBit)
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.TrackIDs(ids, 0, last, core.TrackOptions{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 2: rendering modes -------------------------------------------------
+
+func BenchmarkFig02Rendering(b *testing.B) {
+	dir := benchDataset(b)
+	ex, err := core.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := benchSteps / 2
+	vars := []string{"x", "y", "px", "py"}
+	opt := core.DefaultPlotOptions()
+
+	b.Run("HistogramBased/bins=700", func(b *testing.B) {
+		o := opt
+		o.ContextBins = 700
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.ContextFocusPlot(step, vars, "", "", o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("HistogramBased/bins=80", func(b *testing.B) {
+		o := opt
+		o.ContextBins = 80
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.ContextFocusPlot(step, vars, "", "", o); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("LineBased/subset", func(b *testing.B) {
+		// Polyline rendering cost is proportional to record count, so the
+		// paper only uses it for subsets; benchmark it on the accelerated
+		// tail.
+		for i := 0; i < b.N; i++ {
+			if _, err := ex.LinePlot(step, vars, "px > 1e9", 0.35, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Figs. 3/4: uniform vs adaptive binning ---------------------------------
+
+func BenchmarkFig04AdaptiveVsUniform(b *testing.B) {
+	dir := benchDataset(b)
+	ex, err := core.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	step := benchSteps / 2
+	vars := []string{"x", "y", "px", "py"}
+	for _, variant := range []struct {
+		name    string
+		binning histogram.Binning
+	}{
+		{"Uniform32", histogram.Uniform},
+		{"Adaptive32", histogram.Adaptive},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			o := core.DefaultPlotOptions()
+			o.ContextBins = 32
+			o.Binning = variant.binning
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.ContextFocusPlot(step, vars, "", "", o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Preprocessing: index construction and (de)serialization -----------------
+
+// The paper notes FastBit indices "can be constructed much faster than
+// others" (Section II-B); this benchmark measures our builder's
+// throughput, plus the sidecar file round trip.
+func BenchmarkIndexBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	n := 500000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e9
+	}
+	for _, opt := range []struct {
+		name string
+		o    fastbit.IndexOptions
+	}{
+		{"Uniform256", fastbit.IndexOptions{Bins: 256}},
+		{"Uniform2048", fastbit.IndexOptions{Bins: 2048}},
+		{"Precision2", fastbit.IndexOptions{Precision: 2}},
+	} {
+		b.Run(opt.name, func(b *testing.B) {
+			b.SetBytes(int64(8 * n))
+			for i := 0; i < b.N; i++ {
+				if _, err := fastbit.BuildIndex("v", vals, opt.o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("IDIndex", func(b *testing.B) {
+		ids := make([]int64, n)
+		for i := range ids {
+			ids[i] = rng.Int63n(1 << 40)
+		}
+		b.SetBytes(int64(8 * n))
+		for i := 0; i < b.N; i++ {
+			fastbit.BuildIDIndex(ids)
+		}
+	})
+}
+
+func BenchmarkIndexSerialization(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	n := 200000
+	cols := map[string][]float64{}
+	for _, name := range []string{"x", "px"} {
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		cols[name] = vals
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	si, err := fastbit.BuildStepIndex(cols, ids, "id", fastbit.IndexOptions{Bins: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := si.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	blob := buf.Bytes()
+	b.Run("Write", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			var w bytes.Buffer
+			if _, err := si.WriteTo(&w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Read", func(b *testing.B) {
+		b.SetBytes(int64(len(blob)))
+		for i := 0; i < b.N; i++ {
+			if _, err := fastbit.ReadStepIndex(bytes.NewReader(blob)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation: WAH compression vs uncompressed bit sets ----------------------
+
+func BenchmarkAblationWAH(b *testing.B) {
+	// Sparse clustered bitmaps: the index workload WAH targets.
+	const n = 1 << 22
+	mkVec := func(seed int64) *bitmap.Vector {
+		rng := rand.New(rand.NewSource(seed))
+		v := bitmap.New(n)
+		at := uint64(0)
+		for at < n {
+			run := uint64(rng.Intn(4096) + 1)
+			if at+run > n {
+				run = n - at
+			}
+			v.AppendRun(rng.Intn(8) == 0, run)
+			at += run
+		}
+		return v
+	}
+	va, vb := mkVec(1), mkVec(2)
+	sa, sb := bitmap.VectorToBitSet(va), bitmap.VectorToBitSet(vb)
+
+	b.Run("WAH/And", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			va.And(vb)
+		}
+	})
+	b.Run("BitSet/And", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sa.And(sb)
+		}
+	})
+	b.Run("WAH/Count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			va.Count()
+		}
+	})
+	b.Run("BitSet/Count", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sa.Count()
+		}
+	})
+	b.ReportMetric(float64(va.SizeBytes()), "wah-bytes")
+	b.ReportMetric(float64(sa.SizeBytes()), "bitset-bytes")
+}
+
+// --- Ablation: index bin count ----------------------------------------------
+
+func BenchmarkAblationBinning(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 200000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e9
+	}
+	raw := func(pos []uint64) ([]float64, error) {
+		out := make([]float64, len(pos))
+		for i, p := range pos {
+			out[i] = vals[p]
+		}
+		return out, nil
+	}
+	for _, bins := range []int{16, 256, 2048} {
+		ix, err := fastbit.BuildIndex("v", vals, fastbit.IndexOptions{Bins: bins})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("bins=%d", bins), func(b *testing.B) {
+			iv := query.Interval{Lo: 1.2345e9, Hi: 2.3456e9}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := ix.Evaluate(iv, raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: precision binning answers low-precision queries index-only ----
+
+func BenchmarkAblationPrecision(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]float64, 200000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 1e9
+	}
+	raw := func(pos []uint64) ([]float64, error) {
+		out := make([]float64, len(pos))
+		for i, p := range pos {
+			out[i] = vals[p]
+		}
+		return out, nil
+	}
+	uniform, err := fastbit.BuildIndex("v", vals, fastbit.IndexOptions{Bins: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	precise, err := fastbit.BuildIndex("v", vals, fastbit.IndexOptions{Precision: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	iv := query.Interval{Lo: 2.5e8, Hi: 1.5e9} // 2-digit constants
+	// The headline property is the candidate-check count: precision bins
+	// answer low-precision queries from the index alone (checks = 0),
+	// which is what matters when the raw data lives on disk rather than
+	// in this benchmark's in-memory reader.
+	b.Run("UniformBins", func(b *testing.B) {
+		var checks uint64
+		for i := 0; i < b.N; i++ {
+			_, st, err := uniform.Evaluate(iv, raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checks = st.CandidateChecks
+		}
+		b.ReportMetric(float64(checks), "candidate-checks")
+	})
+	b.Run("PrecisionBins", func(b *testing.B) {
+		var checks uint64
+		for i := 0; i < b.N; i++ {
+			_, st, err := precise.Evaluate(iv, raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checks = st.CandidateChecks
+		}
+		b.ReportMetric(float64(checks), "candidate-checks")
+	})
+}
+
+// --- Ablation: exact (per-distinct-value) vs binned index on categorical data
+
+func BenchmarkAblationExactIndex(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	n := 500000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(rng.Intn(8)) // 8 categories
+	}
+	raw := func(pos []uint64) ([]float64, error) {
+		out := make([]float64, len(pos))
+		for i, p := range pos {
+			out[i] = vals[p]
+		}
+		return out, nil
+	}
+	exact, err := fastbit.BuildIndex("cat", vals, fastbit.IndexOptions{Exact: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	binned, err := fastbit.BuildIndex("cat", vals, fastbit.IndexOptions{Bins: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	iv := query.Interval{Lo: 3, Hi: 3} // equality on one category
+	b.Run("Exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := exact.Evaluate(iv, raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Binned4", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := binned.Evaluate(iv, raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// --- Ablation: two-step gather-then-bin vs bitmap AND-count histograms -------
+
+func BenchmarkAblationHistogramStrategy(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	n := 200000
+	px := make([]float64, n)
+	y := make([]float64, n)
+	for i := range px {
+		px[i] = rng.NormFloat64() * 1e9
+		y[i] = rng.NormFloat64()
+	}
+	si, err := fastbit.BuildStepIndex(map[string][]float64{"px": px, "y": y}, nil, "", fastbit.IndexOptions{Bins: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := si.Evaluator(fastbit.MemReader{"px": px, "y": y})
+	for _, sel := range []struct {
+		name string
+		cond string
+	}{
+		{"Selective", "y > 2.5"},   // few hits: gather wins
+		{"Unselective", "y > -10"}, // nearly all hits: bitmap counting wins
+	} {
+		cond := query.MustParse(sel.cond)
+		b.Run("TwoStepGather/"+sel.name, func(b *testing.B) {
+			spec := histogram.NewSpec1D("px", 256)
+			spec.Lo, spec.Hi = si.Columns["px"].Min(), si.Columns["px"].Max()
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Histogram1D(cond, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("BitmapCount/"+sel.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Histogram1DFromBitmaps(cond, "px"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablation: strided vs blocked timestep assignment ------------------------
+
+func BenchmarkAblationAssignment(b *testing.B) {
+	// Tasks with a linear duration ramp (later timesteps cost more, as
+	// particle counts grow): strided spreads the expensive tail across
+	// nodes, blocked piles it onto the last node.
+	results := make([]cluster.Result, 100)
+	for i := range results {
+		results[i].Wall = time.Duration(i+1) * 100 * time.Microsecond
+	}
+	for _, variant := range []struct {
+		name   string
+		assign func(nTasks, nodes int) cluster.Assignment
+	}{
+		{"Strided", cluster.Strided},
+		{"Blocked", cluster.Blocked},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			var worst float64
+			for i := 0; i < b.N; i++ {
+				pts := cluster.StrongScaling(results, []int{10}, variant.assign)
+				worst = pts[0].Speedup
+			}
+			b.ReportMetric(worst, "speedup@10nodes")
+		})
+	}
+}

@@ -1,0 +1,98 @@
+// Command beamstats couples the query-driven selection workflow with
+// traditional quantitative analysis (the paper's future-work direction):
+// select a beam with a compound range query, trace it through time and
+// report per-timestep beam quality — mean momentum, relative energy
+// spread, RMS size and an emittance proxy — as a table or CSV.
+//
+// Usage:
+//
+//	beamstats -data data/lwfa -step 37 -query "px > 8.872e10"
+//	beamstats -data data/lwfa -query "px > 5e10" -from 10 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/fastquery"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("beamstats: ")
+
+	var (
+		data    = flag.String("data", "", "dataset directory (required)")
+		step    = flag.Int("step", -1, "selection timestep (-1 = last)")
+		q       = flag.String("query", "", "selection query (required)")
+		from    = flag.Int("from", 0, "first timestep of the history")
+		to      = flag.Int("to", -1, "last timestep of the history (-1 = last)")
+		backend = flag.String("backend", "fastbit", "fastbit | custom")
+		csv     = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+	if *data == "" || *q == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ex, err := core.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *backend == "custom" || *backend == "scan" {
+		ex.SetBackend(fastquery.Scan)
+	}
+	selStep := *step
+	if selStep < 0 {
+		selStep = ex.Steps() - 1
+	}
+	end := *to
+	if end < 0 {
+		end = ex.Steps() - 1
+	}
+
+	sel, err := ex.Select(selStep, *q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if sel.Count() == 0 {
+		log.Fatalf("selection %q at t=%d is empty", *q, selStep)
+	}
+	now, err := sel.BeamQuality()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selection %q at t=%d: %d particles, mean px %.4e, spread %.2f%%, rms y %.3e, emittance %.3e\n",
+		*q, selStep, now.N, now.MeanPx, 100*now.EnergySpread, now.RMSy, now.Emittance)
+
+	history, err := sel.BeamHistory(*from, end)
+	if err != nil {
+		log.Fatal(err)
+	}
+	table := report.NewTable(
+		fmt.Sprintf("Beam evolution, %d particles traced over t=[%d,%d]", sel.Count(), *from, end),
+		"step", "n", "mean_px", "energy_spread", "rms_y", "emittance")
+	for i, t := range history.Steps {
+		qual := history.Quality[i]
+		table.AddRow(
+			fmt.Sprintf("%d", t),
+			fmt.Sprintf("%d", qual.N),
+			fmt.Sprintf("%.6e", qual.MeanPx),
+			fmt.Sprintf("%.6f", qual.EnergySpread),
+			fmt.Sprintf("%.6e", qual.RMSy),
+			fmt.Sprintf("%.6e", qual.Emittance),
+		)
+	}
+	if *csv {
+		err = table.FprintCSV(os.Stdout)
+	} else {
+		err = table.Fprint(os.Stdout)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,99 @@
+// Command dsinfo summarises a dataset directory: per-timestep record
+// counts, data and index file sizes, indexed variables and their bin
+// counts — the numbers the paper reports for its datasets (e.g. "each
+// timestep ≈7 GB including ≈2 GB of index").
+//
+// Usage:
+//
+//	dsinfo -data data/lwfa
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("dsinfo: ")
+
+	data := flag.String("data", "", "dataset directory (required)")
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := fastquery.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := src.Dataset()
+	fmt.Printf("dataset %q: %d timesteps, variables %v\n\n",
+		ds.Meta.Name, ds.Meta.Steps, ds.Meta.Variables)
+
+	table := report.NewTable("", "step", "records", "data_mb", "index_mb", "indexed_vars")
+	var totalData, totalIndex int64
+	var totalRecords uint64
+	for t := 0; t < src.Steps(); t++ {
+		st, err := src.OpenStep(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := st.Rows()
+		st.Close()
+		totalRecords += rows
+
+		dataSize := fileSize(ds.StepPath(t))
+		totalData += dataSize
+		indexSize := int64(0)
+		indexedVars := "-"
+		if ds.HasIndex(t) {
+			indexSize = fileSize(ds.IndexPath(t))
+			ls, err := fastbit.OpenLazy(ds.IndexPath(t))
+			if err == nil {
+				vars := ls.Columns()
+				if ls.IDVar() != "" {
+					vars = append(vars, ls.IDVar())
+				}
+				indexedVars = strings.Join(vars, ",")
+				ls.Close()
+			}
+		}
+		totalIndex += indexSize
+		table.AddRow(
+			fmt.Sprintf("%d", t),
+			fmt.Sprintf("%d", rows),
+			fmt.Sprintf("%.2f", float64(dataSize)/1e6),
+			fmt.Sprintf("%.2f", float64(indexSize)/1e6),
+			indexedVars,
+		)
+	}
+	if err := table.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("total: %d records, %.2f MB data + %.2f MB index (%.1f%% overhead)\n",
+		totalRecords, float64(totalData)/1e6, float64(totalIndex)/1e6,
+		100*float64(totalIndex)/float64(max64(totalData, 1)))
+}
+
+func fileSize(path string) int64 {
+	st, err := os.Stat(path)
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,128 @@
+// Command figures regenerates the paper's qualitative figures (2, 3/4, 5,
+// 9 and the 10b density substitute) as PNGs from a dataset, producing a
+// gallery that mirrors the paper's rendering comparisons:
+//
+//	fig02a_lines.png        traditional polyline parallel coordinates
+//	fig02b_hist700.png      histogram-based, 700 bins/axis
+//	fig02c_lowgamma.png     same, low gamma (sparse bins culled)
+//	fig02d_hist80.png       same, 80 bins/axis
+//	fig04a_uniform32.png    32x32 uniform binning
+//	fig04b_adaptive32.png   32x32 adaptive (equal-weight) binning
+//	fig05_selection.png     context + focus beam selection
+//	fig09_temporal.png      temporal parallel coordinates
+//	fig10b_density.png      particle density + selection (volume-rendering
+//	                        substitute)
+//
+// Usage:
+//
+//	figures -data data/lwfa -out figures/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/histogram"
+	"repro/internal/render"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	var (
+		data  = flag.String("data", "", "dataset directory (required)")
+		out   = flag.String("out", "figures", "output directory")
+		step  = flag.Int("step", -1, "timestep for the static figures (-1 = last)")
+		focus = flag.String("focus", "", "beam selection query (default: derived px threshold)")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	ex, err := core.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := *step
+	if t < 0 {
+		t = ex.Steps() - 1
+	}
+	sel := *focus
+	if sel == "" {
+		_, hi, err := ex.VarRange(t, "px")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sel = fmt.Sprintf("px > %g", 0.5*hi)
+	}
+	vars := []string{"x", "y", "px", "py"}
+
+	save := func(name string, c *render.Canvas, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		path := filepath.Join(*out, name)
+		if err := c.SavePNG(path); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	// Fig. 2a: traditional line-based parallel coordinates of the focus
+	// subset (polylines over everything would saturate, which is the
+	// paper's point; the subset keeps the figure legible).
+	c, err := ex.LinePlot(t, vars, sel, 0.3, core.DefaultPlotOptions())
+	save("fig02a_lines.png", c, err)
+
+	// Fig. 2b: histogram-based, high resolution.
+	opt := core.DefaultPlotOptions()
+	opt.ContextBins = 700
+	c, err = ex.ContextFocusPlot(t, vars, "", "", opt)
+	save("fig02b_hist700.png", c, err)
+
+	// Fig. 2c: same with low gamma — sparse bins culled.
+	opt.Gamma = 0.35
+	c, err = ex.ContextFocusPlot(t, vars, "", "", opt)
+	save("fig02c_lowgamma.png", c, err)
+
+	// Fig. 2d: 80 bins per axis.
+	opt = core.DefaultPlotOptions()
+	opt.ContextBins = 80
+	c, err = ex.ContextFocusPlot(t, vars, "", "", opt)
+	save("fig02d_hist80.png", c, err)
+
+	// Figs. 3/4: 32x32 uniform vs adaptive binning.
+	opt = core.DefaultPlotOptions()
+	opt.ContextBins = 32
+	c, err = ex.ContextFocusPlot(t, vars, "", sel, opt)
+	save("fig04a_uniform32.png", c, err)
+	opt.Binning = histogram.Adaptive
+	c, err = ex.ContextFocusPlot(t, vars, "", sel, opt)
+	save("fig04b_adaptive32.png", c, err)
+
+	// Fig. 5: beam selection, context + focus at full resolution.
+	c, err = ex.ContextFocusPlot(t, vars, "", sel, core.DefaultPlotOptions())
+	save("fig05_selection.png", c, err)
+
+	// Fig. 9: temporal parallel coordinates of the selection over the
+	// second half of the run.
+	var steps []int
+	for s := ex.Steps() / 2; s < ex.Steps(); s += 2 {
+		steps = append(steps, s)
+	}
+	c, err = ex.TemporalPlot(steps, []string{"x", "xrel", "px", "y"}, sel, core.DefaultPlotOptions())
+	save("fig09_temporal.png", c, err)
+
+	// Fig. 10b substitute: particle density heat map with the selection.
+	c, err = ex.DensityPlot(t, "x", "y", 256, sel, core.DefaultScatterOptions())
+	save("fig10b_density.png", c, err)
+}

@@ -1,0 +1,23 @@
+package main
+
+import "testing"
+
+func TestHitTargets(t *testing.T) {
+	got := hitTargets(100000)
+	// Decades 10..10000 plus half and 90% marks.
+	want := map[uint64]bool{10: true, 100: true, 1000: true, 10000: true, 50000: true, 90000: true}
+	if len(got) != len(want) {
+		t.Fatalf("hitTargets = %v", got)
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("unexpected target %d in %v", k, got)
+		}
+	}
+}
+
+func TestMaxDuration(t *testing.T) {
+	if maxDuration(3, 5) != 5 || maxDuration(5, 3) != 5 {
+		t.Fatal("maxDuration wrong")
+	}
+}

@@ -1,0 +1,69 @@
+// Command indexgen performs the one-time index preprocessing over an
+// existing dataset (Figure 1's indexing path): it reads each timestep's
+// columns and writes the sidecar bitmap + identifier index file, enabling
+// the FastBit backend on data generated with `lwfagen -skip-index` or
+// produced elsewhere.
+//
+// Usage:
+//
+//	indexgen -data data/lwfa
+//	indexgen -data data/lwfa -bins 512 -force
+//	indexgen -data data/lwfa -precision 2 -vars px,py,x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("indexgen: ")
+
+	var (
+		data      = flag.String("data", "", "dataset directory (required)")
+		bins      = flag.Int("bins", 256, "uniform bins per variable")
+		precision = flag.Int("precision", 0, "precision-based binning (significant digits; 0 = uniform)")
+		exact     = flag.Bool("exact", false, "one bin per distinct value (low-cardinality columns only)")
+		varsCSV   = flag.String("vars", "", "comma-separated variables to index (default: all)")
+		idVar     = flag.String("id", "id", "identifier column name")
+		force     = flag.Bool("force", false, "rebuild existing indexes")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := fastquery.IndexOptions{
+		IDVar: *idVar,
+		Index: fastbit.IndexOptions{Bins: *bins, Precision: *precision, Exact: *exact},
+		Force: *force,
+	}
+	if *varsCSV != "" {
+		for _, v := range strings.Split(*varsCSV, ",") {
+			if v = strings.TrimSpace(v); v != "" {
+				opt.Vars = append(opt.Vars, v)
+			}
+		}
+	}
+	if !*quiet {
+		opt.Progress = func(step, total, indexBytes int) {
+			if indexBytes < 0 {
+				log.Printf("step %d/%d: index exists, skipped", step+1, total)
+				return
+			}
+			log.Printf("step %d/%d indexed (%.1f MB)", step+1, total, float64(indexBytes)/1e6)
+		}
+	}
+	if err := fastquery.BuildIndexes(*data, opt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("done")
+}

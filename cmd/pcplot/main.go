@@ -1,0 +1,139 @@
+// Command pcplot renders histogram-based parallel coordinates plots from a
+// dataset: context+focus views, temporal overlays, traditional polyline
+// plots and the hybrid outlier display (paper Figures 2, 4 and 9).
+//
+// Usage:
+//
+//	pcplot -data data/lwfa2d -step 37 -vars x,y,px,py -focus "px > 8.872e10" -out beam.png
+//	pcplot -data data/lwfa2d -steps 14,16,18,20,22 -vars x,xrel,px -focus "px > 1e10" -out temporal.png
+//	pcplot -data data/lwfa2d -step 37 -vars x,px -mode lines -focus "px > 8.872e10" -out lines.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pcplot: ")
+
+	var (
+		data    = flag.String("data", "", "dataset directory (required)")
+		step    = flag.Int("step", 0, "timestep to plot")
+		steps   = flag.String("steps", "", "comma-separated steps for a temporal plot")
+		vars    = flag.String("vars", "x,y,px,py", "comma-separated axis variables")
+		context = flag.String("context", "", "context query (empty = all records)")
+		focus   = flag.String("focus", "", "focus query drawn over the context")
+		mode    = flag.String("mode", "hist", "hist | lines")
+		binning = flag.String("binning", "uniform", "uniform | adaptive")
+		bins    = flag.Int("bins", 128, "context histogram bins per axis")
+		fbins   = flag.Int("focus-bins", 256, "focus histogram bins per axis")
+		gamma   = flag.Float64("gamma", 1, "plot gamma (lower dims sparse bins)")
+		outlier = flag.Float64("outliers", 0, "hybrid outlier floor as fraction of peak density (0 = off)")
+		width   = flag.Int("width", 1000, "image width")
+		height  = flag.Int("height", 560, "image height")
+		backend = flag.String("backend", "fastbit", "fastbit | custom")
+		out     = flag.String("out", "plot.png", "output PNG path")
+	)
+	flag.Parse()
+	if *data == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ex, err := core.Open(*data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *backend {
+	case "fastbit":
+		ex.SetBackend(fastquery.FastBit)
+	case "custom", "scan":
+		ex.SetBackend(fastquery.Scan)
+	default:
+		log.Fatalf("unknown backend %q", *backend)
+	}
+
+	opt := core.DefaultPlotOptions()
+	opt.ContextBins = *bins
+	opt.FocusBins = *fbins
+	opt.Gamma = *gamma
+	opt.Width = *width
+	opt.Height = *height
+	opt.OutlierFloor = *outlier
+	if *binning == "adaptive" {
+		opt.Binning = histogram.Adaptive
+	}
+
+	axisVars := splitList(*vars)
+	if len(axisVars) < 2 {
+		log.Fatalf("need at least 2 variables, got %v", axisVars)
+	}
+
+	canvas, err := renderPlot(ex, *mode, *steps, *step, axisVars, *context, *focus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := canvas.SavePNG(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func renderPlot(ex *core.Explorer, mode, stepsCSV string, step int, vars []string, context, focus string, opt core.PlotOptions) (canvas interface {
+	SavePNG(string) error
+}, err error) {
+	if stepsCSV != "" {
+		stepList, err := parseSteps(stepsCSV)
+		if err != nil {
+			return nil, err
+		}
+		cond := focus
+		if cond == "" {
+			cond = context
+		}
+		return ex.TemporalPlot(stepList, vars, cond, opt)
+	}
+	if mode == "lines" {
+		cond := focus
+		if cond == "" {
+			cond = context
+		}
+		return ex.LinePlot(step, vars, cond, 0.35, opt)
+	}
+	return ex.ContextFocusPlot(step, vars, context, focus, opt)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseSteps(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad step %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no steps in %q", s)
+	}
+	return out, nil
+}

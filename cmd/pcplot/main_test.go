@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" x, y ,,px ")
+	if len(got) != 3 || got[0] != "x" || got[1] != "y" || got[2] != "px" {
+		t.Fatalf("splitList = %v", got)
+	}
+	if got := splitList(""); len(got) != 0 {
+		t.Fatalf("splitList empty = %v", got)
+	}
+}
+
+func TestParseSteps(t *testing.T) {
+	got, err := parseSteps("14,16, 18")
+	if err != nil || len(got) != 3 || got[0] != 14 || got[2] != 18 {
+		t.Fatalf("parseSteps = %v, %v", got, err)
+	}
+	if _, err := parseSteps("a,b"); err == nil {
+		t.Fatal("bad steps accepted")
+	}
+	if _, err := parseSteps(" , "); err == nil {
+		t.Fatal("empty steps accepted")
+	}
+}

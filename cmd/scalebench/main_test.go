@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestParseNodes(t *testing.T) {
+	got, err := parseNodes("1,2, 5 ,100")
+	if err != nil || len(got) != 4 || got[3] != 100 {
+		t.Fatalf("parseNodes = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-2", "x", "1,,x"} {
+		if _, err := parseNodes(bad); err == nil {
+			t.Fatalf("parseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHistPairs(t *testing.T) {
+	specs := histPairs(64)
+	if len(specs) != 5 {
+		t.Fatalf("histPairs = %d specs", len(specs))
+	}
+	for _, s := range specs {
+		if s.XBins != 64 || s.YBins != 64 {
+			t.Fatalf("spec bins = %d x %d", s.XBins, s.YBins)
+		}
+	}
+}

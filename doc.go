@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "High Performance
+// Multivariate Visual Data Exploration for Extremely Large Data" (Rübel
+// et al., SC 2008): histogram-based parallel coordinates driven by a
+// WAH-compressed bitmap index engine, over synthetic laser wakefield
+// accelerator particle data.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); executables live under cmd/, runnable walkthroughs under
+// examples/, and the per-figure benchmark harness in bench_test.go.
+package repro

@@ -1,0 +1,269 @@
+// Beam analysis: the paper's complete Section IV use case on synthetic
+// data — beam selection at a late timestep, assessment at the momentum
+// peak, back-tracing to the injection timesteps, refinement with a second
+// spatial threshold, and (with -3d) the two-stage 3D selection of Fig. 10.
+//
+// Run:
+//
+//	go run ./examples/beamanalysis          # 2D analysis (Figs. 5-8)
+//	go run ./examples/beamanalysis -3d      # 3D analysis (Fig. 10)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"image/color"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fastbit"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out    = flag.String("out", "", "working directory (default: a temp dir)")
+		use3D  = flag.Bool("3d", false, "run the 3D analysis variant")
+		keepPx = flag.Float64("quantile", 0.995, "beam selection quantile in px")
+	)
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "lwfa-beam-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 24
+	cfg.BackgroundPerStep = 40000
+	cfg.BeamParticles = 400
+	if *use3D {
+		cfg.Dim = 3
+	}
+	s, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "data")
+	if _, err := sim.WriteDataset(dataDir, cfg, sim.WriteOptions{
+		Index: fastbit.IndexOptions{Bins: 192},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	ex, err := core.Open(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := ex.Steps() - 1
+	peak := s.PeakStep()
+	inject := s.InjectionStep()
+
+	// --- Beam selection (Section IV-A / Fig. 5) -------------------------
+	// Threshold px at the last timestep; like the paper's px > 8.872e10,
+	// chosen here as a high quantile so scaled runs stay comparable.
+	thr := quantileThreshold(ex, last, *keepPx)
+	queryStr := fmt.Sprintf("px > %g", thr)
+	if *use3D {
+		// Fig. 10: first remove the background, then cut on px and x to
+		// isolate the first wake period.
+		xCut := firstBucketCut(ex, last)
+		queryStr = fmt.Sprintf("px > %g && x > %g", thr, xCut)
+	}
+	beam, err := ex.Select(last, queryStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("beam selection at t=%d with %q: %d particles\n", last, queryStr, beam.Count())
+	if beam.Count() == 0 {
+		log.Fatal("selection empty; lower -quantile")
+	}
+
+	canvas, err := ex.ContextFocusPlot(last,
+		plotVars(*use3D), "", queryStr, core.DefaultPlotOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sel := filepath.Join(dir, "beam_selection.png")
+	if err := canvas.SavePNG(sel); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (context + focus parallel coordinates)\n", sel)
+
+	// --- Beam assessment (Section IV-B) ---------------------------------
+	// Trace the selected particles and compare momentum at the peak and
+	// the final step: the first beam outruns the wave and decelerates.
+	tracks, err := ex.TrackIDs(beam.IDs(), inject-1, last, core.TrackOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("traced %d particles over t=[%d,%d]\n", len(tracks), inject-1, last)
+
+	var decel int
+	for _, tr := range tracks {
+		pAtPeak, ok1 := pxAt(tr, peak)
+		pAtLast, ok2 := pxAt(tr, last)
+		if ok1 && ok2 && pAtLast < pAtPeak {
+			decel++
+		}
+	}
+	fmt.Printf("beam assessment: %d/%d particles decelerated after the t=%d dephasing peak\n",
+		decel, len(tracks), peak)
+
+	// --- Beam formation (Section IV-C) -----------------------------------
+	// When did the beam particles enter the simulation window?
+	entries := map[int]int{}
+	for _, tr := range tracks {
+		entries[tr.Steps[0]]++
+	}
+	steps := make([]int, 0, len(entries))
+	for t := range entries {
+		steps = append(steps, t)
+	}
+	sort.Ints(steps)
+	fmt.Println("beam formation (injection census):")
+	for _, t := range steps {
+		fmt.Printf("  t=%-3d %d particles enter\n", t, entries[t])
+	}
+
+	// --- Beam refinement (Section IV-D / Fig. 8) -------------------------
+	// Re-select at the injection time with an extra x threshold to keep
+	// only the first wake period, then verify the subset stays a subset.
+	atInject, err := beam.AtStep(inject + 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xCut := firstBucketCut(ex, inject+1)
+	refined, err := atInject.Refine(fmt.Sprintf("x > %g", xCut))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("beam refinement at t=%d: %d of %d beam particles lie in the first wake period (x > %.4g)\n",
+		inject+1, refined.Count(), atInject.Count(), xCut)
+
+	// Fig. 8 style overlay: whole beam in red, refined subset in green,
+	// over the full-data context.
+	beamQ := queryForContext(atInject)
+	refCanvas, err := ex.MultiFocusPlot(inject+1, plotVars(*use3D), "",
+		[]core.Focus{
+			{Cond: beamQ, Color: color.RGBA{230, 70, 70, 255}},
+			{Cond: fmt.Sprintf("%s && x > %g", beamQ, xCut), Color: color.RGBA{80, 220, 120, 255}},
+		}, core.DefaultPlotOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref := filepath.Join(dir, "beam_refinement.png")
+	if err := refCanvas.SavePNG(ref); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (refined subset over beam context)\n", ref)
+
+	// --- Pseudocolor views (Figs. 5b, 6) ----------------------------------
+	// All particles in gray; the beam coloured by px.
+	scatterCanvas, err := ex.ScatterPlot(last, "x", "y", "px", queryStr, core.DefaultScatterOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := filepath.Join(dir, "beam_pseudocolor.png")
+	if err := scatterCanvas.SavePNG(sc); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (pseudocolor beam over gray context)\n", sc)
+
+	// --- Particle traces (Figs. 7, 8c) ------------------------------------
+	// World lines of a manageable subset, coloured by momentum.
+	subset := tracks
+	if len(subset) > 60 {
+		subset = subset[:60]
+	}
+	traceCanvas, err := ex.TracePlot(subset, last, core.ColorByPx, core.DefaultScatterOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	tp := filepath.Join(dir, "beam_traces.png")
+	if err := traceCanvas.SavePNG(tp); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (particle traces coloured by px)\n", tp)
+
+	// --- Quantitative coupling (the paper's future-work direction) -------
+	quality, err := beam.BeamQuality()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("beam quality at t=%d: mean px %.3e, energy spread %.2f%%, rms y %.3e, emittance %.3e\n",
+		last, quality.MeanPx, 100*quality.EnergySpread, quality.RMSy, quality.Emittance)
+
+	history, err := beam.BeamHistory(inject, last)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("beam evolution (mean px / energy spread per step):")
+	for i, step := range history.Steps {
+		q := history.Quality[i]
+		fmt.Printf("  t=%-3d px %.3e  spread %5.2f%%  n=%d\n",
+			step, q.MeanPx, 100*q.EnergySpread, q.N)
+	}
+}
+
+// plotVars picks the plotted axes per dimensionality.
+func plotVars(use3D bool) []string {
+	if use3D {
+		return []string{"x", "y", "z", "px", "py", "pz"}
+	}
+	return []string{"x", "y", "px", "py"}
+}
+
+// quantileThreshold returns the px value at the given quantile of a step.
+func quantileThreshold(ex *core.Explorer, step int, q float64) float64 {
+	sel, err := ex.Select(step, "px > -1e300")
+	if err != nil {
+		log.Fatal(err)
+	}
+	px, err := sel.Values("px")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sort.Float64s(px)
+	i := int(q * float64(len(px)))
+	if i >= len(px) {
+		i = len(px) - 1
+	}
+	return px[i]
+}
+
+// firstBucketCut returns an x threshold separating the first wake period
+// (behind the window's trailing edge) from the rest, placed one wake
+// wavelength from the right edge of the window.
+func firstBucketCut(ex *core.Explorer, step int) float64 {
+	_, hi, err := ex.VarRange(step, "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, _, err := ex.VarRange(step, "x")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return hi - 0.30*(hi-lo)
+}
+
+// pxAt returns a track's momentum at one step.
+func pxAt(tr *core.Track, step int) (float64, bool) {
+	for i, t := range tr.Steps {
+		if t == step {
+			return tr.Px[i], true
+		}
+	}
+	return 0, false
+}
+
+// queryForContext renders a selection's query string.
+func queryForContext(sel *core.Selection) string { return sel.Query().String() }

@@ -1,0 +1,117 @@
+// Query-driven visualization with contracts: assemble a VisIt-style
+// pipeline where a downstream parallel-coordinates sink and a selection
+// stage negotiate a contract that travels upstream, so the I/O source
+// computes only the histograms asked for, restricted by the out-of-band
+// Boolean range query set (paper Sections II-C and II-D).
+//
+// Run:
+//
+//	go run ./examples/querydriven
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/pcoords"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "", "working directory (default: a temp dir)")
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "lwfa-querydriven-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 10
+	cfg.BackgroundPerStep = 25000
+	cfg.BeamParticles = 250
+	dataDir := filepath.Join(dir, "data")
+	if _, err := sim.WriteDataset(dataDir, cfg, sim.WriteOptions{
+		Index: fastbit.IndexOptions{Bins: 128},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	src, err := fastquery.Open(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's interactive selection, as the paper's example query:
+	// high momentum particles in the upper half of the beam.
+	selection := &pipeline.SelectionStage{
+		Query:   query.MustParse("px > 1e9 && y > 0"),
+		WantIDs: true,
+	}
+	// The sink demands per-axis-pair histograms.
+	sink := &pipeline.PCPlotSink{
+		Axes: []pcoords.Axis{
+			{Var: "x", Min: 0, Max: 1.5e-3},
+			{Var: "y", Min: -1e-4, Max: 1e-4},
+			{Var: "px", Min: 0, Max: 1.3e11},
+			{Var: "py", Min: -2e9, Max: 2e9},
+		},
+		Bins: 96,
+	}
+	pl, err := pipeline.New(src, fastquery.FastBit, selection, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show what the negotiated contract looks like before executing.
+	contract := pipeline.NewContract()
+	if err := sink.Negotiate(contract); err != nil {
+		log.Fatal(err)
+	}
+	if err := selection.Negotiate(contract); err != nil {
+		log.Fatal(err)
+	}
+	vars := make([]string, 0, len(contract.Variables))
+	for v := range contract.Variables {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	fmt.Printf("negotiated contract: variables=%v, %d histogram specs\n", vars, len(contract.Hist2D))
+	if rs, ok := contract.RangeSet(); ok {
+		fmt.Println("out-of-band range query set:")
+		keys := make([]string, 0, len(rs))
+		for k := range rs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %-4s in %s\n", k, rs[k])
+		}
+	}
+
+	step := cfg.Steps - 1
+	payload, err := pl.Run(step)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("step %d: %d of %d records matched; %d histograms computed at the I/O stage\n",
+		step, len(selection.Positions), payload.Rows, len(payload.Hists))
+
+	path := filepath.Join(dir, "querydriven.png")
+	if err := sink.Canvas.SavePNG(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,109 @@
+// Quickstart: generate a small synthetic laser-wakefield dataset, query
+// it, compute histograms both ways, render a parallel coordinates plot
+// and trace a particle bunch through time — the whole system in one file.
+//
+// Run:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	out := flag.String("out", "", "working directory (default: a temp dir)")
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "lwfa-quickstart-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	// 1. Generate data + indexes (the one-time preprocessing of Fig. 1).
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 16
+	cfg.BackgroundPerStep = 30000
+	cfg.BeamParticles = 300
+	dataDir := filepath.Join(dir, "data")
+	if _, err := sim.WriteDataset(dataDir, cfg, sim.WriteOptions{
+		Index: fastbit.IndexOptions{Bins: 128},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d timesteps in %s\n", cfg.Steps, dataDir)
+
+	// 2. Open and explore.
+	ex, err := core.Open(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := ex.Steps() - 1
+
+	// A compound Boolean range query, built in the paper from axis sliders.
+	sel, err := ex.Select(last, "px > 5e10 && y > -1e-4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("selection at t=%d: %d accelerated particles\n", last, sel.Count())
+
+	// 3. Conditional histogram, index-accelerated and by scan — identical.
+	spec := histogram.NewSpec2D("x", "px", 64, 64)
+	hFast, err := ex.Histogram2D(last, "px > 5e10", spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex.SetBackend(fastquery.Scan)
+	hScan, err := ex.Histogram2D(last, "px > 5e10", spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ex.SetBackend(fastquery.FastBit)
+	fmt.Printf("conditional 2D histogram: fastbit total=%d, custom total=%d\n",
+		hFast.Total(), hScan.Total())
+
+	// 4. Histogram-based parallel coordinates: context + focus.
+	canvas, err := ex.ContextFocusPlot(last,
+		[]string{"x", "y", "px", "py"}, "", "px > 5e10", core.DefaultPlotOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	plotPath := filepath.Join(dir, "quickstart.png")
+	if err := canvas.SavePNG(plotPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", plotPath)
+
+	// 5. Trace the selected particles back in time by identifier.
+	tracks, err := ex.TrackIDs(sel.IDs(), 0, last, core.TrackOptions{Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var born int
+	for _, tr := range tracks {
+		if tr.Steps[0] > 0 {
+			born++
+		}
+	}
+	fmt.Printf("traced %d particles; %d entered the window after t=0\n", len(tracks), born)
+	if len(tracks) > 0 {
+		tr := tracks[0]
+		fmt.Printf("example track id=%d: t=%d..%d, px %.3e -> %.3e\n",
+			tr.ID, tr.Steps[0], tr.Steps[tr.Len()-1], tr.Px[0], tr.Px[tr.Len()-1])
+	}
+}

@@ -1,0 +1,92 @@
+// Temporal parallel coordinates: render a characteristic particle subset
+// at several timesteps into one plot, one colour per timestep — the
+// paper's Fig. 9, which makes the two beams' different acceleration
+// histories visible along the px axis while x and xrel stay stable.
+//
+// Run:
+//
+//	go run ./examples/temporalpc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/fastbit"
+	"repro/internal/histogram"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out     = flag.String("out", "", "working directory (default: a temp dir)")
+		binning = flag.String("binning", "uniform", "uniform | adaptive")
+	)
+	flag.Parse()
+
+	dir := *out
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "lwfa-temporal-*"); err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 24
+	cfg.BackgroundPerStep = 30000
+	cfg.BeamParticles = 400
+	s, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "data")
+	if _, err := sim.WriteDataset(dataDir, cfg, sim.WriteOptions{
+		Index: fastbit.IndexOptions{Bins: 128},
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	ex, err := core.Open(dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The subset: particles that end up accelerated. Like the paper, the
+	// temporal view is most useful on a characteristic subset of the data.
+	last := ex.Steps() - 1
+	_, hi, err := ex.VarRange(last, "px")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cond := fmt.Sprintf("px > %g", 0.3*hi)
+
+	// Steps from injection to the end, every other step (Fig. 9 uses
+	// t = 14..22).
+	var steps []int
+	for t := s.InjectionStep(); t <= last; t += 2 {
+		steps = append(steps, t)
+	}
+
+	opt := core.DefaultPlotOptions()
+	opt.FocusBins = 160
+	if *binning == "adaptive" {
+		opt.Binning = histogram.Adaptive
+	}
+	canvas, err := ex.TemporalPlot(steps, []string{"x", "xrel", "px", "y"}, cond, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, "temporal.png")
+	if err := canvas.SavePNG(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rendered %d timesteps (%v) of subset %q\n", len(steps), steps, cond)
+	fmt.Printf("wrote %s\n", path)
+}

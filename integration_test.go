@@ -1,0 +1,261 @@
+package repro
+
+// End-to-end integration tests: drive the whole stack the way a user
+// would — generate a dataset, open it, query it through both backends,
+// render every plot type, track particles, and run the command-line tools
+// as real subprocesses.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/pipeline"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// integrationDataset reuses the benchmark dataset generator.
+func integrationDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := sim.DefaultConfig()
+	cfg.Steps = 8
+	cfg.BackgroundPerStep = 8000
+	cfg.BeamParticles = 120
+	if _, err := sim.WriteDataset(dir, cfg, sim.WriteOptions{
+		Index: fastbit.IndexOptions{Bins: 64},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestEndToEndWorkflow(t *testing.T) {
+	dir := integrationDataset(t)
+	ex, err := core.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ex.Steps() - 1
+
+	// 1. Interactive selection with both backends, identical results.
+	const q = "px > 5e10 && y > -1e-3"
+	fbSel, err := ex.Select(last, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetBackend(fastquery.Scan)
+	scSel, err := ex.Select(last, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetBackend(fastquery.FastBit)
+	if fbSel.Count() == 0 || fbSel.Count() != scSel.Count() {
+		t.Fatalf("selection counts: fastbit %d, scan %d", fbSel.Count(), scSel.Count())
+	}
+
+	// 2. Conditional histograms at two resolutions conserve the selection.
+	for _, bins := range []int{32, 512} {
+		h, err := ex.Histogram2D(last, q, histogram.NewSpec2D("x", "px", bins, bins))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Total() != uint64(fbSel.Count()) {
+			t.Fatalf("bins=%d: histogram total %d != selection %d", bins, h.Total(), fbSel.Count())
+		}
+	}
+
+	// 3. Track the beam through the full run and verify world lines only
+	// strengthen forward in x.
+	tracks, err := ex.TrackIDs(fbSel.IDs(), 0, last, core.TrackOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != fbSel.Count() {
+		t.Fatalf("tracked %d of %d", len(tracks), fbSel.Count())
+	}
+
+	// 4. Every plot type renders and saves.
+	outDir := t.TempDir()
+	plots := map[string]func() error{
+		"pcoords.png": func() error {
+			c, err := ex.ContextFocusPlot(last, []string{"x", "y", "px"}, "", q, core.DefaultPlotOptions())
+			if err != nil {
+				return err
+			}
+			return c.SavePNG(filepath.Join(outDir, "pcoords.png"))
+		},
+		"temporal.png": func() error {
+			c, err := ex.TemporalPlot([]int{4, 6, 7}, []string{"x", "px"}, "px > 1e9", core.DefaultPlotOptions())
+			if err != nil {
+				return err
+			}
+			return c.SavePNG(filepath.Join(outDir, "temporal.png"))
+		},
+		"scatter.png": func() error {
+			c, err := ex.ScatterPlot(last, "x", "y", "px", q, core.DefaultScatterOptions())
+			if err != nil {
+				return err
+			}
+			return c.SavePNG(filepath.Join(outDir, "scatter.png"))
+		},
+		"traces.png": func() error {
+			sub := tracks
+			if len(sub) > 10 {
+				sub = sub[:10]
+			}
+			c, err := ex.TracePlot(sub, last, core.ColorByPx, core.DefaultScatterOptions())
+			if err != nil {
+				return err
+			}
+			return c.SavePNG(filepath.Join(outDir, "traces.png"))
+		},
+	}
+	for name, fn := range plots {
+		if err := fn(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st, err := os.Stat(filepath.Join(outDir, name))
+		if err != nil || st.Size() == 0 {
+			t.Fatalf("%s missing or empty: %v", name, err)
+		}
+	}
+
+	// 5. Pipeline with contracts over the same dataset.
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := &pipeline.SelectionStage{Query: query.MustParse(q), WantIDs: true}
+	hist := &pipeline.HistogramStage{Specs: []histogram.Spec2D{histogram.NewSpec2D("x", "px", 16, 16)}}
+	pl, err := pipeline.New(src, fastquery.FastBit, sel, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(last); err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.IDs) != fbSel.Count() {
+		t.Fatalf("pipeline selected %d, explorer %d", len(sel.IDs), fbSel.Count())
+	}
+}
+
+// TestCommandLineTools builds and runs the real executables end to end.
+func TestCommandLineTools(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"lwfagen", "indexgen", "dsinfo", "pcplot", "trace", "beamstats", "histbench", "scalebench", "figures", "mkreport"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	data := filepath.Join(t.TempDir(), "data")
+
+	run := func(tool string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, tool), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("lwfagen", "-out", data, "-steps", "5", "-particles", "3000", "-beam", "50", "-q")
+	if !strings.Contains(out, "5 steps") {
+		t.Fatalf("lwfagen output: %s", out)
+	}
+
+	png := filepath.Join(t.TempDir(), "plot.png")
+	run("pcplot", "-data", data, "-step", "4", "-vars", "x,y,px", "-focus", "px > 1e10", "-out", png)
+	if st, err := os.Stat(png); err != nil || st.Size() == 0 {
+		t.Fatalf("pcplot produced no image: %v", err)
+	}
+	run("pcplot", "-data", data, "-steps", "2,3,4", "-vars", "x,px", "-focus", "px > 1e9",
+		"-binning", "adaptive", "-out", png)
+	run("pcplot", "-data", data, "-step", "4", "-vars", "x,px", "-mode", "lines",
+		"-focus", "px > 1e10", "-out", png)
+
+	out = run("trace", "-data", data, "-query", "px > 1e10", "-show", "2")
+	if !strings.Contains(out, "traced") {
+		t.Fatalf("trace output: %s", out)
+	}
+	out = run("trace", "-data", data, "-query", "px > 1e10", "-backend", "custom", "-show", "1")
+	if !strings.Contains(out, "traced") {
+		t.Fatalf("trace custom output: %s", out)
+	}
+
+	out = run("histbench", "-data", data, "-step", "3", "-exp", "fig13", "-runs", "1")
+	if !strings.Contains(out, "Fig 13") {
+		t.Fatalf("histbench output: %s", out)
+	}
+	out = run("histbench", "-data", data, "-step", "3", "-exp", "fig11", "-runs", "1", "-csv")
+	if !strings.Contains(out, "fastbit_regular_s") {
+		t.Fatalf("histbench csv output: %s", out)
+	}
+
+	out = run("scalebench", "-data", data, "-exp", "all", "-nodes", "1,2,5", "-bins", "64", "-track-hits", "20")
+	for _, want := range []string{"Fig 14", "Fig 15", "Fig 16", "Fig 17"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scalebench output missing %s:\n%s", want, out)
+		}
+	}
+	out = run("scalebench", "-data", data, "-exp", "track", "-nodes", "1,2", "-assign", "blocked", "-csv")
+	if !strings.Contains(out, "nodes,") {
+		t.Fatalf("scalebench csv output: %s", out)
+	}
+
+	// indexgen: regenerate indexes from scratch for a dataset written
+	// without them.
+	data2 := filepath.Join(t.TempDir(), "noidx")
+	run("lwfagen", "-out", data2, "-steps", "3", "-particles", "1500", "-beam", "30", "-skip-index", "-q")
+	out = run("indexgen", "-data", data2, "-bins", "32")
+	if !strings.Contains(out, "done") {
+		t.Fatalf("indexgen output: %s", out)
+	}
+	out = run("dsinfo", "-data", data2)
+	if !strings.Contains(out, "total:") || !strings.Contains(out, "index_mb") {
+		t.Fatalf("dsinfo output: %s", out)
+	}
+	out = run("trace", "-data", data2, "-query", "px > 1e9", "-show", "1")
+	if !strings.Contains(out, "traced") {
+		t.Fatalf("trace after indexgen: %s", out)
+	}
+
+	// beamstats with CSV trajectory export via trace.
+	out = run("beamstats", "-data", data, "-query", "px > 1e10", "-csv")
+	if !strings.Contains(out, "mean_px") {
+		t.Fatalf("beamstats output: %s", out)
+	}
+	csvPath := filepath.Join(t.TempDir(), "tracks.csv")
+	run("trace", "-data", data, "-query", "px > 1e10", "-show", "1", "-csv", csvPath)
+	if st, err := os.Stat(csvPath); err != nil || st.Size() == 0 {
+		t.Fatalf("trace -csv produced nothing: %v", err)
+	}
+
+	// figures gallery.
+	figDir := filepath.Join(t.TempDir(), "figs")
+	out = run("figures", "-data", data, "-out", figDir)
+	matches, err := filepath.Glob(filepath.Join(figDir, "*.png"))
+	if err != nil || len(matches) < 8 {
+		t.Fatalf("figures produced %d PNGs: %v\n%s", len(matches), err, out)
+	}
+
+	// mkreport HTML.
+	htmlPath := filepath.Join(t.TempDir(), "report.html")
+	run("mkreport", "-data", data, "-out", htmlPath, "-bins", "64")
+	html, err := os.ReadFile(htmlPath)
+	if err != nil || !strings.Contains(string(html), "data:image/png;base64,") {
+		t.Fatalf("mkreport output invalid: %v", err)
+	}
+}

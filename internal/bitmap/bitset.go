@@ -1,0 +1,105 @@
+package bitmap
+
+import "math/bits"
+
+// BitSet is a plain uncompressed bit vector backed by 64-bit words. It
+// exists as the ablation baseline for the WAH design choice: identical
+// Boolean interface, no compression, O(n/64) words regardless of content.
+type BitSet struct {
+	words []uint64
+	n     uint64
+}
+
+// NewBitSet returns a zeroed bit set of length n.
+func NewBitSet(n uint64) *BitSet {
+	return &BitSet{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the number of bits in the set.
+func (s *BitSet) Len() uint64 { return s.n }
+
+// SizeBytes returns the in-memory size of the backing array.
+func (s *BitSet) SizeBytes() int { return 8 * len(s.words) }
+
+// Set sets the bit at position p.
+func (s *BitSet) Set(p uint64) { s.words[p/64] |= 1 << (p % 64) }
+
+// Get reports the bit at position p.
+func (s *BitSet) Get(p uint64) bool {
+	if p >= s.n {
+		return false
+	}
+	return s.words[p/64]&(1<<(p%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *BitSet) Count() uint64 {
+	var c uint64
+	for _, w := range s.words {
+		c += uint64(bits.OnesCount64(w))
+	}
+	return c
+}
+
+// And returns the bitwise AND of s and o. The result has s's length.
+func (s *BitSet) And(o *BitSet) *BitSet {
+	out := NewBitSet(s.n)
+	for i := range out.words {
+		if i < len(o.words) {
+			out.words[i] = s.words[i] & o.words[i]
+		}
+	}
+	return out
+}
+
+// Or returns the bitwise OR of s and o zero-extended to the longer length.
+func (s *BitSet) Or(o *BitSet) *BitSet {
+	out := NewBitSet(maxU64(s.n, o.n))
+	copy(out.words, s.words)
+	for i, w := range o.words {
+		out.words[i] |= w
+	}
+	return out
+}
+
+// Iterate calls fn for each set bit position in increasing order; it stops
+// early if fn returns false.
+func (s *BitSet) Iterate(fn func(pos uint64) bool) {
+	for i, w := range s.words {
+		for w != 0 {
+			b := uint64(bits.TrailingZeros64(w))
+			p := uint64(i)*64 + b
+			if p >= s.n {
+				return
+			}
+			if !fn(p) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ToVector converts the bit set to a WAH vector.
+func (s *BitSet) ToVector() *Vector {
+	v := New(s.n)
+	var at uint64
+	s.Iterate(func(p uint64) bool {
+		v.AppendRun(false, p-at)
+		v.AppendBit(true)
+		at = p + 1
+		return true
+	})
+	v.AppendRun(false, s.n-at)
+	return v
+}
+
+// VectorToBitSet converts a WAH vector to an uncompressed bit set.
+func VectorToBitSet(v *Vector) *BitSet {
+	s := NewBitSet(v.Len())
+	v.Iterate(func(p uint64) bool {
+		s.Set(p)
+		return true
+	})
+	return s
+}

@@ -1,0 +1,34 @@
+package bitmap_test
+
+import (
+	"fmt"
+
+	"repro/internal/bitmap"
+)
+
+func ExampleVector() {
+	// Build two sparse bitmaps and combine them with Boolean operations
+	// directly on the compressed form — the core of bitmap-index query
+	// evaluation.
+	a, _ := bitmap.FromPositions(1000, []uint64{3, 500, 999})
+	b, _ := bitmap.FromPositions(1000, []uint64{500, 700})
+
+	fmt.Println(a.Or(b).Count())
+	fmt.Println(a.And(b).Positions())
+	fmt.Println(a.AndNot(b).Count())
+	// Output:
+	// 4
+	// [500]
+	// 2
+}
+
+func ExampleVector_compression() {
+	// A run-dominated bitmap of a million bits compresses to a handful of
+	// WAH words.
+	v := bitmap.New(1 << 20)
+	v.AppendRun(false, 1<<19)
+	v.AppendRun(true, 1<<19)
+	fmt.Println(v.Len(), v.Count(), v.Words() < 10)
+	// Output:
+	// 1048576 524288 true
+}

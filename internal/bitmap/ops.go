@@ -1,0 +1,245 @@
+package bitmap
+
+import "math/bits"
+
+// decoder walks the encoded words of a vector as a sequence of runs. A run
+// is either `cnt` repetitions of an identical fill group (word is 0 or
+// allOnes) or a single literal group (cnt == 1). The trailing partial group
+// is surfaced as one final literal run padded with zero bits.
+type decoder struct {
+	words []uint32
+	idx   int
+	tail  uint32 // partial trailing group, zero-padded
+	hasT  bool
+
+	word uint32 // current group pattern
+	cnt  uint64 // groups remaining in the current run
+	fill bool   // current run is a fill (word is uniform)
+}
+
+func newDecoder(v *Vector) *decoder {
+	d := &decoder{words: v.words, tail: v.act, hasT: v.nact > 0}
+	d.advance()
+	return d
+}
+
+// done reports whether the decoder is exhausted.
+func (d *decoder) done() bool { return d.cnt == 0 }
+
+// advance loads the next run after the current one is consumed.
+func (d *decoder) advance() {
+	if d.idx < len(d.words) {
+		w := d.words[d.idx]
+		d.idx++
+		if w&fillFlag != 0 {
+			d.cnt = uint64(w & maxFill)
+			d.fill = true
+			if w&fillOne != 0 {
+				d.word = allOnes
+			} else {
+				d.word = 0
+			}
+		} else {
+			d.cnt = 1
+			d.fill = false
+			d.word = w
+		}
+		return
+	}
+	if d.hasT {
+		d.hasT = false
+		d.cnt = 1
+		d.fill = false
+		d.word = d.tail
+		return
+	}
+	d.cnt = 0
+}
+
+// take consumes up to want groups of the current run, returning the group
+// pattern and the number of groups consumed.
+func (d *decoder) take(want uint64) (word uint32, got uint64) {
+	if d.cnt == 0 {
+		return 0, 0
+	}
+	got = want
+	if got > d.cnt {
+		got = d.cnt
+	}
+	if !d.fill {
+		got = 1
+	}
+	word = d.word
+	d.cnt -= got
+	if d.cnt == 0 {
+		d.advance()
+	}
+	return word, got
+}
+
+// binop applies the 31-bit group operation f across two vectors. The
+// result has length max(a.Len(), b.Len()); the shorter operand is
+// implicitly zero-extended, which matches the semantics needed by the
+// index code (all index bitmaps for one column share the same length).
+func binop(a, b *Vector, f func(x, y uint32) uint32) *Vector {
+	out := New(maxU64(a.n, b.n))
+	da, db := newDecoder(a), newDecoder(b)
+	for !da.done() || !db.done() {
+		switch {
+		case da.done():
+			w, got := db.take(db.cnt)
+			emit(out, f(0, w)&litMask, got)
+		case db.done():
+			w, got := da.take(da.cnt)
+			emit(out, f(w, 0)&litMask, got)
+		case da.fill && db.fill:
+			n := minU64(da.cnt, db.cnt)
+			wa, _ := da.take(n)
+			wb, _ := db.take(n)
+			emit(out, f(wa, wb)&litMask, n)
+		default:
+			wa, _ := da.take(1)
+			wb, _ := db.take(1)
+			emit(out, f(wa, wb)&litMask, 1)
+		}
+	}
+	out.n = maxU64(a.n, b.n)
+	out.trim()
+	return out
+}
+
+// emit appends cnt copies of group w to out, using fills when uniform.
+func emit(out *Vector, w uint32, cnt uint64) {
+	switch w {
+	case 0:
+		out.appendFill(false, cnt)
+	case allOnes:
+		out.appendFill(true, cnt)
+	default:
+		for ; cnt > 0; cnt-- {
+			out.words = append(out.words, w)
+		}
+	}
+	out.n += cnt * groupBits // adjusted by caller via out.n assignment
+}
+
+// trim re-derives the active-word representation so that the encoded
+// length matches n exactly: binop emits whole groups, so when n is not a
+// multiple of 31 the final group must be moved back into act.
+func (v *Vector) trim() {
+	rem := v.n % groupBits
+	if rem == 0 {
+		v.act, v.nact = 0, 0
+		return
+	}
+	// The final group was emitted as a whole; pull it back out.
+	n := len(v.words)
+	last := v.words[n-1]
+	if last&fillFlag != 0 {
+		cnt := last & maxFill
+		var g uint32
+		if last&fillOne != 0 {
+			g = allOnes
+		}
+		if cnt == 1 {
+			v.words = v.words[:n-1]
+		} else {
+			v.words[n-1] = last - 1
+		}
+		v.act = g & (uint32(1)<<rem - 1)
+	} else {
+		v.words = v.words[:n-1]
+		v.act = last & (uint32(1)<<rem - 1)
+	}
+	v.nact = uint8(rem)
+}
+
+// And returns the bitwise AND of v and o.
+func (v *Vector) And(o *Vector) *Vector {
+	return binop(v, o, func(x, y uint32) uint32 { return x & y })
+}
+
+// Or returns the bitwise OR of v and o.
+func (v *Vector) Or(o *Vector) *Vector {
+	return binop(v, o, func(x, y uint32) uint32 { return x | y })
+}
+
+// Xor returns the bitwise XOR of v and o.
+func (v *Vector) Xor(o *Vector) *Vector {
+	return binop(v, o, func(x, y uint32) uint32 { return x ^ y })
+}
+
+// AndNot returns v AND NOT o.
+func (v *Vector) AndNot(o *Vector) *Vector {
+	return binop(v, o, func(x, y uint32) uint32 { return x &^ y })
+}
+
+// Not returns the complement of v over its own length.
+func (v *Vector) Not() *Vector {
+	out := New(v.n)
+	d := newDecoder(v)
+	for !d.done() {
+		w, got := d.take(d.cnt)
+		emit(out, (^w)&litMask, got)
+	}
+	out.n = v.n
+	out.trim()
+	// Clear any padding bits beyond n in the active word.
+	if out.nact > 0 {
+		out.act &= uint32(1)<<out.nact - 1
+	}
+	return out
+}
+
+// AndCount returns the number of ones in v AND o without materialising
+// the result vector — the hot operation of bitmap-count histograms, where
+// only the cardinality of each intersection is needed.
+func (v *Vector) AndCount(o *Vector) uint64 {
+	var count uint64
+	da, db := newDecoder(v), newDecoder(o)
+	for !da.done() && !db.done() {
+		if da.fill && db.fill {
+			n := minU64(da.cnt, db.cnt)
+			wa, _ := da.take(n)
+			wb, _ := db.take(n)
+			if w := wa & wb; w != 0 {
+				count += n * uint64(bits.OnesCount32(w))
+			}
+			continue
+		}
+		wa, _ := da.take(1)
+		wb, _ := db.take(1)
+		if w := wa & wb; w != 0 {
+			count += uint64(bits.OnesCount32(w))
+		}
+	}
+	return count
+}
+
+// OrAll computes the OR of many vectors. It combines them in a balanced
+// tree order, which keeps intermediate results small when the inputs are
+// sparse — the common case when ORing index bin bitmaps for a range query.
+func OrAll(vs []*Vector) *Vector {
+	switch len(vs) {
+	case 0:
+		return New(0)
+	case 1:
+		return vs[0].Clone()
+	}
+	mid := len(vs) / 2
+	return OrAll(vs[:mid]).Or(OrAll(vs[mid:]))
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package bitmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary layout of a serialized vector:
+//
+//	u64 n        total bit count
+//	u8  nact     bits in the partial trailing group
+//	u32 act      partial trailing group
+//	u32 nwords   number of encoded words
+//	u32[nwords]  encoded words
+//
+// All integers are little-endian.
+
+// WriteTo serializes the vector. It implements io.WriterTo.
+func (v *Vector) WriteTo(w io.Writer) (int64, error) {
+	hdr := make([]byte, 8+1+4+4)
+	binary.LittleEndian.PutUint64(hdr[0:], v.n)
+	hdr[8] = v.nact
+	binary.LittleEndian.PutUint32(hdr[9:], v.act)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(v.words)))
+	n, err := w.Write(hdr)
+	written := int64(n)
+	if err != nil {
+		return written, err
+	}
+	buf := make([]byte, 4*len(v.words))
+	for i, word := range v.words {
+		binary.LittleEndian.PutUint32(buf[4*i:], word)
+	}
+	n, err = w.Write(buf)
+	written += int64(n)
+	return written, err
+}
+
+// ReadFrom deserializes a vector previously written with WriteTo,
+// replacing the receiver's contents. It implements io.ReaderFrom.
+func (v *Vector) ReadFrom(r io.Reader) (int64, error) {
+	hdr := make([]byte, 8+1+4+4)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, fmt.Errorf("bitmap: read header: %w", err)
+	}
+	read := int64(len(hdr))
+	v.n = binary.LittleEndian.Uint64(hdr[0:])
+	v.nact = hdr[8]
+	v.act = binary.LittleEndian.Uint32(hdr[9:])
+	nwords := binary.LittleEndian.Uint32(hdr[13:])
+	if v.nact >= groupBits {
+		return read, fmt.Errorf("bitmap: corrupt header: nact=%d", v.nact)
+	}
+	// A vector of n bits encodes at most ceil(n/31) words (fills only
+	// shrink the count); reject inconsistent headers before allocating.
+	if maxWords := v.n/groupBits + 1; uint64(nwords) > maxWords {
+		return read, fmt.Errorf("bitmap: corrupt header: %d words for %d bits", nwords, v.n)
+	}
+	buf := make([]byte, 4*nwords)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return read, fmt.Errorf("bitmap: read words: %w", err)
+	}
+	read += int64(len(buf))
+	v.words = make([]uint32, nwords)
+	for i := range v.words {
+		v.words[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return read, nil
+}

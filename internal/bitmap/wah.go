@@ -1,0 +1,307 @@
+// Package bitmap implements Word-Aligned Hybrid (WAH) compressed bit
+// vectors, the compression scheme used by the FastBit bitmap index engine
+// (Wu, Otoo, Shoshani: "Optimizing bitmap indices with efficient
+// compression", ACM TODS 2006).
+//
+// A WAH vector stores bits in 31-bit groups. Each encoded 32-bit word is
+// either a literal word (MSB clear, low 31 bits hold one group verbatim) or
+// a fill word (MSB set, bit 30 holds the fill bit, low 30 bits count how
+// many consecutive identical groups the fill spans). Boolean operations
+// work directly on the compressed form, skipping over fills without
+// decompressing them.
+//
+// The package also provides an uncompressed BitSet with the same Boolean
+// interface, used as the ablation baseline for the WAH design choice.
+package bitmap
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const (
+	groupBits = 31                // bits per WAH group
+	litMask   = uint32(1)<<31 - 1 // low 31 bits
+	fillFlag  = uint32(1) << 31   // MSB marks a fill word
+	fillOne   = uint32(1) << 30   // fill-bit for a run of ones
+	maxFill   = uint32(1)<<30 - 1 // maximum group count in one fill word
+	allOnes   = litMask           // a literal group of 31 one-bits
+)
+
+// Vector is a WAH-compressed bit vector. The zero value is an empty vector
+// ready for use. Bits are appended with AppendBit / AppendRun /
+// AppendWords; once built, vectors are normally treated as immutable and
+// combined with And, Or, AndNot, Xor and Not, all of which allocate fresh
+// result vectors.
+type Vector struct {
+	words []uint32 // encoded literal/fill words
+	act   uint32   // partial group not yet encoded (LSB-first)
+	nact  uint8    // number of valid bits in act (0..30)
+	n     uint64   // total number of bits in the vector
+}
+
+// New returns an empty vector with capacity hints for nbits bits.
+func New(nbits uint64) *Vector {
+	return &Vector{words: make([]uint32, 0, nbits/groupBits/8+1)}
+}
+
+// FromBools builds a vector from a slice of booleans.
+func FromBools(bs []bool) *Vector {
+	v := New(uint64(len(bs)))
+	for _, b := range bs {
+		v.AppendBit(b)
+	}
+	return v
+}
+
+// FromPositions builds a vector of length n with ones at the given sorted,
+// unique positions. Positions must be strictly increasing and < n; it
+// returns an error otherwise.
+func FromPositions(n uint64, pos []uint64) (*Vector, error) {
+	v := New(n)
+	var at uint64
+	for i, p := range pos {
+		if p >= n {
+			return nil, fmt.Errorf("bitmap: position %d out of range %d", p, n)
+		}
+		if i > 0 && p <= pos[i-1] {
+			return nil, fmt.Errorf("bitmap: positions not strictly increasing at %d", i)
+		}
+		v.AppendRun(false, p-at)
+		v.AppendBit(true)
+		at = p + 1
+	}
+	v.AppendRun(false, n-at)
+	return v, nil
+}
+
+// Len returns the number of bits in the vector.
+func (v *Vector) Len() uint64 { return v.n }
+
+// Words returns the number of encoded 32-bit words, a proxy for the
+// compressed size of the vector.
+func (v *Vector) Words() int { return len(v.words) }
+
+// SizeBytes returns the approximate in-memory size of the encoded vector.
+func (v *Vector) SizeBytes() int { return 4*len(v.words) + 16 }
+
+// AppendBit appends one bit to the vector.
+func (v *Vector) AppendBit(b bool) {
+	if b {
+		v.act |= uint32(1) << v.nact
+	}
+	v.nact++
+	v.n++
+	if v.nact == groupBits {
+		v.flushGroup(v.act)
+		v.act, v.nact = 0, 0
+	}
+}
+
+// AppendRun appends count copies of bit b.
+func (v *Vector) AppendRun(b bool, count uint64) {
+	// Fill the partial group first.
+	for count > 0 && v.nact != 0 {
+		v.AppendBit(b)
+		count--
+	}
+	// Whole groups as fills.
+	groups := count / groupBits
+	if groups > 0 {
+		v.appendFill(b, groups)
+		v.n += groups * groupBits
+		count -= groups * groupBits
+	}
+	for ; count > 0; count-- {
+		v.AppendBit(b)
+	}
+}
+
+// AppendWords appends full 31-bit groups given as raw literal words (low
+// 31 bits of each element). It is the fast path used by the index builder.
+func (v *Vector) AppendWords(groups []uint32) {
+	if v.nact != 0 {
+		for _, g := range groups {
+			for i := 0; i < groupBits; i++ {
+				v.AppendBit(g&(1<<i) != 0)
+			}
+		}
+		return
+	}
+	for _, g := range groups {
+		v.flushGroup(g & litMask)
+	}
+	v.n += uint64(len(groups)) * groupBits
+}
+
+// flushGroup encodes one complete 31-bit group, merging with a preceding
+// fill when possible. It does not touch v.n.
+func (v *Vector) flushGroup(g uint32) {
+	switch g {
+	case 0:
+		v.extendFill(false, 1)
+	case allOnes:
+		v.extendFill(true, 1)
+	default:
+		v.words = append(v.words, g)
+	}
+}
+
+// appendFill encodes `groups` identical groups of bit b.
+func (v *Vector) appendFill(b bool, groups uint64) {
+	for groups > 0 {
+		chunk := groups
+		if chunk > uint64(maxFill) {
+			chunk = uint64(maxFill)
+		}
+		v.extendFill(b, uint32(chunk))
+		groups -= chunk
+	}
+}
+
+// extendFill merges a run of identical groups into the trailing word when
+// that word is a compatible fill with spare capacity.
+func (v *Vector) extendFill(b bool, groups uint32) {
+	if n := len(v.words); n > 0 {
+		last := v.words[n-1]
+		if last&fillFlag != 0 && (last&fillOne != 0) == b {
+			have := last & maxFill
+			if uint64(have)+uint64(groups) <= uint64(maxFill) {
+				v.words[n-1] = last + groups
+				return
+			}
+			add := maxFill - have
+			v.words[n-1] = last + add
+			groups -= add
+		} else if last&fillFlag == 0 {
+			// A lone literal that happens to be all-zero / all-one can be
+			// absorbed into a new fill.
+			if (last == 0 && !b) || (last == allOnes && b) {
+				v.words[n-1] = makeFill(b, 1)
+				v.extendFill(b, groups)
+				return
+			}
+		}
+	}
+	if groups > 0 {
+		v.words = append(v.words, makeFill(b, groups))
+	}
+}
+
+func makeFill(b bool, groups uint32) uint32 {
+	w := fillFlag | groups
+	if b {
+		w |= fillOne
+	}
+	return w
+}
+
+// Count returns the number of set bits.
+func (v *Vector) Count() uint64 {
+	var c uint64
+	for _, w := range v.words {
+		if w&fillFlag != 0 {
+			if w&fillOne != 0 {
+				c += uint64(w&maxFill) * groupBits
+			}
+		} else {
+			c += uint64(bits.OnesCount32(w))
+		}
+	}
+	return c + uint64(bits.OnesCount32(v.act))
+}
+
+// Get reports the bit at position p. It decodes from the front and is
+// intended for tests and spot checks, not bulk access.
+func (v *Vector) Get(p uint64) bool {
+	if p >= v.n {
+		return false
+	}
+	var at uint64
+	for _, w := range v.words {
+		if w&fillFlag != 0 {
+			span := uint64(w&maxFill) * groupBits
+			if p < at+span {
+				return w&fillOne != 0
+			}
+			at += span
+		} else {
+			if p < at+groupBits {
+				return w&(1<<(p-at)) != 0
+			}
+			at += groupBits
+		}
+	}
+	return v.act&(1<<(p-at)) != 0
+}
+
+// Iterate calls fn with the position of every set bit in increasing order.
+// Iteration stops early if fn returns false.
+func (v *Vector) Iterate(fn func(pos uint64) bool) {
+	var at uint64
+	for _, w := range v.words {
+		if w&fillFlag != 0 {
+			span := uint64(w&maxFill) * groupBits
+			if w&fillOne != 0 {
+				for p := at; p < at+span; p++ {
+					if !fn(p) {
+						return
+					}
+				}
+			}
+			at += span
+		} else {
+			g := w
+			for g != 0 {
+				b := uint64(bits.TrailingZeros32(g))
+				if !fn(at + b) {
+					return
+				}
+				g &= g - 1
+			}
+			at += groupBits
+		}
+	}
+	g := v.act
+	for g != 0 {
+		b := uint64(bits.TrailingZeros32(g))
+		if !fn(at + b) {
+			return
+		}
+		g &= g - 1
+	}
+}
+
+// Positions returns the positions of all set bits.
+func (v *Vector) Positions() []uint64 {
+	out := make([]uint64, 0, v.Count())
+	v.Iterate(func(p uint64) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}
+
+// Equal reports whether two vectors have identical length and bits.
+func (v *Vector) Equal(o *Vector) bool {
+	if v.n != o.n {
+		return false
+	}
+	x := v.Xor(o)
+	return x.Count() == 0
+}
+
+// String renders a short human-readable summary for debugging.
+func (v *Vector) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Vector{n=%d, words=%d, ones=%d}", v.n, len(v.words), v.Count())
+	return sb.String()
+}
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	w := &Vector{act: v.act, nact: v.nact, n: v.n}
+	w.words = append([]uint32(nil), v.words...)
+	return w
+}

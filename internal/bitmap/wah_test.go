@@ -1,0 +1,399 @@
+package bitmap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refBits is the naive reference model: a plain []bool.
+type refBits []bool
+
+func (r refBits) count() uint64 {
+	var c uint64
+	for _, b := range r {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func randomBits(rng *rand.Rand, n int, density float64) refBits {
+	r := make(refBits, n)
+	for i := range r {
+		r[i] = rng.Float64() < density
+	}
+	return r
+}
+
+// clusteredBits produces runs of identical bits, the regime WAH targets.
+func clusteredBits(rng *rand.Rand, n int) refBits {
+	r := make(refBits, 0, n)
+	cur := rng.Intn(2) == 0
+	for len(r) < n {
+		run := 1 + rng.Intn(200)
+		for i := 0; i < run && len(r) < n; i++ {
+			r = append(r, cur)
+		}
+		cur = !cur
+	}
+	return r
+}
+
+func toVector(r refBits) *Vector { return FromBools(r) }
+
+func checkAgainstRef(t *testing.T, v *Vector, r refBits) {
+	t.Helper()
+	if v.Len() != uint64(len(r)) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(r))
+	}
+	if v.Count() != r.count() {
+		t.Fatalf("Count = %d, want %d", v.Count(), r.count())
+	}
+	for i, b := range r {
+		if v.Get(uint64(i)) != b {
+			t.Fatalf("Get(%d) = %v, want %v", i, v.Get(uint64(i)), b)
+		}
+	}
+}
+
+func TestEmptyVector(t *testing.T) {
+	v := New(0)
+	if v.Len() != 0 || v.Count() != 0 {
+		t.Fatalf("empty vector: Len=%d Count=%d", v.Len(), v.Count())
+	}
+	if got := v.Positions(); len(got) != 0 {
+		t.Fatalf("empty vector Positions = %v", got)
+	}
+}
+
+func TestAppendBitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 30, 31, 32, 62, 63, 100, 1000, 12345} {
+		for _, d := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			r := randomBits(rng, n, d)
+			checkAgainstRef(t, toVector(r), r)
+		}
+	}
+}
+
+func TestClusteredCompresses(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := clusteredBits(rng, 200000)
+	v := toVector(r)
+	checkAgainstRef(t, v, r)
+	if v.Words() >= len(r)/31 {
+		t.Fatalf("clustered data did not compress: %d words for %d bits", v.Words(), len(r))
+	}
+}
+
+func TestAppendRun(t *testing.T) {
+	v := New(0)
+	v.AppendRun(false, 100)
+	v.AppendRun(true, 62)
+	v.AppendRun(false, 5)
+	v.AppendBit(true)
+	if v.Len() != 168 {
+		t.Fatalf("Len = %d, want 168", v.Len())
+	}
+	if v.Count() != 63 {
+		t.Fatalf("Count = %d, want 63", v.Count())
+	}
+	for i := uint64(0); i < 168; i++ {
+		want := (i >= 100 && i < 162) || i == 167
+		if v.Get(i) != want {
+			t.Fatalf("Get(%d) = %v, want %v", i, v.Get(i), want)
+		}
+	}
+}
+
+func TestFromPositions(t *testing.T) {
+	pos := []uint64{0, 5, 31, 62, 63, 999}
+	v, err := FromPositions(1000, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Positions(); len(got) != len(pos) {
+		t.Fatalf("Positions = %v, want %v", got, pos)
+	} else {
+		for i := range pos {
+			if got[i] != pos[i] {
+				t.Fatalf("Positions[%d] = %d, want %d", i, got[i], pos[i])
+			}
+		}
+	}
+	if _, err := FromPositions(10, []uint64{11}); err == nil {
+		t.Fatal("out-of-range position accepted")
+	}
+	if _, err := FromPositions(10, []uint64{3, 3}); err == nil {
+		t.Fatal("duplicate position accepted")
+	}
+	if _, err := FromPositions(10, []uint64{5, 2}); err == nil {
+		t.Fatal("descending positions accepted")
+	}
+}
+
+func refOp(a, b refBits, f func(x, y bool) bool) refBits {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(refBits, n)
+	for i := range out {
+		var x, y bool
+		if i < len(a) {
+			x = a[i]
+		}
+		if i < len(b) {
+			y = b[i]
+		}
+		out[i] = f(x, y)
+	}
+	return out
+}
+
+func TestBooleanOpsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sizes := []int{0, 1, 31, 64, 500, 4096}
+	for _, na := range sizes {
+		for _, nb := range sizes {
+			ra := randomBits(rng, na, 0.3)
+			rb := clusteredBits(rng, nb)
+			va, vb := toVector(ra), toVector(rb)
+
+			checkAgainstRef(t, va.And(vb), refOp(ra, rb, func(x, y bool) bool { return x && y }))
+			checkAgainstRef(t, va.Or(vb), refOp(ra, rb, func(x, y bool) bool { return x || y }))
+			checkAgainstRef(t, va.Xor(vb), refOp(ra, rb, func(x, y bool) bool { return x != y }))
+			checkAgainstRef(t, va.AndNot(vb), refOp(ra, rb, func(x, y bool) bool { return x && !y }))
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 31, 32, 93, 1000} {
+		r := randomBits(rng, n, 0.4)
+		want := make(refBits, n)
+		for i := range r {
+			want[i] = !r[i]
+		}
+		checkAgainstRef(t, toVector(r).Not(), want)
+	}
+}
+
+func TestDoubleNotIsIdentity(t *testing.T) {
+	f := func(bs []bool) bool {
+		v := FromBools(bs)
+		return v.Not().Not().Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b []bool) bool {
+		// Pad to equal lengths: Not is defined over a vector's own length,
+		// so De Morgan only holds for operands of equal length.
+		for len(a) < len(b) {
+			a = append(a, false)
+		}
+		for len(b) < len(a) {
+			b = append(b, false)
+		}
+		va, vb := FromBools(a), FromBools(b)
+		lhs := va.And(vb).Not()
+		rhs := va.Not().Or(vb.Not())
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXorSelfIsZeroProperty(t *testing.T) {
+	f := func(a []bool) bool {
+		v := FromBools(a)
+		x := v.Xor(v)
+		return x.Count() == 0 && x.Len() == v.Len()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrCommutesProperty(t *testing.T) {
+	f := func(a, b []bool) bool {
+		va, vb := FromBools(a), FromBools(b)
+		return va.Or(vb).Equal(vb.Or(va))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountMatchesPositionsProperty(t *testing.T) {
+	f := func(a []bool) bool {
+		v := FromBools(a)
+		return uint64(len(v.Positions())) == v.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOrAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var refs []refBits
+	var vecs []*Vector
+	acc := make(refBits, 777)
+	for i := 0; i < 9; i++ {
+		r := randomBits(rng, 777, 0.05)
+		refs = append(refs, r)
+		vecs = append(vecs, toVector(r))
+		for j, b := range r {
+			acc[j] = acc[j] || b
+		}
+	}
+	checkAgainstRef(t, OrAll(vecs), acc)
+	_ = refs
+
+	if got := OrAll(nil); got.Len() != 0 {
+		t.Fatalf("OrAll(nil).Len = %d", got.Len())
+	}
+	one := toVector(refBits{true, false, true})
+	if !OrAll([]*Vector{one}).Equal(one) {
+		t.Fatal("OrAll of one vector differs from it")
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	v, err := FromPositions(100, []uint64{3, 7, 50, 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []uint64
+	v.Iterate(func(p uint64) bool {
+		seen = append(seen, p)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 3 || seen[1] != 7 {
+		t.Fatalf("early stop iterate saw %v", seen)
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 31, 100, 5000} {
+		r := clusteredBits(rng, n)
+		v := toVector(r)
+		var buf bytes.Buffer
+		if _, err := v.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var w Vector
+		if _, err := w.ReadFrom(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !w.Equal(v) {
+			t.Fatalf("round trip mismatch for n=%d", n)
+		}
+		checkAgainstRef(t, &w, r)
+	}
+}
+
+func TestSerializationRejectsCorruptHeader(t *testing.T) {
+	var buf bytes.Buffer
+	v := FromBools([]bool{true, false, true})
+	if _, err := v.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = 31 // nact out of range
+	var w Vector
+	if _, err := w.ReadFrom(bytes.NewReader(b)); err == nil {
+		t.Fatal("corrupt nact accepted")
+	}
+	var short Vector
+	if _, err := short.ReadFrom(bytes.NewReader(b[:4])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}
+
+func TestClone(t *testing.T) {
+	v := FromBools([]bool{true, true, false, true})
+	c := v.Clone()
+	c.AppendBit(true)
+	if v.Len() != 4 || c.Len() != 5 {
+		t.Fatalf("clone not independent: v.Len=%d c.Len=%d", v.Len(), c.Len())
+	}
+}
+
+func TestAppendWords(t *testing.T) {
+	v := New(0)
+	v.AppendWords([]uint32{0b101, 0, allOnes})
+	if v.Len() != 93 {
+		t.Fatalf("Len = %d, want 93", v.Len())
+	}
+	if v.Count() != 2+31 {
+		t.Fatalf("Count = %d, want 33", v.Count())
+	}
+	// Unaligned append falls back to bit-by-bit.
+	w := New(0)
+	w.AppendBit(true)
+	w.AppendWords([]uint32{allOnes})
+	if w.Len() != 32 || w.Count() != 32 {
+		t.Fatalf("unaligned AppendWords: Len=%d Count=%d", w.Len(), w.Count())
+	}
+}
+
+func TestLongFillRuns(t *testing.T) {
+	// Exceed one fill word's capacity (2^30-1 groups).
+	v := New(0)
+	n := uint64(maxFill+10) * groupBits
+	v.AppendRun(true, n)
+	if v.Len() != n || v.Count() != n {
+		t.Fatalf("long run: Len=%d Count=%d want %d", v.Len(), v.Count(), n)
+	}
+	if v.Words() != 2 {
+		t.Fatalf("long run encoded in %d words, want 2", v.Words())
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := FromBools([]bool{true, false})
+	if s := v.String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestAndCountMatchesAndProperty(t *testing.T) {
+	f := func(a, b []bool) bool {
+		va, vb := FromBools(a), FromBools(b)
+		return va.AndCount(vb) == va.And(vb).Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAndCountClusteredData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		ra := clusteredBits(rng, 5000)
+		rb := clusteredBits(rng, 5000)
+		va, vb := toVector(ra), toVector(rb)
+		if va.AndCount(vb) != va.And(vb).Count() {
+			t.Fatalf("trial %d: AndCount mismatch", trial)
+		}
+	}
+	// Mismatched lengths: AND semantics zero-extend, so the count only
+	// covers the overlap.
+	short := toVector(refBits{true, true})
+	long := toVector(refBits{true, true, true, true})
+	if short.AndCount(long) != 2 {
+		t.Fatalf("mismatched length AndCount = %d", short.AndCount(long))
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+)
+
+// This file models dynamic (pull-based) task scheduling, the alternative
+// to the paper's static strided assignment — one of the "different avenues
+// for parallelizing" its future-work section considers. Tasks are handed
+// to the earliest-free node; LPT additionally sorts tasks longest-first,
+// the classic makespan heuristic.
+
+// nodeHeap is a min-heap of node completion times.
+type nodeHeap []time.Duration
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(time.Duration)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// DynamicMakespan returns the completion time of list scheduling: each
+// task (in order) goes to the node that frees up first.
+func DynamicMakespan(results []Result, nodes int) time.Duration {
+	return listSchedule(durations(results), nodes)
+}
+
+// LPTMakespan returns the completion time of longest-processing-time
+// scheduling: tasks sorted descending, then list-scheduled.
+func LPTMakespan(results []Result, nodes int) time.Duration {
+	ds := durations(results)
+	sort.Slice(ds, func(i, j int) bool { return ds[i] > ds[j] })
+	return listSchedule(ds, nodes)
+}
+
+func durations(results []Result) []time.Duration {
+	ds := make([]time.Duration, len(results))
+	for i, r := range results {
+		ds[i] = r.Total()
+	}
+	return ds
+}
+
+func listSchedule(tasks []time.Duration, nodes int) time.Duration {
+	if nodes < 1 {
+		nodes = 1
+	}
+	h := make(nodeHeap, nodes)
+	heap.Init(&h)
+	var worst time.Duration
+	for _, d := range tasks {
+		t := heap.Pop(&h).(time.Duration) + d
+		heap.Push(&h, t)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// ScheduleComparison evaluates static strided, static blocked, dynamic
+// and LPT scheduling over the same measured results.
+type ScheduleComparison struct {
+	Nodes   int
+	Strided time.Duration
+	Blocked time.Duration
+	Dynamic time.Duration
+	LPT     time.Duration
+}
+
+// CompareSchedules evaluates all four strategies at each node count.
+func CompareSchedules(results []Result, nodeCounts []int) []ScheduleComparison {
+	out := make([]ScheduleComparison, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		out = append(out, ScheduleComparison{
+			Nodes:   n,
+			Strided: Makespan(results, Strided(len(results), n)),
+			Blocked: Makespan(results, Blocked(len(results), n)),
+			Dynamic: DynamicMakespan(results, n),
+			LPT:     LPTMakespan(results, n),
+		})
+	}
+	return out
+}

@@ -1,0 +1,309 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/query"
+)
+
+// This file provides the real multi-process execution mode: worker
+// processes (or in-process listeners in tests) serve per-timestep
+// operations over net/rpc, standing in for the compute nodes of the
+// paper's Cray XT4 runs. All workers read the dataset from a shared
+// directory, as the paper's nodes read from Lustre.
+
+// Worker is the RPC service executed on each node.
+type Worker struct {
+	dir string
+
+	mu  sync.Mutex
+	src *fastquery.Source
+}
+
+// NewWorker creates a worker serving the given dataset directory.
+func NewWorker(dir string) *Worker { return &Worker{dir: dir} }
+
+func (w *Worker) source() (*fastquery.Source, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.src == nil {
+		src, err := fastquery.Open(w.dir)
+		if err != nil {
+			return nil, err
+		}
+		w.src = src
+	}
+	return w.src, nil
+}
+
+// HistArgs requests a 2D histogram of one timestep.
+type HistArgs struct {
+	Step    int
+	Cond    string // empty for unconditional
+	Spec    histogram.Spec2D
+	Backend fastquery.Backend
+}
+
+// HistReply carries the computed histogram and I/O accounting.
+type HistReply struct {
+	Hist      *histogram.Hist2D
+	BytesRead uint64
+}
+
+// Histogram2D computes a histogram for one timestep.
+func (w *Worker) Histogram2D(args *HistArgs, reply *HistReply) error {
+	src, err := w.source()
+	if err != nil {
+		return err
+	}
+	st, err := src.OpenStep(args.Step)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	var cond query.Expr
+	if args.Cond != "" {
+		if cond, err = query.Parse(args.Cond); err != nil {
+			return err
+		}
+	}
+	h, err := st.Histogram2D(cond, args.Spec, args.Backend)
+	if err != nil {
+		return err
+	}
+	reply.Hist = h
+	reply.BytesRead = st.IOBytes()
+	return nil
+}
+
+// FindArgs requests the positions of identifiers in one timestep.
+type FindArgs struct {
+	Step    int
+	IDs     []int64
+	Backend fastquery.Backend
+}
+
+// FindReply carries the matching record positions.
+type FindReply struct {
+	Positions []uint64
+	BytesRead uint64
+}
+
+// FindIDs locates a particle search set in one timestep.
+func (w *Worker) FindIDs(args *FindArgs, reply *FindReply) error {
+	src, err := w.source()
+	if err != nil {
+		return err
+	}
+	st, err := src.OpenStep(args.Step)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	pos, err := st.FindIDs(args.IDs, args.Backend)
+	if err != nil {
+		return err
+	}
+	reply.Positions = pos
+	reply.BytesRead = st.IOBytes()
+	return nil
+}
+
+// SelectArgs requests a range-query selection over one timestep.
+type SelectArgs struct {
+	Step    int
+	Query   string
+	WantIDs bool
+	Backend fastquery.Backend
+}
+
+// SelectReply carries the matching positions and (optionally) identifiers.
+type SelectReply struct {
+	Positions []uint64
+	IDs       []int64
+	BytesRead uint64
+}
+
+// Select evaluates a compound range query on one timestep.
+func (w *Worker) Select(args *SelectArgs, reply *SelectReply) error {
+	src, err := w.source()
+	if err != nil {
+		return err
+	}
+	st, err := src.OpenStep(args.Step)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	e, err := query.Parse(args.Query)
+	if err != nil {
+		return err
+	}
+	if reply.Positions, err = st.Select(e, args.Backend); err != nil {
+		return err
+	}
+	if args.WantIDs {
+		if reply.IDs, err = st.SelectIDs(e, args.Backend); err != nil {
+			return err
+		}
+	}
+	reply.BytesRead = st.IOBytes()
+	return nil
+}
+
+// Serve starts an RPC worker on the listener. It returns immediately; the
+// listener owns the lifetime.
+func Serve(l net.Listener, w *Worker) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", w); err != nil {
+		return fmt.Errorf("cluster: register worker: %w", err)
+	}
+	go func() {
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return nil
+}
+
+// StartLocalWorkers starts n in-process RPC workers on loopback addresses
+// and returns their addresses plus a shutdown function.
+func StartLocalWorkers(n int, dir string) (addrs []string, shutdown func(), err error) {
+	var listeners []net.Listener
+	closeAll := func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("cluster: listen: %w", err)
+		}
+		if err := Serve(l, NewWorker(dir)); err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		listeners = append(listeners, l)
+		addrs = append(addrs, l.Addr().String())
+	}
+	return addrs, closeAll, nil
+}
+
+// Pool is a client-side connection pool over a set of worker addresses.
+type Pool struct {
+	clients []*rpc.Client
+}
+
+// Dial connects to every worker address.
+func Dial(addrs []string) (*Pool, error) {
+	p := &Pool{}
+	for _, addr := range addrs {
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		p.clients = append(p.clients, c)
+	}
+	return p, nil
+}
+
+// Close closes all client connections.
+func (p *Pool) Close() {
+	for _, c := range p.clients {
+		c.Close()
+	}
+}
+
+// Nodes returns the number of connected workers.
+func (p *Pool) Nodes() int { return len(p.clients) }
+
+// HistogramSweep computes one histogram per step, strided across the
+// workers, and returns the per-step histograms.
+func (p *Pool) HistogramSweep(steps []int, cond string, spec histogram.Spec2D, backend fastquery.Backend) ([]*histogram.Hist2D, error) {
+	out := make([]*histogram.Hist2D, len(steps))
+	errs := make([]error, len(steps))
+	var wg sync.WaitGroup
+	for i, step := range steps {
+		wg.Add(1)
+		go func(i, step int) {
+			defer wg.Done()
+			client := p.clients[i%len(p.clients)]
+			var reply HistReply
+			err := client.Call("Worker.Histogram2D", &HistArgs{
+				Step: step, Cond: cond, Spec: spec, Backend: backend,
+			}, &reply)
+			out[i], errs[i] = reply.Hist, err
+		}(i, step)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: step %d: %w", steps[i], err)
+		}
+	}
+	return out, nil
+}
+
+// SelectSweep evaluates the query on every step, strided across the
+// workers, returning per-step hit counts and (optionally) identifiers.
+func (p *Pool) SelectSweep(steps []int, q string, wantIDs bool, backend fastquery.Backend) ([]SelectReply, error) {
+	out := make([]SelectReply, len(steps))
+	errs := make([]error, len(steps))
+	var wg sync.WaitGroup
+	for i, step := range steps {
+		wg.Add(1)
+		go func(i, step int) {
+			defer wg.Done()
+			client := p.clients[i%len(p.clients)]
+			errs[i] = client.Call("Worker.Select", &SelectArgs{
+				Step: step, Query: q, WantIDs: wantIDs, Backend: backend,
+			}, &out[i])
+		}(i, step)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: step %d: %w", steps[i], err)
+		}
+	}
+	return out, nil
+}
+
+// TrackSweep locates the identifier set in every step, strided across the
+// workers; it returns per-step positions.
+func (p *Pool) TrackSweep(steps []int, ids []int64, backend fastquery.Backend) ([][]uint64, error) {
+	out := make([][]uint64, len(steps))
+	errs := make([]error, len(steps))
+	var wg sync.WaitGroup
+	for i, step := range steps {
+		wg.Add(1)
+		go func(i, step int) {
+			defer wg.Done()
+			client := p.clients[i%len(p.clients)]
+			var reply FindReply
+			err := client.Call("Worker.FindIDs", &FindArgs{
+				Step: step, IDs: ids, Backend: backend,
+			}, &reply)
+			out[i], errs[i] = reply.Positions, err
+		}(i, step)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("cluster: step %d: %w", steps[i], err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+var (
+	rpcOnce sync.Once
+	rpcDir  string
+	rpcErr  error
+)
+
+func rpcDataset(t *testing.T) string {
+	t.Helper()
+	rpcOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "cluster-test-*")
+		if err != nil {
+			rpcErr = err
+			return
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Steps = 5
+		cfg.BackgroundPerStep = 1500
+		cfg.BeamParticles = 40
+		_, rpcErr = sim.WriteDataset(dir, cfg, sim.WriteOptions{
+			Index: fastbit.IndexOptions{Bins: 32},
+		})
+		rpcDir = dir
+	})
+	if rpcErr != nil {
+		t.Fatal(rpcErr)
+	}
+	return rpcDir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if rpcDir != "" {
+		os.RemoveAll(rpcDir)
+	}
+	os.Exit(code)
+}
+
+func TestRPCHistogramSweep(t *testing.T) {
+	dir := rpcDataset(t)
+	addrs, shutdown, err := StartLocalWorkers(3, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if pool.Nodes() != 3 {
+		t.Fatalf("Nodes = %d", pool.Nodes())
+	}
+
+	steps := []int{0, 1, 2, 3, 4}
+	spec := histogram.NewSpec2D("x", "px", 16, 16)
+	hists, err := pool.HistogramSweep(steps, "", spec, fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hists) != 5 {
+		t.Fatalf("histograms = %d", len(hists))
+	}
+	// Cross-check one step against a local computation.
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := src.OpenStep(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	want, err := st.Histogram2D(nil, spec, fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hists[2].Total() != want.Total() {
+		t.Fatalf("RPC histogram total %d, local %d", hists[2].Total(), want.Total())
+	}
+	for i := range want.Counts {
+		if hists[2].Counts[i] != want.Counts[i] {
+			t.Fatalf("RPC histogram bin %d differs", i)
+		}
+	}
+}
+
+func TestRPCConditionalHistogram(t *testing.T) {
+	dir := rpcDataset(t)
+	addrs, shutdown, err := StartLocalWorkers(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	spec := histogram.NewSpec2D("x", "px", 8, 8)
+	hists, err := pool.HistogramSweep([]int{4}, "px > 1e9", spec, fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hists[0].Total() == 0 {
+		t.Fatal("conditional histogram empty")
+	}
+	// Bad query surfaces as an error.
+	if _, err := pool.HistogramSweep([]int{0}, "px >", spec, fastquery.FastBit); err == nil {
+		t.Fatal("bad query accepted over RPC")
+	}
+	if _, err := pool.HistogramSweep([]int{99}, "", spec, fastquery.FastBit); err == nil {
+		t.Fatal("bad step accepted over RPC")
+	}
+}
+
+func TestRPCTrackSweep(t *testing.T) {
+	dir := rpcDataset(t)
+	// Pick real identifiers from the last step.
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := src.OpenStep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := st.SelectIDs(query.MustParse("px > 5e10"), fastquery.FastBit)
+	st.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no ids to track")
+	}
+	if len(ids) > 20 {
+		ids = ids[:20]
+	}
+
+	addrs, shutdown, err := StartLocalWorkers(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	steps := []int{0, 1, 2, 3, 4}
+	posPerStep, err := pool.TrackSweep(steps, ids, fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(posPerStep) != 5 {
+		t.Fatalf("steps = %d", len(posPerStep))
+	}
+	// At the selection step every id must be found.
+	if len(posPerStep[4]) != len(ids) {
+		t.Fatalf("step 4 found %d of %d", len(posPerStep[4]), len(ids))
+	}
+	// Cross-check against the scan backend.
+	scanPos, err := pool.TrackSweep([]int{4}, ids, fastquery.Scan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanPos[0]) != len(posPerStep[4]) {
+		t.Fatalf("backends disagree: %d vs %d", len(scanPos[0]), len(posPerStep[4]))
+	}
+	for i := range scanPos[0] {
+		if scanPos[0][i] != posPerStep[4][i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial([]string{"127.0.0.1:1"}); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestWorkerBadDataset(t *testing.T) {
+	w := NewWorker(t.TempDir())
+	var reply HistReply
+	if err := w.Histogram2D(&HistArgs{Step: 0, Spec: histogram.NewSpec2D("x", "px", 4, 4)}, &reply); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+	var freply FindReply
+	if err := w.FindIDs(&FindArgs{Step: 0, IDs: []int64{1}}, &freply); err == nil {
+		t.Fatal("missing dataset accepted")
+	}
+}
+
+func TestRPCSelectSweep(t *testing.T) {
+	dir := rpcDataset(t)
+	addrs, shutdown, err := StartLocalWorkers(2, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	pool, err := Dial(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	steps := []int{0, 2, 4}
+	replies, err := pool.SelectSweep(steps, "px > 1e9", true, fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 3 {
+		t.Fatalf("replies = %d", len(replies))
+	}
+	for i, r := range replies {
+		if len(r.IDs) != len(r.Positions) {
+			t.Fatalf("step %d: %d ids for %d positions", steps[i], len(r.IDs), len(r.Positions))
+		}
+	}
+	// The accelerated population grows over time.
+	if len(replies[2].Positions) <= len(replies[0].Positions) {
+		t.Fatalf("selection did not grow: %d -> %d", len(replies[0].Positions), len(replies[2].Positions))
+	}
+	// Cross-check against local evaluation.
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := src.OpenStep(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	want, err := st.Select(query.MustParse("px > 1e9"), fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(replies[2].Positions) {
+		t.Fatalf("RPC %d vs local %d", len(replies[2].Positions), len(want))
+	}
+	// Bad query errors.
+	if _, err := pool.SelectSweep([]int{0}, "px >", false, fastquery.FastBit); err == nil {
+		t.Fatal("bad query accepted")
+	}
+}

@@ -1,0 +1,496 @@
+// Package colstore implements a chunked, columnar, single-file storage
+// format for one timestep of particle data. It stands in for the HDF5
+// files the paper stores simulation output in: named, typed 1-D arrays
+// with column-selective and range-selective reads, so the I/O layer can
+// fetch only the two variables a 2D histogram needs (paper Section
+// III-A1) and only the chunks a candidate check touches.
+//
+// File layout (all little-endian):
+//
+//	"LWC1" magic, u32 version
+//	column chunks (raw 8-byte values, CRC32-protected per chunk)
+//	directory: per-column metadata and chunk table
+//	trailer: u64 directory offset, "LWC1" magic
+//
+// The directory is written last so files are produced in one streaming
+// pass; readers locate it through the fixed-size trailer.
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+var magic = [4]byte{'L', 'W', 'C', '1'}
+
+const (
+	version = 1
+	// DefaultChunkRows is the default number of rows per chunk.
+	DefaultChunkRows = 1 << 16
+)
+
+// ColumnType identifies the element type of a column.
+type ColumnType uint8
+
+// Supported column element types.
+const (
+	Float64 ColumnType = iota
+	Int64
+)
+
+func (t ColumnType) String() string {
+	switch t {
+	case Float64:
+		return "float64"
+	case Int64:
+		return "int64"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", uint8(t))
+	}
+}
+
+type chunkInfo struct {
+	offset uint64
+	rows   uint32
+	crc    uint32
+}
+
+// ColumnInfo describes one stored column.
+type ColumnInfo struct {
+	Name string
+	Type ColumnType
+	Rows uint64
+
+	chunks []chunkInfo
+}
+
+// Writer builds a colstore file. Columns are added one at a time; Close
+// writes the directory and trailer.
+type Writer struct {
+	f         *os.File
+	w         *countingWriter
+	rows      uint64
+	chunkRows int
+	cols      []ColumnInfo
+	names     map[string]bool
+	closed    bool
+}
+
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}
+
+// NewWriter creates a colstore file at path for rows records per column.
+// chunkRows <= 0 selects DefaultChunkRows.
+func NewWriter(path string, rows uint64, chunkRows int) (*Writer, error) {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	w := &Writer{f: f, w: &countingWriter{w: f}, rows: rows, chunkRows: chunkRows, names: map[string]bool{}}
+	hdr := make([]byte, 8)
+	copy(hdr, magic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], version)
+	if _, err := w.w.Write(hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("colstore: write header: %w", err)
+	}
+	return w, nil
+}
+
+// AddFloat64 appends a float64 column. The value count must equal the
+// writer's row count.
+func (w *Writer) AddFloat64(name string, values []float64) error {
+	return w.addColumn(name, Float64, len(values), func(i int) uint64 {
+		return math.Float64bits(values[i])
+	})
+}
+
+// AddInt64 appends an int64 column.
+func (w *Writer) AddInt64(name string, values []int64) error {
+	return w.addColumn(name, Int64, len(values), func(i int) uint64 {
+		return uint64(values[i])
+	})
+}
+
+func (w *Writer) addColumn(name string, t ColumnType, n int, word func(i int) uint64) error {
+	if w.closed {
+		return fmt.Errorf("colstore: writer closed")
+	}
+	if uint64(n) != w.rows {
+		return fmt.Errorf("colstore: column %q has %d rows, file has %d", name, n, w.rows)
+	}
+	if w.names[name] {
+		return fmt.Errorf("colstore: duplicate column %q", name)
+	}
+	if len(name) == 0 || len(name) > 1<<15 {
+		return fmt.Errorf("colstore: bad column name length %d", len(name))
+	}
+	w.names[name] = true
+	ci := ColumnInfo{Name: name, Type: t, Rows: w.rows}
+	buf := make([]byte, 8*w.chunkRows)
+	for start := 0; start < n || (n == 0 && start == 0); start += w.chunkRows {
+		end := start + w.chunkRows
+		if end > n {
+			end = n
+		}
+		rows := end - start
+		for i := 0; i < rows; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], word(start+i))
+		}
+		chunk := buf[:8*rows]
+		ci.chunks = append(ci.chunks, chunkInfo{
+			offset: w.w.n,
+			rows:   uint32(rows),
+			crc:    crc32.ChecksumIEEE(chunk),
+		})
+		if _, err := w.w.Write(chunk); err != nil {
+			return fmt.Errorf("colstore: write column %q: %w", name, err)
+		}
+		if n == 0 {
+			break
+		}
+	}
+	w.cols = append(w.cols, ci)
+	return nil
+}
+
+// Close writes the directory and trailer and closes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	dirOffset := w.w.n
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint64(buf, w.rows)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(w.cols)))
+	for _, c := range w.cols {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(c.Name)))
+		buf = append(buf, c.Name...)
+		buf = append(buf, byte(c.Type))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.chunks)))
+		for _, ch := range c.chunks {
+			buf = binary.LittleEndian.AppendUint64(buf, ch.offset)
+			buf = binary.LittleEndian.AppendUint32(buf, ch.rows)
+			buf = binary.LittleEndian.AppendUint32(buf, ch.crc)
+		}
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, dirOffset)
+	buf = append(buf, magic[:]...)
+	if _, err := w.w.Write(buf); err != nil {
+		w.f.Close()
+		return fmt.Errorf("colstore: write directory: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("colstore: sync: %w", err)
+	}
+	return w.f.Close()
+}
+
+// File is an open colstore file.
+type File struct {
+	f       *os.File
+	path    string
+	rows    uint64
+	cols    map[string]*ColumnInfo
+	order   []string
+	ioBytes atomic.Uint64
+}
+
+// Open opens a colstore file for reading.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	file := &File{f: f, path: path, cols: map[string]*ColumnInfo{}}
+	if err := file.readDirectory(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return file, nil
+}
+
+func (file *File) readDirectory() error {
+	st, err := file.f.Stat()
+	if err != nil {
+		return fmt.Errorf("colstore: stat: %w", err)
+	}
+	if st.Size() < 20 {
+		return fmt.Errorf("colstore: %s: file too small", file.path)
+	}
+	trailer := make([]byte, 12)
+	if _, err := file.f.ReadAt(trailer, st.Size()-12); err != nil {
+		return fmt.Errorf("colstore: read trailer: %w", err)
+	}
+	if string(trailer[8:12]) != string(magic[:]) {
+		return fmt.Errorf("colstore: %s: bad trailer magic", file.path)
+	}
+	hdr := make([]byte, 8)
+	if _, err := file.f.ReadAt(hdr, 0); err != nil {
+		return fmt.Errorf("colstore: read header: %w", err)
+	}
+	if string(hdr[:4]) != string(magic[:]) {
+		return fmt.Errorf("colstore: %s: bad header magic", file.path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != version {
+		return fmt.Errorf("colstore: %s: unsupported version %d", file.path, v)
+	}
+	dirOffset := binary.LittleEndian.Uint64(trailer[:8])
+	if dirOffset >= uint64(st.Size()) {
+		return fmt.Errorf("colstore: %s: directory offset out of range", file.path)
+	}
+	dir := make([]byte, uint64(st.Size())-12-dirOffset)
+	if _, err := file.f.ReadAt(dir, int64(dirOffset)); err != nil {
+		return fmt.Errorf("colstore: read directory: %w", err)
+	}
+	r := &byteReader{b: dir}
+	file.rows = r.u64()
+	ncols := r.u32()
+	// Each chunk entry occupies 16 bytes in the directory; reject counts
+	// that could not possibly fit, before allocating.
+	maxChunks := uint32(len(dir) / 16)
+	for i := uint32(0); i < ncols && r.err == nil; i++ {
+		nameLen := r.u16()
+		name := string(r.bytes(int(nameLen)))
+		ct := ColumnType(r.u8())
+		nchunks := r.u32()
+		if nchunks > maxChunks {
+			return fmt.Errorf("colstore: %s: column %q claims %d chunks in a %d-byte directory",
+				file.path, name, nchunks, len(dir))
+		}
+		ci := &ColumnInfo{Name: name, Type: ct, Rows: file.rows}
+		var chunkRows uint64
+		for j := uint32(0); j < nchunks && r.err == nil; j++ {
+			ch := chunkInfo{offset: r.u64(), rows: r.u32(), crc: r.u32()}
+			chunkRows += uint64(ch.rows)
+			ci.chunks = append(ci.chunks, ch)
+		}
+		if r.err == nil && chunkRows != file.rows {
+			return fmt.Errorf("colstore: %s: column %q chunks hold %d rows, directory claims %d",
+				file.path, name, chunkRows, file.rows)
+		}
+		file.cols[name] = ci
+		file.order = append(file.order, name)
+	}
+	if r.err != nil {
+		return fmt.Errorf("colstore: %s: corrupt directory: %w", file.path, r.err)
+	}
+	return nil
+}
+
+type byteReader struct {
+	b   []byte
+	i   int
+	err error
+}
+
+func (r *byteReader) bytes(n int) []byte {
+	if r.err != nil || r.i+n > len(r.b) {
+		if r.err == nil {
+			r.err = io.ErrUnexpectedEOF
+		}
+		return make([]byte, n)
+	}
+	out := r.b[r.i : r.i+n]
+	r.i += n
+	return out
+}
+
+func (r *byteReader) u8() uint8   { return r.bytes(1)[0] }
+func (r *byteReader) u16() uint16 { return binary.LittleEndian.Uint16(r.bytes(2)) }
+func (r *byteReader) u32() uint32 { return binary.LittleEndian.Uint32(r.bytes(4)) }
+func (r *byteReader) u64() uint64 { return binary.LittleEndian.Uint64(r.bytes(8)) }
+
+// Close closes the underlying file.
+func (file *File) Close() error { return file.f.Close() }
+
+// Path returns the file path.
+func (file *File) Path() string { return file.path }
+
+// Rows returns the number of rows per column.
+func (file *File) Rows() uint64 { return file.rows }
+
+// BytesRead returns the cumulative number of data bytes read from this
+// file, used for I/O accounting in the parallel performance model.
+func (file *File) BytesRead() uint64 { return file.ioBytes.Load() }
+
+// Columns returns the stored column names in file order.
+func (file *File) Columns() []string {
+	return append([]string(nil), file.order...)
+}
+
+// Column returns metadata for a named column.
+func (file *File) Column(name string) (ColumnInfo, error) {
+	ci, ok := file.cols[name]
+	if !ok {
+		names := append([]string(nil), file.order...)
+		sort.Strings(names)
+		return ColumnInfo{}, fmt.Errorf("colstore: no column %q (have %v)", name, names)
+	}
+	return *ci, nil
+}
+
+// HasColumn reports whether the file stores a column with that name.
+func (file *File) HasColumn(name string) bool {
+	_, ok := file.cols[name]
+	return ok
+}
+
+// readChunk reads and CRC-verifies one chunk of a column.
+func (file *File) readChunk(ci *ColumnInfo, idx int) ([]byte, error) {
+	ch := ci.chunks[idx]
+	if st, err := file.f.Stat(); err == nil {
+		if ch.offset+8*uint64(ch.rows) > uint64(st.Size()) {
+			return nil, fmt.Errorf("colstore: %q chunk %d extends beyond file", ci.Name, idx)
+		}
+	}
+	buf := make([]byte, 8*int(ch.rows))
+	if _, err := file.f.ReadAt(buf, int64(ch.offset)); err != nil {
+		return nil, fmt.Errorf("colstore: read %q chunk %d: %w", ci.Name, idx, err)
+	}
+	file.ioBytes.Add(uint64(len(buf)))
+	if crc := crc32.ChecksumIEEE(buf); crc != ch.crc {
+		return nil, fmt.Errorf("colstore: %q chunk %d: CRC mismatch (stored %08x, computed %08x)",
+			ci.Name, idx, ch.crc, crc)
+	}
+	return buf, nil
+}
+
+// ReadFloat64 reads a whole float64 column.
+func (file *File) ReadFloat64(name string) ([]float64, error) {
+	ci, ok := file.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no column %q", name)
+	}
+	if ci.Type != Float64 {
+		return nil, fmt.Errorf("colstore: column %q is %s, not float64", name, ci.Type)
+	}
+	out := make([]float64, 0, file.rows)
+	for i := range ci.chunks {
+		buf, err := file.readChunk(ci, i)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j+8 <= len(buf); j += 8 {
+			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[j:])))
+		}
+	}
+	return out, nil
+}
+
+// ReadInt64 reads a whole int64 column.
+func (file *File) ReadInt64(name string) ([]int64, error) {
+	ci, ok := file.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no column %q", name)
+	}
+	if ci.Type != Int64 {
+		return nil, fmt.Errorf("colstore: column %q is %s, not int64", name, ci.Type)
+	}
+	out := make([]int64, 0, file.rows)
+	for i := range ci.chunks {
+		buf, err := file.readChunk(ci, i)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j+8 <= len(buf); j += 8 {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[j:])))
+		}
+	}
+	return out, nil
+}
+
+// ReadAsFloat64 reads any column as float64, converting int64 values.
+// Particle identifiers fit in the 53-bit mantissa, so the conversion is
+// exact for this system's data.
+func (file *File) ReadAsFloat64(name string) ([]float64, error) {
+	ci, ok := file.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no column %q", name)
+	}
+	switch ci.Type {
+	case Float64:
+		return file.ReadFloat64(name)
+	case Int64:
+		iv, err := file.ReadInt64(name)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, len(iv))
+		for i, v := range iv {
+			out[i] = float64(v)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("colstore: column %q has unknown type", name)
+	}
+}
+
+// ReadFloat64At gathers the float64 values at the given sorted row
+// positions, reading only the chunks that contain requested rows. This is
+// the access path for index candidate checks, which touch a small number
+// of rows.
+func (file *File) ReadFloat64At(name string, positions []uint64) ([]float64, error) {
+	ci, ok := file.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("colstore: no column %q", name)
+	}
+	if ci.Type != Float64 && ci.Type != Int64 {
+		return nil, fmt.Errorf("colstore: column %q has unknown type", name)
+	}
+	for i := 1; i < len(positions); i++ {
+		if positions[i] < positions[i-1] {
+			return nil, fmt.Errorf("colstore: positions not sorted at %d", i)
+		}
+	}
+	out := make([]float64, len(positions))
+	pi := 0
+	var rowBase uint64
+	for idx := range ci.chunks {
+		rows := uint64(ci.chunks[idx].rows)
+		chunkEnd := rowBase + rows
+		if pi < len(positions) && positions[pi] < chunkEnd {
+			buf, err := file.readChunk(ci, idx)
+			if err != nil {
+				return nil, err
+			}
+			for pi < len(positions) && positions[pi] < chunkEnd {
+				p := positions[pi]
+				w := binary.LittleEndian.Uint64(buf[8*(p-rowBase):])
+				if ci.Type == Float64 {
+					out[pi] = math.Float64frombits(w)
+				} else {
+					out[pi] = float64(int64(w))
+				}
+				pi++
+			}
+		}
+		rowBase = chunkEnd
+		if pi == len(positions) {
+			break
+		}
+	}
+	if pi != len(positions) {
+		return nil, fmt.Errorf("colstore: position %d out of range (%d rows)", positions[pi], file.rows)
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package colstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DatasetMeta describes a multi-timestep dataset stored as one colstore
+// file per timestep plus an optional sidecar index file per timestep.
+type DatasetMeta struct {
+	Name      string   `json:"name"`
+	Steps     int      `json:"steps"`
+	Variables []string `json:"variables"`
+	Comment   string   `json:"comment,omitempty"`
+}
+
+const metaFileName = "meta.json"
+
+// StepFileName returns the data file name for timestep t.
+func StepFileName(t int) string { return fmt.Sprintf("step_%04d.col", t) }
+
+// IndexFileName returns the sidecar index file name for timestep t.
+func IndexFileName(t int) string { return fmt.Sprintf("step_%04d.idx", t) }
+
+// Dataset is an on-disk multi-timestep dataset directory.
+type Dataset struct {
+	Dir  string
+	Meta DatasetMeta
+}
+
+// CreateDataset initialises a dataset directory and writes its metadata.
+// The directory is created if needed; an existing meta.json is replaced.
+func CreateDataset(dir string, meta DatasetMeta) (*Dataset, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("colstore: create dataset dir: %w", err)
+	}
+	buf, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("colstore: encode meta: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFileName), buf, 0o644); err != nil {
+		return nil, fmt.Errorf("colstore: write meta: %w", err)
+	}
+	return &Dataset{Dir: dir, Meta: meta}, nil
+}
+
+// OpenDataset opens an existing dataset directory.
+func OpenDataset(dir string) (*Dataset, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, metaFileName))
+	if err != nil {
+		return nil, fmt.Errorf("colstore: open dataset: %w", err)
+	}
+	var meta DatasetMeta
+	if err := json.Unmarshal(buf, &meta); err != nil {
+		return nil, fmt.Errorf("colstore: decode meta: %w", err)
+	}
+	if meta.Steps < 0 {
+		return nil, fmt.Errorf("colstore: meta has negative step count %d", meta.Steps)
+	}
+	return &Dataset{Dir: dir, Meta: meta}, nil
+}
+
+// StepPath returns the path of the data file for timestep t.
+func (d *Dataset) StepPath(t int) string { return filepath.Join(d.Dir, StepFileName(t)) }
+
+// IndexPath returns the path of the index file for timestep t.
+func (d *Dataset) IndexPath(t int) string { return filepath.Join(d.Dir, IndexFileName(t)) }
+
+// OpenStep opens the data file for timestep t.
+func (d *Dataset) OpenStep(t int) (*File, error) {
+	if t < 0 || t >= d.Meta.Steps {
+		return nil, fmt.Errorf("colstore: timestep %d out of range [0,%d)", t, d.Meta.Steps)
+	}
+	return Open(d.StepPath(t))
+}
+
+// HasIndex reports whether a sidecar index exists for timestep t.
+func (d *Dataset) HasIndex(t int) bool {
+	_, err := os.Stat(d.IndexPath(t))
+	return err == nil
+}
+
+// Validate checks that every timestep file exists and carries the declared
+// variables, returning the first problem found.
+func (d *Dataset) Validate() error {
+	for t := 0; t < d.Meta.Steps; t++ {
+		f, err := d.OpenStep(t)
+		if err != nil {
+			return err
+		}
+		for _, v := range d.Meta.Variables {
+			if !f.HasColumn(v) {
+				f.Close()
+				return fmt.Errorf("colstore: step %d missing column %q", t, v)
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/histogram"
+	"repro/internal/render"
+	"repro/internal/scatter"
+	"repro/internal/stats"
+)
+
+// This file couples the visual exploration workflow with traditional
+// quantitative analysis — the extension the paper's conclusion calls for.
+
+// Summary computes summary statistics of one variable over the selection.
+func (s *Selection) Summary(name string) (stats.Summary, error) {
+	vals, err := s.Values(name)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	return stats.Summarize(vals)
+}
+
+// BeamQuality computes the accelerator figures of merit (mean momentum,
+// relative energy spread, RMS size, emittance proxy) of the selection.
+func (s *Selection) BeamQuality() (stats.BeamQuality, error) {
+	px, err := s.Values("px")
+	if err != nil {
+		return stats.BeamQuality{}, err
+	}
+	py, err := s.Values("py")
+	if err != nil {
+		return stats.BeamQuality{}, err
+	}
+	y, err := s.Values("y")
+	if err != nil {
+		return stats.BeamQuality{}, err
+	}
+	return stats.Beam(px, py, y)
+}
+
+// CorrelationMatrix computes pairwise Pearson correlations of the named
+// variables over the selection.
+func (s *Selection) CorrelationMatrix(names []string) ([][]float64, error) {
+	cols := map[string][]float64{}
+	for _, name := range names {
+		vals, err := s.Values(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[name] = vals
+	}
+	return stats.CorrelationMatrix(cols, names)
+}
+
+// BeamHistory evaluates beam quality at every step of a range by tracing
+// the selection's identifiers — quantitative beam evolution over time.
+type BeamHistory struct {
+	Steps   []int
+	Quality []stats.BeamQuality
+}
+
+// BeamHistory traces the selection over [from, to] and computes per-step
+// beam quality.
+func (s *Selection) BeamHistory(from, to int) (*BeamHistory, error) {
+	tracks, err := s.ex.TrackIDs(s.ids, from, to, TrackOptions{})
+	if err != nil {
+		return nil, err
+	}
+	if from > to {
+		from, to = to, from
+	}
+	hist := &BeamHistory{}
+	for step := from; step <= to; step++ {
+		var px, py, y []float64
+		for _, tr := range tracks {
+			for i, t := range tr.Steps {
+				if t == step {
+					px = append(px, tr.Px[i])
+					py = append(py, tr.Py[i])
+					y = append(y, tr.Y[i])
+					break
+				}
+			}
+		}
+		if len(px) == 0 {
+			continue
+		}
+		q, err := stats.Beam(px, py, y)
+		if err != nil {
+			return nil, err
+		}
+		hist.Steps = append(hist.Steps, step)
+		hist.Quality = append(hist.Quality, q)
+	}
+	if len(hist.Steps) == 0 {
+		return nil, fmt.Errorf("core: selection absent from steps [%d,%d]", from, to)
+	}
+	return hist, nil
+}
+
+// DensityPlot renders the particle number density of one timestep as a
+// heat-mapped 2D histogram — the stand-in for the paper's volume rendering
+// of plasma density (Fig. 10b), with an optional selection overlaid as
+// colored markers.
+func (e *Explorer) DensityPlot(step int, xVar, yVar string, bins int, selCond string, opt ScatterOptions) (*render.Canvas, error) {
+	if bins <= 0 {
+		bins = 256
+	}
+	h, err := e.Histogram2D(step, "", histogram.NewSpec2D(xVar, yVar, bins, bins))
+	if err != nil {
+		return nil, err
+	}
+	sOpt := opt.scatterOptions()
+	c, err := render.NewCanvas(sOpt.Width, sOpt.Height, sOpt.Background)
+	if err != nil {
+		return nil, err
+	}
+	// Rasterise the density field.
+	m := sOpt.Margin
+	w, hgt := sOpt.Width, sOpt.Height
+	maxC := float64(h.MaxCount())
+	if maxC == 0 {
+		maxC = 1
+	}
+	plotW, plotH := w-2*m, hgt-2*m
+	for py := 0; py < plotH; py++ {
+		for px := 0; px < plotW; px++ {
+			ix := px * h.XBins() / plotW
+			iy := (plotH - 1 - py) * h.YBins() / plotH
+			cnt := float64(h.At(ix, iy))
+			if cnt == 0 {
+				continue
+			}
+			t := cnt / maxC
+			c.Blend(m+px, m+py, render.Heat(0.15+0.85*t), 1)
+		}
+	}
+	// Overlay the selection.
+	if selCond != "" {
+		sel, err := e.Select(step, selCond)
+		if err != nil {
+			return nil, err
+		}
+		sx, err := sel.Values(xVar)
+		if err != nil {
+			return nil, err
+		}
+		sy, err := sel.Values(yVar)
+		if err != nil {
+			return nil, err
+		}
+		sc, err := sel.Values("px")
+		if err != nil {
+			return nil, err
+		}
+		p, err := scatter.New(xVar, yVar, h.XEdges[0], h.XEdges[len(h.XEdges)-1],
+			h.YEdges[0], h.YEdges[len(h.YEdges)-1], sOpt)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.SetSelection("px", sx, sy, sc, 0, 0); err != nil {
+			return nil, err
+		}
+		over, err := p.Render()
+		if err != nil {
+			return nil, err
+		}
+		// Composite the selection markers (non-background pixels) on top.
+		bg := sOpt.Background
+		for y := 0; y < hgt; y++ {
+			for x := 0; x < w; x++ {
+				if px := over.At(x, y); px != bg {
+					c.Blend(x, y, px, 1)
+				}
+			}
+		}
+		return c, nil
+	}
+	// Axis frame for the bare density view.
+	c.HLine(m, w-m, hgt-m, sOpt.AxisColor, 1)
+	c.VLine(m, m, hgt-m, sOpt.AxisColor, 1)
+	if sOpt.DrawLabels {
+		c.TextCentered(w/2, hgt-m+10, xVar, sOpt.LabelColor)
+		c.Text(4, m-10, yVar, sOpt.LabelColor)
+	}
+	return c, nil
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelectionSummary(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sel.Summary("px")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.N != sel.Count() {
+		t.Fatalf("Summary.N = %d, want %d", sum.N, sel.Count())
+	}
+	if sum.Min <= 5e10 {
+		t.Fatalf("Summary.Min = %g violates selection", sum.Min)
+	}
+	if !(sum.Q25 <= sum.Median && sum.Median <= sum.Q75) {
+		t.Fatalf("quartile order broken: %+v", sum)
+	}
+	if _, err := sel.Summary("nope"); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestSelectionBeamQuality(t *testing.T) {
+	ex := testExplorer(t)
+	peak := coreSim.PeakStep()
+	last := ex.Steps() - 1
+	selPeak, err := ex.Select(peak, "px > 8e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selPeak.Count() == 0 {
+		t.Skip("no beam at peak in this scaled run")
+	}
+	qPeak, err := selPeak.BeamQuality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qPeak.MeanPx <= 0 || qPeak.EnergySpread <= 0 {
+		t.Fatalf("peak quality: %+v", qPeak)
+	}
+	// The paper's observation: beam 1 at its peak has a lower energy
+	// spread than the combined selection at the end.
+	selLast, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qLast, err := selLast.BeamQuality()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qPeak.EnergySpread >= qLast.EnergySpread {
+		t.Logf("note: peak spread %g !< last spread %g (acceptable at small scale)",
+			qPeak.EnergySpread, qLast.EnergySpread)
+	}
+}
+
+func TestSelectionCorrelationMatrix(t *testing.T) {
+	ex := testExplorer(t)
+	sel, err := ex.Select(5, "px > -1e300")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := sel.CorrelationMatrix([]string{"x", "xrel", "px"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 3 || m[0][0] != 1 {
+		t.Fatalf("matrix = %v", m)
+	}
+	// x and xrel differ by a constant at fixed t, so they correlate ~1.
+	if m[0][1] < 0.99 {
+		t.Fatalf("corr(x, xrel) = %g, want ~1", m[0][1])
+	}
+	for i := range m {
+		for j := range m[i] {
+			if math.Abs(m[i][j]) > 1+1e-9 {
+				t.Fatalf("corr out of bounds: %v", m)
+			}
+			if m[i][j] != m[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+		}
+	}
+	if _, err := sel.CorrelationMatrix([]string{"x", "nope"}); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+}
+
+func TestBeamHistory(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := sel.BeamHistory(coreSim.InjectionStep(), last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Steps) < 2 || len(hist.Steps) != len(hist.Quality) {
+		t.Fatalf("history: %d steps, %d qualities", len(hist.Steps), len(hist.Quality))
+	}
+	// Momentum grows from injection toward the end for the tracked set.
+	first := hist.Quality[0].MeanPx
+	lastQ := hist.Quality[len(hist.Quality)-1].MeanPx
+	if lastQ <= first {
+		t.Fatalf("beam did not gain momentum: %g -> %g", first, lastQ)
+	}
+	// Absent range errors.
+	if _, err := sel.BeamHistory(0, 0); err == nil {
+		t.Fatal("pre-injection history accepted")
+	}
+}
+
+func TestDensityPlot(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	c, err := ex.DensityPlot(last, "x", "y", 128, "", DefaultScatterOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Heat-coloured pixels present.
+	var hot int
+	w, h := c.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px := c.At(x, y)
+			if px.R > 100 && px.R >= px.G && px.G >= px.B {
+				hot++
+			}
+		}
+	}
+	if hot < 500 {
+		t.Fatalf("density field invisible: %d hot pixels", hot)
+	}
+	// With a selection overlay.
+	if _, err := ex.DensityPlot(last, "x", "y", 0, "px > 5e10", DefaultScatterOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Errors surface.
+	if _, err := ex.DensityPlot(last, "nope", "y", 64, "", DefaultScatterOptions()); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+	if _, err := ex.DensityPlot(last, "x", "y", 64, "bad >", DefaultScatterOptions()); err == nil {
+		t.Fatal("bad selection accepted")
+	}
+}

@@ -1,0 +1,472 @@
+package core
+
+import (
+	"image/color"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/sim"
+)
+
+var (
+	coreOnce sync.Once
+	coreDir  string
+	coreErr  error
+	coreSim  *sim.Simulation
+)
+
+func testExplorer(t *testing.T) *Explorer {
+	t.Helper()
+	coreOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "core-test-*")
+		if err != nil {
+			coreErr = err
+			return
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Steps = 12
+		cfg.BackgroundPerStep = 2500
+		cfg.BeamParticles = 80
+		if _, err := sim.WriteDataset(dir, cfg, sim.WriteOptions{
+			Index: fastbit.IndexOptions{Bins: 48},
+		}); err != nil {
+			coreErr = err
+			return
+		}
+		coreSim, coreErr = sim.New(cfg)
+		coreDir = dir
+	})
+	if coreErr != nil {
+		t.Fatal(coreErr)
+	}
+	ex, err := Open(coreDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ex
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if coreDir != "" {
+		os.RemoveAll(coreDir)
+	}
+	os.Exit(code)
+}
+
+func TestOpenAndMeta(t *testing.T) {
+	ex := testExplorer(t)
+	if ex.Steps() != 12 {
+		t.Fatalf("Steps = %d", ex.Steps())
+	}
+	if len(ex.Variables()) == 0 {
+		t.Fatal("no variables")
+	}
+	if ex.Source() == nil {
+		t.Fatal("nil source")
+	}
+	if ex.Backend() != fastquery.FastBit {
+		t.Fatal("default backend wrong")
+	}
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+func TestSelectAndRefine(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() == 0 {
+		t.Fatal("beam selection empty")
+	}
+	if sel.Step() != last || sel.Query() == nil {
+		t.Fatal("selection metadata wrong")
+	}
+	if len(sel.IDs()) != sel.Count() || len(sel.Positions()) != sel.Count() {
+		t.Fatal("IDs/Positions length mismatch")
+	}
+	// Refinement shrinks (or keeps) the selection.
+	ref, err := sel.Refine("y > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Count() > sel.Count() {
+		t.Fatalf("refinement grew: %d -> %d", sel.Count(), ref.Count())
+	}
+	// All refined values satisfy both conditions.
+	ys, err := ref.Values("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxs, err := ref.Values("px")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ys {
+		if ys[i] <= 0 || pxs[i] <= 5e10 {
+			t.Fatalf("refined record %d violates conditions (y=%g px=%g)", i, ys[i], pxs[i])
+		}
+	}
+	if _, err := sel.Refine("bad >"); err != nil {
+		// expected: parse error
+	} else {
+		t.Fatal("bad refinement accepted")
+	}
+	if _, err := ex.Select(last, "px >"); err == nil {
+		t.Fatal("bad query accepted")
+	}
+	if _, err := ex.Select(99, "px > 0"); err == nil {
+		t.Fatal("bad step accepted")
+	}
+}
+
+func TestBackendsAgree(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	a, err := ex.Select(last, "px > 5e10 && y > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex.SetBackend(fastquery.Scan)
+	b, err := ex.Select(last, "px > 5e10 && y > 0")
+	ex.SetBackend(fastquery.FastBit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != b.Count() {
+		t.Fatalf("backends disagree: %d vs %d", a.Count(), b.Count())
+	}
+}
+
+func TestSelectByIDsAndAtStep(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sel.IDs()
+	// The same particles at an earlier step (after injection).
+	early, err := sel.AtStep(coreSim.InjectionStep() + 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if early.Count() == 0 {
+		t.Fatal("beam particles not found at earlier step")
+	}
+	if early.Count() > sel.Count() {
+		t.Fatal("more particles found than searched")
+	}
+	// Every found id is from the search set.
+	searchSet := map[int64]bool{}
+	for _, id := range ids {
+		searchSet[id] = true
+	}
+	for _, id := range early.IDs() {
+		if !searchSet[id] {
+			t.Fatalf("found id %d not in search set", id)
+		}
+	}
+	// Before injection the beam ids are absent.
+	before, err := ex.SelectByIDs(0, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count() != 0 {
+		t.Fatalf("%d beam particles present at t=0", before.Count())
+	}
+}
+
+func TestHistograms(t *testing.T) {
+	ex := testExplorer(t)
+	h2, err := ex.Histogram2D(5, "", histogram.NewSpec2D("x", "px", 32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.Total() == 0 {
+		t.Fatal("empty unconditional histogram")
+	}
+	hc, err := ex.Histogram2D(5, "px > 1e9", histogram.NewSpec2D("x", "px", 32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.Total() == 0 || hc.Total() >= h2.Total() {
+		t.Fatalf("conditional total %d vs unconditional %d", hc.Total(), h2.Total())
+	}
+	h1, err := ex.Histogram1D(5, "", histogram.NewSpec1D("px", 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1.Total() != h2.Total() {
+		t.Fatalf("1D total %d != 2D total %d", h1.Total(), h2.Total())
+	}
+	if _, err := ex.Histogram2D(5, "bad >", histogram.NewSpec2D("x", "px", 8, 8)); err == nil {
+		t.Fatal("bad cond accepted")
+	}
+	if _, err := ex.Histogram1D(5, "bad >", histogram.NewSpec1D("px", 8)); err == nil {
+		t.Fatal("bad cond accepted")
+	}
+}
+
+func TestVarRangeAndGlobalRange(t *testing.T) {
+	ex := testExplorer(t)
+	lo, hi, err := ex.VarRange(3, "x")
+	if err != nil || !(hi > lo) {
+		t.Fatalf("VarRange: %g %g %v", lo, hi, err)
+	}
+	glo, ghi, err := ex.GlobalRange("x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glo > lo || ghi < hi {
+		t.Fatalf("global range [%g,%g] does not contain step range [%g,%g]", glo, ghi, lo, hi)
+	}
+	if _, _, err := ex.GlobalRange("x", []int{}); err == nil {
+		t.Fatal("empty step list accepted")
+	}
+	if _, _, err := ex.GlobalRange("nope", []int{1}); err == nil {
+		t.Fatal("unknown var accepted")
+	}
+}
+
+func TestTrackIDs(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sel.IDs()
+	if len(ids) > 30 {
+		ids = ids[:30]
+	}
+	tracks, err := ex.TrackIDs(ids, 0, last, TrackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != len(ids) {
+		t.Fatalf("tracked %d of %d particles", len(tracks), len(ids))
+	}
+	inj := coreSim.InjectionStep()
+	for _, tr := range tracks {
+		if tr.Len() == 0 {
+			t.Fatalf("id %d has empty track", tr.ID)
+		}
+		// Sorted by id.
+		if tr.Len() != len(tr.X) || tr.Len() != len(tr.Px) {
+			t.Fatalf("id %d ragged track", tr.ID)
+		}
+		// Beam particles appear only from injection on.
+		if tr.Steps[0] < inj {
+			t.Fatalf("id %d tracked at t=%d before injection %d", tr.ID, tr.Steps[0], inj)
+		}
+		// Steps strictly increasing; x non-decreasing (moving window).
+		for i := 1; i < tr.Len(); i++ {
+			if tr.Steps[i] <= tr.Steps[i-1] {
+				t.Fatalf("id %d steps not increasing", tr.ID)
+			}
+			if tr.X[i] <= tr.X[i-1] {
+				t.Fatalf("id %d x not advancing with window", tr.ID)
+			}
+		}
+	}
+	if !sort.SliceIsSorted(tracks, func(i, j int) bool { return tracks[i].ID < tracks[j].ID }) {
+		t.Fatal("tracks not sorted by id")
+	}
+	// Parallel tracking gives the same result.
+	par, err := ex.TrackIDs(ids, 0, last, TrackOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(tracks) {
+		t.Fatal("parallel tracking differs")
+	}
+	for i := range par {
+		if par[i].ID != tracks[i].ID || par[i].Len() != tracks[i].Len() {
+			t.Fatalf("parallel track %d differs", i)
+		}
+	}
+	// Reversed range is normalised; bad ranges rejected.
+	if _, err := ex.TrackIDs(ids[:1], last, 0, TrackOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.TrackIDs(ids[:1], 0, 99, TrackOptions{}); err == nil {
+		t.Fatal("bad range accepted")
+	}
+	if _, err := ex.TrackIDs(ids[:1], 0, 1, TrackOptions{Vars: []string{"y"}}); err == nil {
+		t.Fatal("vars without x/px accepted")
+	}
+}
+
+func TestBeamDephasingVisibleInTracks(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	peak := coreSim.PeakStep()
+	// Beam 1 particles: high px at the peak step.
+	selPeak, err := ex.Select(peak, "px > 8e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if selPeak.Count() == 0 {
+		t.Skip("no particles above threshold at peak in this scaled run")
+	}
+	ids := selPeak.IDs()
+	if len(ids) > 20 {
+		ids = ids[:20]
+	}
+	tracks, err := ex.TrackIDs(ids, peak, last, TrackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean px at the end must be lower than at the peak (dephasing).
+	var sumPeak, sumLast float64
+	var n int
+	for _, tr := range tracks {
+		if tr.Len() < 2 {
+			continue
+		}
+		sumPeak += tr.Px[0]
+		sumLast += tr.Px[tr.Len()-1]
+		n++
+	}
+	if n == 0 {
+		t.Skip("no multi-step tracks")
+	}
+	if sumLast >= sumPeak {
+		t.Fatalf("beam 1 did not decelerate after peak: %g -> %g", sumPeak/float64(n), sumLast/float64(n))
+	}
+}
+
+func TestContextFocusPlot(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	vars := []string{"x", "y", "px", "py"}
+	c, err := ex.ContextFocusPlot(last, vars, "", "px > 5e10", DefaultPlotOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, h := c.Size()
+	if w == 0 || h == 0 {
+		t.Fatal("empty canvas")
+	}
+	// Focus colour must appear somewhere.
+	var focusPx int
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if px := c.At(x, y); px.G > 150 && px.G > px.R+40 && px.G > px.B+40 {
+				focusPx++
+			}
+		}
+	}
+	if focusPx == 0 {
+		t.Fatal("focus layer invisible")
+	}
+	// Error paths.
+	if _, err := ex.ContextFocusPlot(last, []string{"x"}, "", "", DefaultPlotOptions()); err == nil {
+		t.Fatal("single variable accepted")
+	}
+	if _, err := ex.ContextFocusPlot(last, vars, "bad >", "", DefaultPlotOptions()); err == nil {
+		t.Fatal("bad context query accepted")
+	}
+	if _, err := ex.ContextFocusPlot(last, vars, "", "bad >", DefaultPlotOptions()); err == nil {
+		t.Fatal("bad focus query accepted")
+	}
+}
+
+func TestContextFocusPlotWithOutliers(t *testing.T) {
+	ex := testExplorer(t)
+	opt := DefaultPlotOptions()
+	opt.OutlierFloor = 0.02
+	opt.ContextBins = 32
+	if _, err := ex.ContextFocusPlot(5, []string{"x", "px", "y"}, "", "", opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTemporalPlot(t *testing.T) {
+	ex := testExplorer(t)
+	steps := []int{6, 8, 10}
+	c, err := ex.TemporalPlot(steps, []string{"x", "xrel", "px", "y"}, "px > 1e9", DefaultPlotOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("nil canvas")
+	}
+	if _, err := ex.TemporalPlot(nil, []string{"x", "px"}, "", DefaultPlotOptions()); err == nil {
+		t.Fatal("no steps accepted")
+	}
+}
+
+func TestLinePlot(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	c, err := ex.LinePlot(last, []string{"x", "px", "y"}, "px > 5e10", 0.4, DefaultPlotOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("nil canvas")
+	}
+	if _, err := ex.LinePlot(last, []string{"x", "px"}, "", 0, DefaultPlotOptions()); err == nil {
+		t.Fatal("zero alpha accepted")
+	}
+}
+
+func TestMultiFocusPlot(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	red := color.RGBA{230, 60, 60, 255}
+	green := color.RGBA{80, 220, 120, 255}
+	c, err := ex.MultiFocusPlot(last, []string{"x", "px", "y"}, "",
+		[]Focus{
+			{Cond: "px > 5e10", Color: red},
+			{Cond: "px > 5e10 && y > 0", Color: green},
+		}, DefaultPlotOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both focus colours must appear.
+	var reds, greens int
+	w, h := c.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px := c.At(x, y)
+			if px.R > 150 && px.R > px.G+50 {
+				reds++
+			}
+			if px.G > 150 && px.G > px.R+50 {
+				greens++
+			}
+		}
+	}
+	if reds == 0 || greens == 0 {
+		t.Fatalf("focus layers missing: red=%d green=%d", reds, greens)
+	}
+	// Default palette colour when unspecified.
+	if _, err := ex.MultiFocusPlot(last, []string{"x", "px"}, "",
+		[]Focus{{Cond: "px > 1e9"}}, DefaultPlotOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, err := ex.MultiFocusPlot(last, []string{"x", "px"}, "", nil, DefaultPlotOptions()); err == nil {
+		t.Fatal("empty focus list accepted")
+	}
+	if _, err := ex.MultiFocusPlot(last, []string{"x", "px"}, "",
+		[]Focus{{Cond: ""}}, DefaultPlotOptions()); err == nil {
+		t.Fatal("empty focus condition accepted")
+	}
+	if _, err := ex.MultiFocusPlot(last, []string{"x", "px"}, "bad >",
+		[]Focus{{Cond: "px > 0"}}, DefaultPlotOptions()); err == nil {
+		t.Fatal("bad context accepted")
+	}
+}

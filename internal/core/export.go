@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteTracksCSV exports particle trajectories as long-format CSV rows
+// (id, step, x, y, z, px, py, pz) for downstream analysis in external
+// tools — part of coupling the visual workflow with traditional analysis.
+func WriteTracksCSV(w io.Writer, tracks []*Track) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "step", "x", "y", "z", "px", "py", "pz"}); err != nil {
+		return fmt.Errorf("core: write csv: %w", err)
+	}
+	f := func(vs []float64, i int) string {
+		if i >= len(vs) {
+			return ""
+		}
+		return strconv.FormatFloat(vs[i], 'g', -1, 64)
+	}
+	for _, tr := range tracks {
+		for i, step := range tr.Steps {
+			rec := []string{
+				strconv.FormatInt(tr.ID, 10),
+				strconv.Itoa(step),
+				f(tr.X, i), f(tr.Y, i), f(tr.Z, i),
+				f(tr.Px, i), f(tr.Py, i), f(tr.Pz, i),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("core: write csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSelectionCSV exports the named columns of a selection as CSV.
+func (s *Selection) WriteSelectionCSV(w io.Writer, names []string) error {
+	cols := make([][]float64, len(names))
+	for i, name := range names {
+		vals, err := s.Values(name)
+		if err != nil {
+			return err
+		}
+		cols[i] = vals
+	}
+	cw := csv.NewWriter(w)
+	header := append([]string{"id"}, names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("core: write csv: %w", err)
+	}
+	for row := 0; row < s.Count(); row++ {
+		rec := make([]string, 0, len(names)+1)
+		rec = append(rec, strconv.FormatInt(s.ids[row], 10))
+		for _, col := range cols {
+			rec = append(rec, strconv.FormatFloat(col[row], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("core: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

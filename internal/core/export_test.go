@@ -1,0 +1,60 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteTracksCSV(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sel.IDs()
+	if len(ids) > 5 {
+		ids = ids[:5]
+	}
+	tracks, err := ex.TrackIDs(ids, 0, last, TrackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteTracksCSV(&sb, tracks); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "id,step,x,y,z,px,py,pz" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	var wantRows int
+	for _, tr := range tracks {
+		wantRows += tr.Len()
+	}
+	if len(lines)-1 != wantRows {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, wantRows)
+	}
+}
+
+func TestWriteSelectionCSV(t *testing.T) {
+	ex := testExplorer(t)
+	sel, err := ex.Select(5, "px > 1e9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := sel.WriteSelectionCSV(&sb, []string{"x", "px"}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "id,x,px" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines)-1 != sel.Count() {
+		t.Fatalf("rows = %d, want %d", len(lines)-1, sel.Count())
+	}
+	if err := sel.WriteSelectionCSV(&sb, []string{"nope"}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}

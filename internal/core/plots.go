@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"image/color"
+
+	"repro/internal/histogram"
+	"repro/internal/pcoords"
+	"repro/internal/render"
+)
+
+// PlotOptions controls the parallel coordinates plot conveniences.
+type PlotOptions struct {
+	// ContextBins and FocusBins set the per-axis histogram resolution of
+	// the two layers; the paper uses a coarser context and a finer focus
+	// for smooth drill-down (Section III-A2).
+	ContextBins  int
+	FocusBins    int
+	Binning      histogram.Binning
+	Gamma        float64 // plot gamma; 1 when zero
+	Width        int
+	Height       int
+	ContextColor color.RGBA
+	FocusColor   color.RGBA
+	// TemporalColors cycles over timestep layers in temporal plots.
+	TemporalColors []color.RGBA
+	// OutlierFloor, when positive, enables the hybrid display: records in
+	// context bins below this fraction of peak density are drawn as
+	// individual polylines.
+	OutlierFloor float64
+}
+
+// DefaultPlotOptions returns the standard styling.
+func DefaultPlotOptions() PlotOptions {
+	return PlotOptions{
+		ContextBins:  128,
+		FocusBins:    256,
+		Gamma:        1,
+		Width:        1000,
+		Height:       560,
+		ContextColor: color.RGBA{120, 130, 150, 255},
+		FocusColor:   color.RGBA{90, 220, 120, 255},
+		// Ordered for maximum contrast between consecutive timesteps.
+		TemporalColors: []color.RGBA{
+			{66, 135, 245, 255}, {245, 179, 66, 255}, {66, 245, 182, 255},
+			{245, 66, 147, 255}, {242, 245, 66, 255}, {188, 66, 245, 255},
+			{245, 108, 66, 255}, {66, 200, 245, 255}, {152, 245, 66, 255},
+		},
+	}
+}
+
+// axesFor builds plot axes spanning the variables' ranges over the steps.
+func (e *Explorer) axesFor(vars []string, steps []int) ([]pcoords.Axis, error) {
+	if len(vars) < 2 {
+		return nil, fmt.Errorf("core: need at least 2 plot variables")
+	}
+	axes := make([]pcoords.Axis, len(vars))
+	for i, v := range vars {
+		lo, hi, err := e.GlobalRange(v, steps)
+		if err != nil {
+			return nil, err
+		}
+		if hi <= lo {
+			hi = lo + 1e-12
+		}
+		axes[i] = pcoords.Axis{Var: v, Min: lo, Max: hi}
+	}
+	return axes, nil
+}
+
+// pairHists computes the per-adjacent-pair histograms a plot layer needs.
+func (e *Explorer) pairHists(step int, axes []pcoords.Axis, cond string, bins int, binning histogram.Binning) ([]*histogram.Hist2D, error) {
+	out := make([]*histogram.Hist2D, len(axes)-1)
+	for i := 0; i < len(axes)-1; i++ {
+		a, b := axes[i], axes[i+1]
+		spec := histogram.NewSpec2D(a.Var, b.Var, bins, bins).
+			WithBinning(binning).
+			WithXRange(a.Min, a.Max).
+			WithYRange(b.Min, b.Max)
+		h, err := e.Histogram2D(step, cond, spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+func (o PlotOptions) pcOptions() pcoords.Options {
+	opt := pcoords.DefaultOptions()
+	if o.Width > 0 {
+		opt.Width = o.Width
+	}
+	if o.Height > 0 {
+		opt.Height = o.Height
+	}
+	if o.Gamma > 0 {
+		opt.Gamma = o.Gamma
+	}
+	return opt
+}
+
+func (o PlotOptions) normalized() PlotOptions {
+	d := DefaultPlotOptions()
+	if o.ContextBins <= 0 {
+		o.ContextBins = d.ContextBins
+	}
+	if o.FocusBins <= 0 {
+		o.FocusBins = d.FocusBins
+	}
+	if o.ContextColor.A == 0 {
+		o.ContextColor = d.ContextColor
+	}
+	if o.FocusColor.A == 0 {
+		o.FocusColor = d.FocusColor
+	}
+	if len(o.TemporalColors) == 0 {
+		o.TemporalColors = d.TemporalColors
+	}
+	return o
+}
+
+// ContextFocusPlot renders a histogram-based parallel coordinates plot of
+// one timestep with an optional focus selection drawn over the context
+// (both histogram-based, per the paper's improvement over line-based
+// focus rendering). contextCond and focusCond are query strings; either
+// may be empty ("" context means the whole timestep, "" focus means no
+// focus layer).
+func (e *Explorer) ContextFocusPlot(step int, vars []string, contextCond, focusCond string, opt PlotOptions) (*render.Canvas, error) {
+	opt = opt.normalized()
+	axes, err := e.axesFor(vars, []int{step})
+	if err != nil {
+		return nil, err
+	}
+	plot, err := pcoords.New(axes, opt.pcOptions())
+	if err != nil {
+		return nil, err
+	}
+	ctxHists, err := e.pairHists(step, axes, contextCond, opt.ContextBins, opt.Binning)
+	if err != nil {
+		return nil, err
+	}
+	if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: ctxHists, Color: opt.ContextColor}); err != nil {
+		return nil, err
+	}
+	if opt.OutlierFloor > 0 {
+		if err := e.addOutlierLayer(plot, step, axes, ctxHists, contextCond, opt); err != nil {
+			return nil, err
+		}
+	}
+	if focusCond != "" {
+		focusHists, err := e.pairHists(step, axes, focusCond, opt.FocusBins, opt.Binning)
+		if err != nil {
+			return nil, err
+		}
+		if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: focusHists, Color: opt.FocusColor}); err != nil {
+			return nil, err
+		}
+	}
+	return plot.Render()
+}
+
+// Focus is one highlighted selection layer for MultiFocusPlot.
+type Focus struct {
+	Cond  string
+	Color color.RGBA // zero value picks from the temporal palette
+}
+
+// MultiFocusPlot renders several selections as stacked focus layers over
+// one context — the paper's refinement display, where the complete beam
+// (red) and a refined subset (green) are compared in one plot (Fig. 8).
+// Later layers draw on top.
+func (e *Explorer) MultiFocusPlot(step int, vars []string, contextCond string, focuses []Focus, opt PlotOptions) (*render.Canvas, error) {
+	opt = opt.normalized()
+	if len(focuses) == 0 {
+		return nil, fmt.Errorf("core: no focus layers")
+	}
+	axes, err := e.axesFor(vars, []int{step})
+	if err != nil {
+		return nil, err
+	}
+	plot, err := pcoords.New(axes, opt.pcOptions())
+	if err != nil {
+		return nil, err
+	}
+	ctxHists, err := e.pairHists(step, axes, contextCond, opt.ContextBins, opt.Binning)
+	if err != nil {
+		return nil, err
+	}
+	if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: ctxHists, Color: opt.ContextColor}); err != nil {
+		return nil, err
+	}
+	for i, f := range focuses {
+		if f.Cond == "" {
+			return nil, fmt.Errorf("core: focus layer %d has no condition", i)
+		}
+		hists, err := e.pairHists(step, axes, f.Cond, opt.FocusBins, opt.Binning)
+		if err != nil {
+			return nil, err
+		}
+		col := f.Color
+		if col.A == 0 {
+			col = opt.TemporalColors[i%len(opt.TemporalColors)]
+		}
+		if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: hists, Color: col}); err != nil {
+			return nil, err
+		}
+	}
+	return plot.Render()
+}
+
+// addOutlierLayer draws under-dense context records as polylines.
+func (e *Explorer) addOutlierLayer(plot *pcoords.Plot, step int, axes []pcoords.Axis, hists []*histogram.Hist2D, cond string, opt PlotOptions) error {
+	q := cond
+	if q == "" {
+		// All records: a tautology over the first variable's range.
+		q = fmt.Sprintf("%s >= %g", axes[0].Var, axes[0].Min)
+	}
+	sel, err := e.Select(step, q)
+	if err != nil {
+		return err
+	}
+	values := map[string][]float64{}
+	for _, a := range axes {
+		vals, err := sel.Values(a.Var)
+		if err != nil {
+			return err
+		}
+		values[a.Var] = vals
+	}
+	outliers, err := pcoords.OutlierRecords(axes, hists, values, opt.OutlierFloor)
+	if err != nil {
+		return err
+	}
+	if len(outliers) == 0 {
+		return nil
+	}
+	lineVals := map[string][]float64{}
+	for _, a := range axes {
+		col := make([]float64, len(outliers))
+		for i, r := range outliers {
+			col[i] = values[a.Var][r]
+		}
+		lineVals[a.Var] = col
+	}
+	return plot.AddLineLayer(&pcoords.LineLayer{
+		Values: lineVals,
+		Color:  opt.ContextColor,
+		Alpha:  0.6,
+	})
+}
+
+// TemporalPlot renders multiple timesteps of one selection into a single
+// parallel coordinates plot, one colour per timestep (paper Fig. 9).
+// cond may be empty to plot everything.
+func (e *Explorer) TemporalPlot(steps []int, vars []string, cond string, opt PlotOptions) (*render.Canvas, error) {
+	opt = opt.normalized()
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("core: no steps for temporal plot")
+	}
+	axes, err := e.axesFor(vars, steps)
+	if err != nil {
+		return nil, err
+	}
+	plot, err := pcoords.New(axes, opt.pcOptions())
+	if err != nil {
+		return nil, err
+	}
+	for i, step := range steps {
+		hists, err := e.pairHists(step, axes, cond, opt.FocusBins, opt.Binning)
+		if err != nil {
+			return nil, err
+		}
+		col := opt.TemporalColors[i%len(opt.TemporalColors)]
+		if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: hists, Color: col}); err != nil {
+			return nil, err
+		}
+	}
+	return plot.Render()
+}
+
+// LinePlot renders a traditional polyline parallel coordinates plot of a
+// selection, for comparison with the histogram-based display (Fig. 2a).
+func (e *Explorer) LinePlot(step int, vars []string, cond string, alpha float64, opt PlotOptions) (*render.Canvas, error) {
+	opt = opt.normalized()
+	axes, err := e.axesFor(vars, []int{step})
+	if err != nil {
+		return nil, err
+	}
+	plot, err := pcoords.New(axes, opt.pcOptions())
+	if err != nil {
+		return nil, err
+	}
+	q := cond
+	if q == "" {
+		q = fmt.Sprintf("%s >= %g", axes[0].Var, axes[0].Min)
+	}
+	sel, err := e.Select(step, q)
+	if err != nil {
+		return nil, err
+	}
+	values := map[string][]float64{}
+	for _, a := range axes {
+		vals, err := sel.Values(a.Var)
+		if err != nil {
+			return nil, err
+		}
+		values[a.Var] = vals
+	}
+	if err := plot.AddLineLayer(&pcoords.LineLayer{
+		Values: values,
+		Color:  opt.FocusColor,
+		Alpha:  alpha,
+	}); err != nil {
+		return nil, err
+	}
+	return plot.Render()
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+	"repro/internal/scatter"
+)
+
+// ScatterOptions controls the pseudocolor plots.
+type ScatterOptions struct {
+	Width, Height int
+	PointSize     int
+	Colormap      render.Colormap
+	// MaxContext subsamples the gray background when the timestep holds
+	// more records than this (0 = no limit). Context rendering is O(n);
+	// the paper's pseudocolor views show "all particles in gray", which
+	// is only sensible at plot resolution anyway.
+	MaxContext int
+}
+
+// DefaultScatterOptions returns the standard styling.
+func DefaultScatterOptions() ScatterOptions {
+	return ScatterOptions{Width: 900, Height: 500, PointSize: 1, MaxContext: 200000}
+}
+
+func (o ScatterOptions) scatterOptions() scatter.Options {
+	opt := scatter.DefaultOptions()
+	if o.Width > 0 {
+		opt.Width = o.Width
+	}
+	if o.Height > 0 {
+		opt.Height = o.Height
+	}
+	if o.PointSize > 0 {
+		opt.PointSize = o.PointSize
+	}
+	if o.Colormap != nil {
+		opt.Colormap = o.Colormap
+	}
+	return opt
+}
+
+// ScatterPlot renders a pseudocolor plot of one timestep (paper Figs.
+// 5b/5d, 6, 8b): all particles in gray, the selection drawn as markers
+// coloured by colorVar. selCond may be empty to colour everything.
+func (e *Explorer) ScatterPlot(step int, xVar, yVar, colorVar, selCond string, opt ScatterOptions) (*render.Canvas, error) {
+	xlo, xhi, err := e.VarRange(step, xVar)
+	if err != nil {
+		return nil, err
+	}
+	ylo, yhi, err := e.VarRange(step, yVar)
+	if err != nil {
+		return nil, err
+	}
+	p, err := scatter.New(xVar, yVar, xlo, xhi, ylo, yhi, opt.scatterOptions())
+	if err != nil {
+		return nil, err
+	}
+
+	st, err := e.src.OpenStep(step)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	ctxX, err := st.ReadColumn(xVar)
+	if err != nil {
+		return nil, err
+	}
+	ctxY, err := st.ReadColumn(yVar)
+	if err != nil {
+		return nil, err
+	}
+	if opt.MaxContext > 0 && len(ctxX) > opt.MaxContext {
+		stride := (len(ctxX) + opt.MaxContext - 1) / opt.MaxContext
+		ctxX = subsample(ctxX, stride)
+		ctxY = subsample(ctxY, stride)
+	}
+	if err := p.SetContext(ctxX, ctxY); err != nil {
+		return nil, err
+	}
+
+	cond := selCond
+	if cond == "" {
+		cond = fmt.Sprintf("%s >= %g", xVar, xlo)
+	}
+	sel, err := e.Select(step, cond)
+	if err != nil {
+		return nil, err
+	}
+	sx, err := sel.Values(xVar)
+	if err != nil {
+		return nil, err
+	}
+	sy, err := sel.Values(yVar)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := sel.Values(colorVar)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.SetSelection(colorVar, sx, sy, sc, 0, 0); err != nil {
+		return nil, err
+	}
+	return p.Render()
+}
+
+func subsample(vs []float64, stride int) []float64 {
+	if stride <= 1 {
+		return vs
+	}
+	out := make([]float64, 0, len(vs)/stride+1)
+	for i := 0; i < len(vs); i += stride {
+		out = append(out, vs[i])
+	}
+	return out
+}
+
+// TracePlotColor selects what colours the trace polylines.
+type TracePlotColor int
+
+// Trace colouring modes.
+const (
+	// ColorByPx colours segments by momentum (paper Figs. 8c, 10c).
+	ColorByPx TracePlotColor = iota
+	// ColorByID colours each particle by identifier (paper Fig. 7).
+	ColorByID
+)
+
+// TracePlot renders tracked particles as world lines in (x, y) space,
+// optionally over the gray context of one reference step.
+func (e *Explorer) TracePlot(tracks []*Track, contextStep int, mode TracePlotColor, opt ScatterOptions) (*render.Canvas, error) {
+	if len(tracks) == 0 {
+		return nil, fmt.Errorf("core: no tracks to plot")
+	}
+	// Ranges from the traces themselves plus the context step.
+	xlo, xhi := tracks[0].X[0], tracks[0].X[0]
+	ylo, yhi := tracks[0].Y[0], tracks[0].Y[0]
+	for _, tr := range tracks {
+		for i := range tr.X {
+			xlo, xhi = minF(xlo, tr.X[i]), maxF(xhi, tr.X[i])
+			ylo, yhi = minF(ylo, tr.Y[i]), maxF(yhi, tr.Y[i])
+		}
+	}
+	if cxlo, cxhi, err := e.VarRange(contextStep, "x"); err == nil {
+		xlo, xhi = minF(xlo, cxlo), maxF(xhi, cxhi)
+	}
+	if cylo, cyhi, err := e.VarRange(contextStep, "y"); err == nil {
+		ylo, yhi = minF(ylo, cylo), maxF(yhi, cyhi)
+	}
+	if xhi <= xlo {
+		xhi = xlo + 1e-12
+	}
+	if yhi <= ylo {
+		yhi = ylo + 1e-12
+	}
+	tp, err := scatter.NewTracePlot("x", "y", xlo, xhi, ylo, yhi, opt.scatterOptions())
+	if err != nil {
+		return nil, err
+	}
+	st, err := e.src.OpenStep(contextStep)
+	if err == nil {
+		ctxX, errX := st.ReadColumn("x")
+		ctxY, errY := st.ReadColumn("y")
+		st.Close()
+		if errX == nil && errY == nil {
+			if opt.MaxContext > 0 && len(ctxX) > opt.MaxContext {
+				stride := (len(ctxX) + opt.MaxContext - 1) / opt.MaxContext
+				ctxX = subsample(ctxX, stride)
+				ctxY = subsample(ctxY, stride)
+			}
+			if err := tp.SetContext(ctxX, ctxY); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, tr := range tracks {
+		cs := make([]float64, tr.Len())
+		for i := range cs {
+			if mode == ColorByID {
+				cs[i] = float64(tr.ID)
+			} else {
+				cs[i] = tr.Px[i]
+			}
+		}
+		ys := tr.Y
+		if len(ys) != tr.Len() {
+			return nil, fmt.Errorf("core: track %d lacks y values", tr.ID)
+		}
+		if err := tp.Add(scatter.Trace{X: tr.X, Y: ys, C: cs}); err != nil {
+			return nil, err
+		}
+	}
+	return tp.Render()
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestScatterPlot(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	c, err := ex.ScatterPlot(last, "x", "y", "px", "px > 5e10", DefaultScatterOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == nil {
+		t.Fatal("nil canvas")
+	}
+	// Coloured selection markers must be present (non-gray pixels).
+	var colored int
+	w, h := c.Size()
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			px := c.At(x, y)
+			if int(px.R)+int(px.G)+int(px.B) > 80 && (px.R != px.G || px.G != px.B) {
+				colored++
+			}
+		}
+	}
+	if colored < 20 {
+		t.Fatalf("selection markers invisible: %d colored pixels", colored)
+	}
+	// No selection condition colours everything.
+	if _, err := ex.ScatterPlot(2, "x", "y", "px", "", DefaultScatterOptions()); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, err := ex.ScatterPlot(last, "nope", "y", "px", "", DefaultScatterOptions()); err == nil {
+		t.Fatal("unknown x var accepted")
+	}
+	if _, err := ex.ScatterPlot(last, "x", "y", "nope", "", DefaultScatterOptions()); err == nil {
+		t.Fatal("unknown color var accepted")
+	}
+	if _, err := ex.ScatterPlot(last, "x", "y", "px", "bad >", DefaultScatterOptions()); err == nil {
+		t.Fatal("bad selection accepted")
+	}
+}
+
+func TestScatterPlotSubsamplesContext(t *testing.T) {
+	ex := testExplorer(t)
+	opt := DefaultScatterOptions()
+	opt.MaxContext = 100
+	if _, err := ex.ScatterPlot(3, "x", "y", "px", "px > 1e9", opt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracePlot(t *testing.T) {
+	ex := testExplorer(t)
+	last := ex.Steps() - 1
+	sel, err := ex.Select(last, "px > 5e10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := sel.IDs()
+	if len(ids) > 15 {
+		ids = ids[:15]
+	}
+	tracks, err := ex.TrackIDs(ids, 0, last, TrackOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []TracePlotColor{ColorByPx, ColorByID} {
+		c, err := ex.TracePlot(tracks, last, mode, DefaultScatterOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c == nil {
+			t.Fatal("nil canvas")
+		}
+	}
+	if _, err := ex.TracePlot(nil, last, ColorByPx, DefaultScatterOptions()); err == nil {
+		t.Fatal("empty track list accepted")
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	vs := []float64{0, 1, 2, 3, 4, 5, 6}
+	got := subsample(vs, 3)
+	if len(got) != 3 || got[0] != 0 || got[1] != 3 || got[2] != 6 {
+		t.Fatalf("subsample = %v", got)
+	}
+	if sub := subsample(vs, 1); len(sub) != len(vs) {
+		t.Fatal("stride 1 must be identity")
+	}
+}

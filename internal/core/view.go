@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/histogram"
+	"repro/internal/pcoords"
+	"repro/internal/render"
+)
+
+// View is an interactive exploration session over one timestep: a set of
+// parallel axes whose displayed ranges can be narrowed step by step while
+// the context and focus histograms are recomputed at full resolution for
+// the narrowed ranges. This is the "smooth drill-down into finer levels of
+// detail" that distinguishes the paper's approach from fixed-resolution
+// precomputed histograms (Section III-A2): zooming never reuses merged
+// coarse bins, it recomputes.
+type View struct {
+	ex   *Explorer
+	step int
+	vars []string
+	opt  PlotOptions
+
+	full   []pcoords.Axis // the reset ranges
+	axes   []pcoords.Axis // current (possibly zoomed) ranges
+	cond   string         // focus condition; empty = none
+	zoomed int            // number of Zoom calls, for introspection
+}
+
+// NewView creates a view of one timestep over the given variables.
+func (e *Explorer) NewView(step int, vars []string, opt PlotOptions) (*View, error) {
+	opt = opt.normalized()
+	axes, err := e.axesFor(vars, []int{step})
+	if err != nil {
+		return nil, err
+	}
+	v := &View{
+		ex:   e,
+		step: step,
+		vars: append([]string(nil), vars...),
+		opt:  opt,
+		full: append([]pcoords.Axis(nil), axes...),
+		axes: append([]pcoords.Axis(nil), axes...),
+	}
+	return v, nil
+}
+
+// Axes returns the current axis ranges.
+func (v *View) Axes() []pcoords.Axis { return append([]pcoords.Axis(nil), v.axes...) }
+
+// ZoomDepth returns how many zoom operations are active.
+func (v *View) ZoomDepth() int { return v.zoomed }
+
+// Zoom narrows one axis to [lo, hi]. The new range must be non-empty and
+// overlap the variable's full range.
+func (v *View) Zoom(name string, lo, hi float64) error {
+	if !(hi > lo) {
+		return fmt.Errorf("core: empty zoom range [%g, %g]", lo, hi)
+	}
+	for i := range v.axes {
+		if v.axes[i].Var != name {
+			continue
+		}
+		if hi < v.full[i].Min || lo > v.full[i].Max {
+			return fmt.Errorf("core: zoom [%g, %g] outside data range [%g, %g]",
+				lo, hi, v.full[i].Min, v.full[i].Max)
+		}
+		v.axes[i].Min, v.axes[i].Max = lo, hi
+		v.zoomed++
+		return nil
+	}
+	return fmt.Errorf("core: view has no axis %q", name)
+}
+
+// SetFocus installs (or clears, with "") the focus condition.
+func (v *View) SetFocus(cond string) error {
+	if cond != "" {
+		if _, err := v.ex.Select(v.step, cond); err != nil {
+			return err
+		}
+	}
+	v.cond = cond
+	return nil
+}
+
+// Reset restores the full axis ranges and clears zoom state.
+func (v *View) Reset() {
+	copy(v.axes, v.full)
+	v.zoomed = 0
+}
+
+// Render recomputes the histograms for the current ranges — at the full
+// configured bin resolution regardless of zoom level — and draws the plot.
+func (v *View) Render() (*render.Canvas, error) {
+	plot, err := pcoords.New(v.axes, v.opt.pcOptions())
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := v.pairHistsZoomed("", v.opt.ContextBins)
+	if err != nil {
+		return nil, err
+	}
+	if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: ctx, Color: v.opt.ContextColor}); err != nil {
+		return nil, err
+	}
+	if v.cond != "" {
+		focus, err := v.pairHistsZoomed(v.cond, v.opt.FocusBins)
+		if err != nil {
+			return nil, err
+		}
+		if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: focus, Color: v.opt.FocusColor}); err != nil {
+			return nil, err
+		}
+	}
+	return plot.Render()
+}
+
+// pairHistsZoomed computes per-pair histograms over the current (zoomed)
+// axis ranges.
+func (v *View) pairHistsZoomed(cond string, bins int) ([]*histogram.Hist2D, error) {
+	out := make([]*histogram.Hist2D, len(v.axes)-1)
+	for i := 0; i < len(v.axes)-1; i++ {
+		a, b := v.axes[i], v.axes[i+1]
+		spec := histogram.NewSpec2D(a.Var, b.Var, bins, bins).
+			WithBinning(v.opt.Binning).
+			WithXRange(a.Min, a.Max).
+			WithYRange(b.Min, b.Max)
+		h, err := v.ex.Histogram2D(v.step, cond, spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = h
+	}
+	return out, nil
+}
+
+// BinWidth returns the current per-bin width of one axis at the context
+// resolution — it shrinks as the user zooms, demonstrating that drill-down
+// gains real resolution instead of merging precomputed bins.
+func (v *View) BinWidth(name string) (float64, error) {
+	for _, a := range v.axes {
+		if a.Var == name {
+			return (a.Max - a.Min) / float64(v.opt.ContextBins), nil
+		}
+	}
+	return 0, fmt.Errorf("core: view has no axis %q", name)
+}

@@ -1,0 +1,98 @@
+package core
+
+import "testing"
+
+func TestViewZoomAndRender(t *testing.T) {
+	ex := testExplorer(t)
+	opt := DefaultPlotOptions()
+	opt.ContextBins = 32
+	v, err := ex.NewView(5, []string{"x", "px", "y"}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ZoomDepth() != 0 {
+		t.Fatal("fresh view has zoom depth")
+	}
+	if _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+
+	w0, err := v.BinWidth("px")
+	if err != nil {
+		t.Fatal(err)
+	}
+	axes := v.Axes()
+	var pxMin, pxMax float64
+	for _, a := range axes {
+		if a.Var == "px" {
+			pxMin, pxMax = a.Min, a.Max
+		}
+	}
+	mid := (pxMin + pxMax) / 2
+	if err := v.Zoom("px", pxMin, mid); err != nil {
+		t.Fatal(err)
+	}
+	if v.ZoomDepth() != 1 {
+		t.Fatal("zoom depth not incremented")
+	}
+	w1, err := v.BinWidth("px")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drill-down halves the bin width: real added resolution.
+	if w1 >= w0*0.75 {
+		t.Fatalf("zoom did not gain resolution: %g -> %g", w0, w1)
+	}
+	if _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Focus over zoomed context.
+	if err := v.SetFocus("px > 1e9"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Render(); err != nil {
+		t.Fatal(err)
+	}
+
+	v.Reset()
+	if v.ZoomDepth() != 0 {
+		t.Fatal("reset did not clear zoom depth")
+	}
+	wReset, _ := v.BinWidth("px")
+	if wReset != w0 {
+		t.Fatalf("reset did not restore ranges: %g vs %g", wReset, w0)
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	ex := testExplorer(t)
+	if _, err := ex.NewView(5, []string{"x"}, DefaultPlotOptions()); err == nil {
+		t.Fatal("single variable accepted")
+	}
+	if _, err := ex.NewView(5, []string{"x", "nope"}, DefaultPlotOptions()); err == nil {
+		t.Fatal("unknown variable accepted")
+	}
+	v, err := ex.NewView(5, []string{"x", "px"}, DefaultPlotOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Zoom("nope", 0, 1); err == nil {
+		t.Fatal("zoom on unknown axis accepted")
+	}
+	if err := v.Zoom("x", 5, 5); err == nil {
+		t.Fatal("empty zoom accepted")
+	}
+	if err := v.Zoom("x", 1e30, 2e30); err == nil {
+		t.Fatal("out-of-data zoom accepted")
+	}
+	if err := v.SetFocus("bad >"); err == nil {
+		t.Fatal("bad focus accepted")
+	}
+	if err := v.SetFocus(""); err != nil {
+		t.Fatal("clearing focus failed")
+	}
+	if _, err := v.BinWidth("nope"); err == nil {
+		t.Fatal("BinWidth on unknown axis accepted")
+	}
+}

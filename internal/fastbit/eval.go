@@ -1,0 +1,303 @@
+package fastbit
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bitmap"
+	"repro/internal/query"
+)
+
+// RawReader provides access to the base data for candidate checks and for
+// the value-gather step of conditional histograms.
+type RawReader interface {
+	// ValuesAt returns the values of a column at sorted record positions.
+	ValuesAt(name string, positions []uint64) ([]float64, error)
+	// Column returns the whole column.
+	Column(name string) ([]float64, error)
+}
+
+// MemReader is a RawReader over in-memory columns, used by tests and by
+// code paths that already hold the data.
+type MemReader map[string][]float64
+
+// ValuesAt implements RawReader.
+func (m MemReader) ValuesAt(name string, positions []uint64) ([]float64, error) {
+	col, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("fastbit: no column %q", name)
+	}
+	out := make([]float64, len(positions))
+	for i, p := range positions {
+		if p >= uint64(len(col)) {
+			return nil, fmt.Errorf("fastbit: position %d out of range %d", p, len(col))
+		}
+		out[i] = col[p]
+	}
+	return out, nil
+}
+
+// Column implements RawReader.
+func (m MemReader) Column(name string) ([]float64, error) {
+	col, ok := m[name]
+	if !ok {
+		return nil, fmt.Errorf("fastbit: no column %q", name)
+	}
+	return col, nil
+}
+
+// Evaluator resolves query expressions to record bitmaps using the
+// per-column indexes, consulting the raw reader only for boundary bins.
+// Indexes may be provided statically (Indexes, IDIdx) or on demand
+// (LookupIndex, LookupID — used with lazily loaded index files).
+type Evaluator struct {
+	N       uint64
+	Indexes map[string]*Index
+	// LookupIndex, when set, resolves indexes not found in Indexes.
+	LookupIndex func(name string) (*Index, error)
+	// IDVar names the identifier column served by the ID index.
+	IDVar string
+	IDIdx *IDIndex
+	// LookupID, when set, resolves the ID index on first use.
+	LookupID func() (*IDIndex, error)
+	Raw      RawReader
+
+	// Stats accumulates candidate-check work across Eval calls.
+	Stats EvalStats
+}
+
+// index resolves the range index for a variable.
+func (ev *Evaluator) index(name string) (*Index, error) {
+	if ix, ok := ev.Indexes[name]; ok {
+		return ix, nil
+	}
+	if ev.LookupIndex != nil {
+		return ev.LookupIndex(name)
+	}
+	return nil, fmt.Errorf("fastbit: no index for variable %q", name)
+}
+
+// idIndex resolves the identifier index, or nil when unavailable.
+func (ev *Evaluator) idIndex() *IDIndex {
+	if ev.IDIdx != nil {
+		return ev.IDIdx
+	}
+	if ev.LookupID != nil {
+		if id, err := ev.LookupID(); err == nil {
+			ev.IDIdx = id
+			return id
+		}
+	}
+	return nil
+}
+
+// Eval computes the bitmap of records matching e.
+func (ev *Evaluator) Eval(e query.Expr) (*bitmap.Vector, error) {
+	switch t := e.(type) {
+	case *query.Compare:
+		return ev.evalCompare(t)
+	case *query.In:
+		return ev.evalIn(t)
+	case *query.And:
+		return ev.evalAnd(t.Terms)
+	case *query.Or:
+		return ev.evalNary(t.Terms, func(a, b *bitmap.Vector) *bitmap.Vector { return a.Or(b) })
+	case *query.Not:
+		inner, err := ev.Eval(t.Term)
+		if err != nil {
+			return nil, err
+		}
+		return inner.Not(), nil
+	default:
+		return nil, fmt.Errorf("fastbit: unsupported expression %T", e)
+	}
+}
+
+// evalAnd evaluates a conjunction with an empty-result short circuit:
+// once the running intersection has no bits set, the remaining terms'
+// bitmaps (and especially their candidate checks) are never computed.
+func (ev *Evaluator) evalAnd(terms []query.Expr) (*bitmap.Vector, error) {
+	if len(terms) == 0 {
+		return nil, fmt.Errorf("fastbit: empty boolean term list")
+	}
+	var acc *bitmap.Vector
+	for _, t := range terms {
+		v, err := ev.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = v
+		} else {
+			acc = acc.And(v)
+		}
+		if acc.Count() == 0 {
+			// Preserve the full record length for downstream ops.
+			empty := bitmap.New(ev.N)
+			empty.AppendRun(false, ev.N)
+			return empty, nil
+		}
+	}
+	return acc, nil
+}
+
+func (ev *Evaluator) evalNary(terms []query.Expr, combine func(a, b *bitmap.Vector) *bitmap.Vector) (*bitmap.Vector, error) {
+	var acc *bitmap.Vector
+	for _, t := range terms {
+		v, err := ev.Eval(t)
+		if err != nil {
+			return nil, err
+		}
+		if acc == nil {
+			acc = v
+		} else {
+			acc = combine(acc, v)
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("fastbit: empty boolean term list")
+	}
+	return acc, nil
+}
+
+func (ev *Evaluator) evalCompare(c *query.Compare) (*bitmap.Vector, error) {
+	ix, err := ev.index(c.Var)
+	if err != nil {
+		return nil, err
+	}
+	if c.Op == query.NE {
+		eqv, err := ev.evalCompare(&query.Compare{Var: c.Var, Op: query.EQ, Value: c.Value})
+		if err != nil {
+			return nil, err
+		}
+		return eqv.Not(), nil
+	}
+	iv, ok := query.CompareInterval(c)
+	if !ok {
+		return nil, fmt.Errorf("fastbit: cannot evaluate operator %v", c.Op)
+	}
+	v, st, err := ix.Evaluate(iv, ev.rawFor(c.Var))
+	ev.accumulate(st)
+	return v, err
+}
+
+// evalIn resolves a membership condition. The identifier column uses the
+// dedicated ID index; any other variable is resolved through its range
+// index with a single grouped candidate check.
+func (ev *Evaluator) evalIn(in *query.In) (*bitmap.Vector, error) {
+	if in.Var == ev.IDVar {
+		if idIdx := ev.idIndex(); idIdx != nil {
+			ids := make([]int64, len(in.Values))
+			for i, v := range in.Values {
+				ids[i] = int64(v)
+			}
+			pos := idIdx.Lookup(ids)
+			return bitmap.FromPositions(ev.N, pos)
+		}
+	}
+	ix, err := ev.index(in.Var)
+	if err != nil {
+		return nil, err
+	}
+	// Gather the candidate bins holding any of the wanted values, check
+	// raw values once.
+	binsWanted := map[int]bool{}
+	for _, v := range in.Values {
+		if v < ix.Min() || v > ix.Max() {
+			continue
+		}
+		b := sort.SearchFloat64s(ix.Bounds, v)
+		if b < len(ix.Bounds) && ix.Bounds[b] == v {
+			// Value on a boundary can fall in the bin above it, or is the
+			// top of the last bin.
+			if b < ix.Bins() {
+				binsWanted[b] = true
+			}
+			if b == len(ix.Bounds)-1 {
+				binsWanted[ix.Bins()-1] = true
+			}
+		} else if b > 0 {
+			binsWanted[b-1] = true
+		}
+	}
+	if len(binsWanted) == 0 {
+		v := bitmap.New(ev.N)
+		v.AppendRun(false, ev.N)
+		return v, nil
+	}
+	cand := make([]*bitmap.Vector, 0, len(binsWanted))
+	for b := range binsWanted {
+		cand = append(cand, ix.Bitmaps[b])
+	}
+	positions := bitmap.OrAll(cand).Positions()
+	ev.Stats.CandidateChecks += uint64(len(positions))
+	values, err := ev.rawFor(in.Var)(positions)
+	if err != nil {
+		return nil, err
+	}
+	hits := positions[:0]
+	for i, p := range positions {
+		if in.Contains(values[i]) {
+			hits = append(hits, p)
+		}
+	}
+	return bitmap.FromPositions(ev.N, hits)
+}
+
+func (ev *Evaluator) rawFor(name string) RawValues {
+	if ev.Raw == nil {
+		return nil
+	}
+	return func(positions []uint64) ([]float64, error) {
+		return ev.Raw.ValuesAt(name, positions)
+	}
+}
+
+func (ev *Evaluator) accumulate(st EvalStats) {
+	ev.Stats.FullBins += st.FullBins
+	ev.Stats.BoundaryBins += st.BoundaryBins
+	ev.Stats.CandidateChecks += st.CandidateChecks
+}
+
+// Count returns the number of records matching e.
+func (ev *Evaluator) Count(e query.Expr) (uint64, error) {
+	v, err := ev.Eval(e)
+	if err != nil {
+		return 0, err
+	}
+	return v.Count(), nil
+}
+
+// Select returns the sorted record positions matching e.
+func (ev *Evaluator) Select(e query.Expr) ([]uint64, error) {
+	v, err := ev.Eval(e)
+	if err != nil {
+		return nil, err
+	}
+	return v.Positions(), nil
+}
+
+// SelectIDs returns the identifiers of records matching e, read from the
+// identifier column at the matching positions.
+func (ev *Evaluator) SelectIDs(e query.Expr) ([]int64, error) {
+	pos, err := ev.Select(e)
+	if err != nil {
+		return nil, err
+	}
+	if ev.Raw == nil {
+		return nil, fmt.Errorf("fastbit: SelectIDs requires a raw reader")
+	}
+	vals, err := ev.Raw.ValuesAt(ev.IDVar, pos)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		if v != math.Trunc(v) {
+			return nil, fmt.Errorf("fastbit: non-integer identifier %g", v)
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}

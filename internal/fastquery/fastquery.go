@@ -1,0 +1,405 @@
+// Package fastquery is the query/histogram veneer over the columnar
+// storage layer — the analogue of HDF5-FastQuery in the paper's stack
+// (Section V): an implementation-neutral API for evaluating compound range
+// queries, extracting particle subsets and computing conditional
+// histograms over one timestep, with a choice of execution backend.
+//
+// Two backends implement every operation:
+//
+//	FastBit — bitmap-index accelerated (requires the sidecar index file)
+//	Scan    — the paper's "Custom" sequential-scan baseline
+//
+// Both produce identical results; the performance comparison between them
+// is the subject of the paper's evaluation section.
+package fastquery
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/colstore"
+	"repro/internal/fastbit"
+	"repro/internal/histogram"
+	"repro/internal/query"
+	"repro/internal/scan"
+)
+
+// Backend selects the execution strategy for queries and histograms.
+type Backend int
+
+// Available backends.
+const (
+	FastBit Backend = iota
+	Scan
+)
+
+func (b Backend) String() string {
+	switch b {
+	case FastBit:
+		return "fastbit"
+	case Scan:
+		return "custom"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Source is an open multi-timestep dataset.
+type Source struct {
+	ds *colstore.Dataset
+}
+
+// Open opens a dataset directory produced by the preprocessing pipeline.
+func Open(dir string) (*Source, error) {
+	ds, err := colstore.OpenDataset(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Source{ds: ds}, nil
+}
+
+// Steps returns the number of timesteps.
+func (s *Source) Steps() int { return s.ds.Meta.Steps }
+
+// Variables returns the dataset's declared variables.
+func (s *Source) Variables() []string {
+	return append([]string(nil), s.ds.Meta.Variables...)
+}
+
+// Dataset exposes the underlying storage handle.
+func (s *Source) Dataset() *colstore.Dataset { return s.ds }
+
+// OpenStep opens one timestep for querying. The sidecar index file is
+// opened for on-demand section loading when present — only the directory
+// is read up front, and each query loads just the column indexes it
+// touches, like FastBit. Without an index only the Scan backend works.
+func (s *Source) OpenStep(t int) (*Step, error) {
+	f, err := s.ds.OpenStep(t)
+	if err != nil {
+		return nil, err
+	}
+	st := &Step{t: t, file: f}
+	if s.ds.HasIndex(t) {
+		ls, err := fastbit.OpenLazy(s.ds.IndexPath(t))
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fastquery: step %d index: %w", t, err)
+		}
+		if ls.N() != f.Rows() {
+			ls.Close()
+			f.Close()
+			return nil, fmt.Errorf("fastquery: step %d: index covers %d rows, data has %d", t, ls.N(), f.Rows())
+		}
+		st.index = ls
+	}
+	return st, nil
+}
+
+// Step is one open timestep.
+type Step struct {
+	t     int
+	file  *colstore.File
+	index *fastbit.LazyStep
+}
+
+// Close releases the underlying files.
+func (st *Step) Close() error {
+	if st.index != nil {
+		st.index.Close() //nolint:errcheck // read-only handle
+	}
+	return st.file.Close()
+}
+
+// T returns the timestep number.
+func (st *Step) T() int { return st.t }
+
+// Rows returns the record count.
+func (st *Step) Rows() uint64 { return st.file.Rows() }
+
+// HasIndex reports whether the FastBit backend is available.
+func (st *Step) HasIndex() bool { return st.index != nil }
+
+// IOBytes returns cumulative bytes read from the data file (not the
+// index), for the performance model.
+func (st *Step) IOBytes() uint64 { return st.file.BytesRead() }
+
+// ReadColumn reads a full column as float64.
+func (st *Step) ReadColumn(name string) ([]float64, error) {
+	return st.file.ReadAsFloat64(name)
+}
+
+// ReadIDs reads the identifier column.
+func (st *Step) ReadIDs() ([]int64, error) {
+	return st.file.ReadInt64(st.idVar())
+}
+
+func (st *Step) idVar() string {
+	if st.index != nil && st.index.IDVar() != "" {
+		return st.index.IDVar()
+	}
+	return "id"
+}
+
+// reader adapts the colstore file to fastbit's RawReader.
+type reader struct{ f *colstore.File }
+
+func (r reader) ValuesAt(name string, positions []uint64) ([]float64, error) {
+	return r.f.ReadFloat64At(name, positions)
+}
+
+func (r reader) Column(name string) ([]float64, error) {
+	return r.f.ReadAsFloat64(name)
+}
+
+// evaluator returns a fastbit evaluator for this step.
+func (st *Step) evaluator() (*fastbit.Evaluator, error) {
+	if st.index == nil {
+		return nil, fmt.Errorf("fastquery: step %d has no index; use the Scan backend", st.t)
+	}
+	return st.index.Evaluator(reader{st.file}), nil
+}
+
+// loadScanColumns reads the columns needed to scan-evaluate e plus any
+// extra variables.
+func (st *Step) loadScanColumns(e query.Expr, extra ...string) (scan.Columns, error) {
+	need := map[string]bool{}
+	if e != nil {
+		for _, v := range query.Vars(e) {
+			need[v] = true
+		}
+	}
+	for _, v := range extra {
+		need[v] = true
+	}
+	cols := scan.Columns{}
+	for v := range need {
+		col, err := st.file.ReadAsFloat64(v)
+		if err != nil {
+			return nil, err
+		}
+		cols[v] = col
+	}
+	return cols, nil
+}
+
+// Select returns the sorted record positions matching e.
+func (st *Step) Select(e query.Expr, b Backend) ([]uint64, error) {
+	switch b {
+	case FastBit:
+		ev, err := st.evaluator()
+		if err != nil {
+			return nil, err
+		}
+		return ev.Select(e)
+	case Scan:
+		cols, err := st.loadScanColumns(e)
+		if err != nil {
+			return nil, err
+		}
+		return scan.Select(cols, e)
+	default:
+		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
+	}
+}
+
+// Count returns the number of records matching e.
+func (st *Step) Count(e query.Expr, b Backend) (uint64, error) {
+	pos, err := st.Select(e, b)
+	if err != nil {
+		return 0, err
+	}
+	return uint64(len(pos)), nil
+}
+
+// SelectIDs returns the identifiers of records matching e.
+func (st *Step) SelectIDs(e query.Expr, b Backend) ([]int64, error) {
+	pos, err := st.Select(e, b)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := st.file.ReadFloat64At(st.idVar(), pos)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+// FindIDs returns the sorted positions of records whose identifier is in
+// the search set: the particle-tracking primitive (paper Section V-B).
+func (st *Step) FindIDs(ids []int64, b Backend) ([]uint64, error) {
+	switch b {
+	case FastBit:
+		if st.index == nil {
+			return nil, fmt.Errorf("fastquery: step %d has no identifier index", st.t)
+		}
+		pos, err := st.index.IDLookup(ids)
+		if err != nil {
+			return nil, fmt.Errorf("fastquery: step %d: %w", st.t, err)
+		}
+		return pos, nil
+	case Scan:
+		col, err := st.ReadIDs()
+		if err != nil {
+			return nil, err
+		}
+		return scan.FindIDs(col, ids), nil
+	default:
+		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
+	}
+}
+
+// Histogram2D computes a 2D histogram; cond may be nil for unconditional.
+func (st *Step) Histogram2D(cond query.Expr, spec histogram.Spec2D, b Backend) (*histogram.Hist2D, error) {
+	switch b {
+	case FastBit:
+		ev, err := st.evaluator()
+		if err != nil {
+			return nil, err
+		}
+		return ev.Histogram2D(cond, spec)
+	case Scan:
+		cols, err := st.loadScanColumns(cond, spec.XVar, spec.YVar)
+		if err != nil {
+			return nil, err
+		}
+		return scanHistogram2D(cols, cond, spec)
+	default:
+		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
+	}
+}
+
+// Histogram1D computes a 1D histogram; cond may be nil.
+func (st *Step) Histogram1D(cond query.Expr, spec histogram.Spec1D, b Backend) (*histogram.Hist1D, error) {
+	switch b {
+	case FastBit:
+		ev, err := st.evaluator()
+		if err != nil {
+			return nil, err
+		}
+		return ev.Histogram1D(cond, spec)
+	case Scan:
+		cols, err := st.loadScanColumns(cond, spec.Var)
+		if err != nil {
+			return nil, err
+		}
+		return scanHistogram1D(cols, cond, spec)
+	default:
+		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
+	}
+}
+
+// Histogram2DParallel computes a conditional 2D histogram with the SMP
+// data-parallel algorithm (rows sharded across workers, partial histograms
+// merged — scan.ParallelHistogram2D). It always runs on the scan path;
+// the index-accelerated path parallelises across timesteps instead.
+func (st *Step) Histogram2DParallel(cond query.Expr, spec histogram.Spec2D, workers int) (*histogram.Hist2D, error) {
+	cols, err := st.loadScanColumns(cond, spec.XVar, spec.YVar)
+	if err != nil {
+		return nil, err
+	}
+	xe, ye, err := resolveEdges(cols, cond, spec)
+	if err != nil {
+		return nil, err
+	}
+	return scan.ParallelHistogram2D(cols, spec.XVar, spec.YVar, cond, xe, ye, workers)
+}
+
+// resolveEdges derives the bin edges a spec implies for the given columns
+// and condition (shared by the serial and parallel scan paths).
+func resolveEdges(cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (xe, ye []float64, err error) {
+	xs, ys := cols[spec.XVar], cols[spec.YVar]
+	selX, selY := xs, ys
+	if cond != nil {
+		pos, err := scan.Select(cols, cond)
+		if err != nil {
+			return nil, nil, err
+		}
+		selX = gather(xs, pos)
+		selY = gather(ys, pos)
+	}
+	xlo, xhi := spec.XLo, spec.XHi
+	if !spec.HasXRange() {
+		xlo, xhi = scan.MinMax(selX)
+	}
+	ylo, yhi := spec.YLo, spec.YHi
+	if !spec.HasYRange() {
+		ylo, yhi = scan.MinMax(selY)
+	}
+	if spec.Binning == histogram.Adaptive {
+		if xe, err = histogram.AdaptiveEdges(selX, xlo, xhi, spec.XBins, spec.MinDensity); err != nil {
+			return nil, nil, err
+		}
+		if ye, err = histogram.AdaptiveEdges(selY, ylo, yhi, spec.YBins, spec.MinDensity); err != nil {
+			return nil, nil, err
+		}
+		return xe, ye, nil
+	}
+	return histogram.UniformEdges(xlo, xhi, spec.XBins), histogram.UniformEdges(ylo, yhi, spec.YBins), nil
+}
+
+// scanHistogram2D resolves spec ranges/edges against scan columns. Range
+// derivation and adaptive edges see only the selected values, like the
+// FastBit path, so both backends produce identical histograms.
+func scanHistogram2D(cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (*histogram.Hist2D, error) {
+	xe, ye, err := resolveEdges(cols, cond, spec)
+	if err != nil {
+		return nil, err
+	}
+	return scan.ConditionalHistogram2D(cols, spec.XVar, spec.YVar, cond, xe, ye)
+}
+
+func scanHistogram1D(cols scan.Columns, cond query.Expr, spec histogram.Spec1D) (*histogram.Hist1D, error) {
+	vs := cols[spec.Var]
+	sel := vs
+	if cond != nil {
+		pos, err := scan.Select(cols, cond)
+		if err != nil {
+			return nil, err
+		}
+		sel = gather(vs, pos)
+	}
+	lo, hi := spec.Lo, spec.Hi
+	if !spec.HasRange() {
+		lo, hi = scan.MinMax(sel)
+	}
+	var edges []float64
+	var err error
+	if spec.Binning == histogram.Adaptive {
+		if edges, err = histogram.AdaptiveEdges(sel, lo, hi, spec.Bins, spec.MinDensity); err != nil {
+			return nil, err
+		}
+	} else {
+		edges = histogram.UniformEdges(lo, hi, spec.Bins)
+	}
+	return scan.Histogram1D(cols, spec.Var, cond, edges)
+}
+
+func gather(vals []float64, pos []uint64) []float64 {
+	out := make([]float64, len(pos))
+	for i, p := range pos {
+		out[i] = vals[p]
+	}
+	return out
+}
+
+// MinMax returns the value range of a column, preferring the index's
+// metadata (free) over a column scan.
+func (st *Step) MinMax(name string) (lo, hi float64, err error) {
+	if st.index != nil && st.index.HasColumn(name) {
+		ix, err := st.index.Column(name)
+		if err != nil {
+			return math.NaN(), math.NaN(), err
+		}
+		return ix.Min(), ix.Max(), nil
+	}
+	col, err := st.ReadColumn(name)
+	if err != nil {
+		return math.NaN(), math.NaN(), err
+	}
+	lo, hi = scan.MinMax(col)
+	return lo, hi, nil
+}

@@ -1,0 +1,42 @@
+package histogram_test
+
+import (
+	"fmt"
+
+	"repro/internal/histogram"
+)
+
+func ExampleCompute2D() {
+	xs := []float64{0.1, 0.4, 0.6, 0.9}
+	ys := []float64{0.2, 0.2, 0.8, 0.8}
+	h, err := histogram.Compute2D("x", "y", xs, ys,
+		histogram.UniformEdges(0, 1, 2), histogram.UniformEdges(0, 1, 2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(h.Total())
+	fmt.Println(h.At(0, 0), h.At(1, 1))
+	// Output:
+	// 4
+	// 2 2
+}
+
+func ExampleAdaptiveEdges() {
+	// Equal-weight (adaptive) bins narrow where the data is dense.
+	vals := make([]float64, 0, 1100)
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, float64(i)/10000) // dense cluster near 0
+	}
+	for i := 0; i < 100; i++ {
+		vals = append(vals, 0.1+0.9*float64(i)/100) // sparse tail
+	}
+	edges, err := histogram.AdaptiveEdges(vals, 0, 1, 4, 0)
+	if err != nil {
+		panic(err)
+	}
+	firstWidth := edges[1] - edges[0]
+	lastWidth := edges[4] - edges[3]
+	fmt.Println(len(edges), firstWidth < lastWidth)
+	// Output:
+	// 5 true
+}

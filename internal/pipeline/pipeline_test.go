@@ -1,0 +1,272 @@
+package pipeline
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/pcoords"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+var (
+	plOnce sync.Once
+	plDir  string
+	plErr  error
+)
+
+func plSource(t *testing.T) *fastquery.Source {
+	t.Helper()
+	plOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "pipeline-test-*")
+		if err != nil {
+			plErr = err
+			return
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Steps = 4
+		cfg.BackgroundPerStep = 2000
+		cfg.BeamParticles = 50
+		_, plErr = sim.WriteDataset(dir, cfg, sim.WriteOptions{
+			Index: fastbit.IndexOptions{Bins: 48},
+		})
+		plDir = dir
+	})
+	if plErr != nil {
+		t.Fatal(plErr)
+	}
+	src, err := fastquery.Open(plDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if plDir != "" {
+		os.RemoveAll(plDir)
+	}
+	os.Exit(code)
+}
+
+func TestContractRestrict(t *testing.T) {
+	c := NewContract()
+	if rs, ok := c.RangeSet(); !ok || len(rs) != 0 {
+		t.Fatal("empty contract RangeSet wrong")
+	}
+	c.Restrict(query.MustParse("px > 1e9"))
+	c.Restrict(query.MustParse("y > 0"))
+	if !c.Variables["px"] || !c.Variables["y"] {
+		t.Fatal("variables not collected")
+	}
+	rs, ok := c.RangeSet()
+	if !ok {
+		t.Fatal("conjunction not exposed as range set")
+	}
+	if rs["px"].Lo != 1e9 || rs["y"].Lo != 0 {
+		t.Fatalf("range set = %v", rs)
+	}
+	c.Restrict(query.MustParse("a > 0 || b > 0"))
+	if _, ok := c.RangeSet(); ok {
+		t.Fatal("disjunction exposed as range set")
+	}
+	c.Restrict(nil) // no-op
+}
+
+func TestPipelineHistogramAndSelection(t *testing.T) {
+	src := plSource(t)
+	sel := &SelectionStage{Query: query.MustParse("px > 1e9"), WantIDs: true}
+	hist := &HistogramStage{Specs: []histogram.Spec2D{
+		histogram.NewSpec2D("x", "px", 16, 16),
+	}}
+	pl, err := New(src, fastquery.FastBit, sel, hist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := pl.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Hists) != 1 {
+		t.Fatalf("histogram stage got %d hists", len(hist.Hists))
+	}
+	// The histogram was computed under the selection's restriction:
+	// total == selection size.
+	if hist.Hists[0].Total() != uint64(len(sel.Positions)) {
+		t.Fatalf("conditional histogram total %d != %d selected",
+			hist.Hists[0].Total(), len(sel.Positions))
+	}
+	if len(sel.IDs) != len(sel.Positions) {
+		t.Fatalf("ids %d != positions %d", len(sel.IDs), len(sel.Positions))
+	}
+	if len(sel.Positions) == 0 {
+		t.Fatal("selection empty")
+	}
+	if payload.Rows == 0 {
+		t.Fatal("payload rows zero")
+	}
+}
+
+func TestPipelineBackendsAgree(t *testing.T) {
+	src := plSource(t)
+	run := func(b fastquery.Backend) *Payload {
+		sel := &SelectionStage{Query: query.MustParse("px > 1e9 && y > 0")}
+		pl, err := New(src, b, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := pl.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a := run(fastquery.FastBit)
+	b := run(fastquery.Scan)
+	if len(a.Positions) != len(b.Positions) {
+		t.Fatalf("backends disagree: %d vs %d", len(a.Positions), len(b.Positions))
+	}
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] {
+			t.Fatalf("position %d differs", i)
+		}
+	}
+}
+
+func TestPipelineSubsetStage(t *testing.T) {
+	src := plSource(t)
+	sel := &SelectionStage{Query: query.MustParse("px > 1e9")}
+	sub := &SubsetStage{Columns: []string{"x", "px"}}
+	pl, err := New(src, fastquery.FastBit, sel, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Values["x"]) != len(sel.Positions) {
+		t.Fatalf("subset %d values for %d positions", len(sub.Values["x"]), len(sel.Positions))
+	}
+	// Every extracted px satisfies the restriction.
+	for i, v := range sub.Values["px"] {
+		if v <= 1e9 {
+			t.Fatalf("subset record %d has px=%g, violates restriction", i, v)
+		}
+	}
+}
+
+func TestPipelinePCPlotSink(t *testing.T) {
+	src := plSource(t)
+	sink := &PCPlotSink{
+		Axes: []pcoords.Axis{
+			{Var: "x", Min: 0, Max: 2e-3},
+			{Var: "px", Min: -1e9, Max: 1.2e11},
+			{Var: "y", Min: -1e-4, Max: 1e-4},
+		},
+		Bins: 32,
+	}
+	pl, err := New(src, fastquery.FastBit, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Canvas == nil {
+		t.Fatal("sink produced no canvas")
+	}
+	w, h := sink.Canvas.Size()
+	if w == 0 || h == 0 {
+		t.Fatal("empty canvas")
+	}
+}
+
+func TestPipelineSubsetWithoutRestrictionFails(t *testing.T) {
+	src := plSource(t)
+	sub := &SubsetStage{Columns: []string{"x"}}
+	pl, err := New(src, fastquery.FastBit, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(0); err == nil {
+		t.Fatal("subset without restriction accepted")
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	src := plSource(t)
+	if _, err := New(nil, fastquery.FastBit, &SelectionStage{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := New(src, fastquery.FastBit); err == nil {
+		t.Fatal("no stages accepted")
+	}
+	// Stage negotiation failures.
+	pl, err := New(src, fastquery.FastBit, &SelectionStage{Query: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(0); err == nil {
+		t.Fatal("nil selection query accepted")
+	}
+	pl, err = New(src, fastquery.FastBit, &HistogramStage{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(0); err == nil {
+		t.Fatal("empty histogram stage accepted")
+	}
+	pl, err = New(src, fastquery.FastBit, &SubsetStage{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(0); err == nil {
+		t.Fatal("empty subset stage accepted")
+	}
+	pl, err = New(src, fastquery.FastBit, &PCPlotSink{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(0); err == nil {
+		t.Fatal("empty pcplot sink accepted")
+	}
+	// Bad step surfaces.
+	pl, err = New(src, fastquery.FastBit, &SelectionStage{Query: query.MustParse("px > 0")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(99); err == nil {
+		t.Fatal("bad step accepted")
+	}
+}
+
+func TestTwoHistogramStagesShareContract(t *testing.T) {
+	src := plSource(t)
+	h1 := &HistogramStage{Specs: []histogram.Spec2D{histogram.NewSpec2D("x", "px", 8, 8)}}
+	h2 := &HistogramStage{Specs: []histogram.Spec2D{
+		histogram.NewSpec2D("y", "py", 8, 8),
+		histogram.NewSpec2D("x", "y", 8, 8),
+	}}
+	pl, err := New(src, fastquery.FastBit, h1, h2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := pl.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hists) != 3 {
+		t.Fatalf("payload carries %d hists", len(p.Hists))
+	}
+	if len(h1.Hists) != 1 || len(h2.Hists) != 2 {
+		t.Fatalf("stage hist counts %d, %d", len(h1.Hists), len(h2.Hists))
+	}
+	if h1.Hists[0].XVar != "x" || h2.Hists[0].XVar != "y" {
+		t.Fatal("histograms routed to wrong stages")
+	}
+}

@@ -1,0 +1,186 @@
+package pipeline
+
+import (
+	"fmt"
+	"image/color"
+
+	"repro/internal/histogram"
+	"repro/internal/pcoords"
+	"repro/internal/query"
+	"repro/internal/render"
+)
+
+// SelectionStage contributes a Boolean range query that restricts the
+// whole pipeline — the interactive threshold selection from the parallel
+// coordinates display.
+type SelectionStage struct {
+	Query query.Expr
+	// WantIDs additionally requests matching identifiers (for subsequent
+	// tracking queries).
+	WantIDs bool
+
+	// Result fields populated at Execute time.
+	Positions []uint64
+	IDs       []int64
+}
+
+// Name implements Stage.
+func (s *SelectionStage) Name() string { return "selection" }
+
+// Negotiate implements Stage.
+func (s *SelectionStage) Negotiate(c *Contract) error {
+	if s.Query == nil {
+		return fmt.Errorf("selection stage has no query")
+	}
+	c.Restrict(s.Query)
+	c.NeedPositions = true
+	if s.WantIDs {
+		c.NeedIDs = true
+	}
+	return nil
+}
+
+// Execute implements Stage.
+func (s *SelectionStage) Execute(p *Payload) error {
+	s.Positions = p.Positions
+	s.IDs = p.IDs
+	return nil
+}
+
+// HistogramStage requests 2D histograms computed at the I/O stage.
+type HistogramStage struct {
+	Specs []histogram.Spec2D
+
+	// Hists is populated at Execute time, parallel to Specs.
+	Hists []*histogram.Hist2D
+
+	offset int // position of our specs within the contract
+}
+
+// Name implements Stage.
+func (h *HistogramStage) Name() string { return "histogram" }
+
+// Negotiate implements Stage.
+func (h *HistogramStage) Negotiate(c *Contract) error {
+	if len(h.Specs) == 0 {
+		return fmt.Errorf("histogram stage has no specs")
+	}
+	h.offset = len(c.Hist2D)
+	for _, spec := range h.Specs {
+		c.Variables[spec.XVar] = true
+		c.Variables[spec.YVar] = true
+		c.Hist2D = append(c.Hist2D, spec)
+	}
+	return nil
+}
+
+// Execute implements Stage.
+func (h *HistogramStage) Execute(p *Payload) error {
+	if h.offset+len(h.Specs) > len(p.Hists) {
+		return fmt.Errorf("payload carries %d histograms, need %d", len(p.Hists), h.offset+len(h.Specs))
+	}
+	h.Hists = p.Hists[h.offset : h.offset+len(h.Specs)]
+	return nil
+}
+
+// SubsetStage extracts the values of named columns for the selected
+// records (the "data subsetting" output path of Figure 1).
+type SubsetStage struct {
+	Columns []string
+
+	// Values is populated at Execute time.
+	Values map[string][]float64
+}
+
+// Name implements Stage.
+func (s *SubsetStage) Name() string { return "subset" }
+
+// Negotiate implements Stage.
+func (s *SubsetStage) Negotiate(c *Contract) error {
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("subset stage has no columns")
+	}
+	for _, name := range s.Columns {
+		c.Variables[name] = true
+		c.SubsetColumns[name] = true
+	}
+	return nil
+}
+
+// Execute implements Stage.
+func (s *SubsetStage) Execute(p *Payload) error {
+	s.Values = map[string][]float64{}
+	for _, name := range s.Columns {
+		vals, ok := p.Subset[name]
+		if !ok {
+			return fmt.Errorf("payload missing subset column %q", name)
+		}
+		s.Values[name] = vals
+	}
+	return nil
+}
+
+// PCPlotSink renders the stage's histograms as a parallel coordinates
+// plot. It negotiates one histogram per adjacent axis pair.
+type PCPlotSink struct {
+	Axes    []pcoords.Axis
+	Bins    int
+	Binning histogram.Binning
+	Color   color.RGBA
+	Options pcoords.Options
+
+	// Canvas is populated at Execute time.
+	Canvas *render.Canvas
+
+	offset int
+}
+
+// Name implements Stage.
+func (s *PCPlotSink) Name() string { return "pcplot" }
+
+// Negotiate implements Stage.
+func (s *PCPlotSink) Negotiate(c *Contract) error {
+	if len(s.Axes) < 2 {
+		return fmt.Errorf("pcplot sink needs at least 2 axes")
+	}
+	if s.Bins <= 0 {
+		return fmt.Errorf("pcplot sink needs a positive bin count")
+	}
+	s.offset = len(c.Hist2D)
+	for i := 0; i < len(s.Axes)-1; i++ {
+		a, b := s.Axes[i], s.Axes[i+1]
+		c.Variables[a.Var] = true
+		c.Variables[b.Var] = true
+		spec := histogram.NewSpec2D(a.Var, b.Var, s.Bins, s.Bins).
+			WithBinning(s.Binning).
+			WithXRange(a.Min, a.Max).
+			WithYRange(b.Min, b.Max)
+		c.Hist2D = append(c.Hist2D, spec)
+	}
+	return nil
+}
+
+// Execute implements Stage.
+func (s *PCPlotSink) Execute(p *Payload) error {
+	n := len(s.Axes) - 1
+	if s.offset+n > len(p.Hists) {
+		return fmt.Errorf("payload carries %d histograms, need %d", len(p.Hists), s.offset+n)
+	}
+	opt := s.Options
+	if opt.Width == 0 {
+		opt = pcoords.DefaultOptions()
+	}
+	plot, err := pcoords.New(s.Axes, opt)
+	if err != nil {
+		return err
+	}
+	col := s.Color
+	if col.A == 0 {
+		col = color.RGBA{90, 200, 255, 255}
+	}
+	if err := plot.AddHistLayer(&pcoords.HistLayer{Hists: p.Hists[s.offset : s.offset+n], Color: col}); err != nil {
+		return err
+	}
+	s.Canvas, err = plot.Render()
+	return err
+}

@@ -1,0 +1,134 @@
+package query
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// CompareInterval converts a single comparison to the interval of values
+// satisfying it. NE is not representable as one interval and returns
+// ok == false.
+func CompareInterval(c *Compare) (Interval, bool) {
+	inf := math.Inf(1)
+	switch c.Op {
+	case LT:
+		return Interval{Lo: -inf, Hi: c.Value, HiOpen: true}, true
+	case LE:
+		return Interval{Lo: -inf, Hi: c.Value}, true
+	case GT:
+		return Interval{Lo: c.Value, Hi: inf, LoOpen: true}, true
+	case GE:
+		return Interval{Lo: c.Value, Hi: inf}, true
+	case EQ:
+		return Interval{Lo: c.Value, Hi: c.Value}, true
+	default:
+		return Interval{}, false
+	}
+}
+
+// Intersect returns the intersection of two intervals.
+func Intersect(a, b Interval) Interval {
+	out := a
+	if b.Lo > out.Lo || (b.Lo == out.Lo && b.LoOpen) {
+		out.Lo, out.LoOpen = b.Lo, b.LoOpen
+	}
+	if b.Hi < out.Hi || (b.Hi == out.Hi && b.HiOpen) {
+		out.Hi, out.HiOpen = b.Hi, b.HiOpen
+	}
+	return out
+}
+
+// Empty reports whether the interval contains no values.
+func (iv Interval) Empty() bool {
+	if iv.Lo > iv.Hi {
+		return true
+	}
+	if iv.Lo == iv.Hi && (iv.LoOpen || iv.HiOpen) {
+		return true
+	}
+	return false
+}
+
+// RangeSet extracts, for a pure conjunction of comparisons (the common
+// form built from parallel-coordinates axis sliders), the intersected
+// interval per variable. It returns ok == false when the expression
+// contains OR, NOT, IN or NE terms and therefore is not a plain
+// multivariate range query. This is the "set of Boolean range queries"
+// that VisIt-style contracts carry out-of-band (paper Section II-D).
+func RangeSet(e Expr) (map[string]Interval, bool) {
+	out := map[string]Interval{}
+	ok := collectRanges(e, out)
+	return out, ok
+}
+
+func collectRanges(e Expr, out map[string]Interval) bool {
+	switch t := e.(type) {
+	case *Compare:
+		iv, ok := CompareInterval(t)
+		if !ok {
+			return false
+		}
+		if prev, exists := out[t.Var]; exists {
+			out[t.Var] = Intersect(prev, iv)
+		} else {
+			out[t.Var] = iv
+		}
+		return true
+	case *And:
+		for _, term := range t.Terms {
+			if !collectRanges(term, out) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Precision returns the number of significant decimal digits needed to
+// represent v exactly in scientific notation, e.g. 1e-5 has precision 1,
+// 2.5e8 has precision 2, and 8.872e10 has precision 4. The paper's
+// precision-based FastBit bins guarantee that queries whose constants have
+// at most the index precision are answered from the index alone.
+func Precision(v float64) int {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return 1
+	}
+	s := strconv.FormatFloat(math.Abs(v), 'e', -1, 64)
+	// s looks like "d.dddde±xx"; count digits of the mantissa.
+	mant := s
+	if i := strings.IndexByte(s, 'e'); i >= 0 {
+		mant = s[:i]
+	}
+	digits := 0
+	for _, c := range mant {
+		if c >= '0' && c <= '9' {
+			digits++
+		}
+	}
+	// Trailing zeros in the mantissa do not add precision.
+	mant = strings.TrimRight(strings.Replace(mant, ".", "", 1), "0")
+	if len(mant) == 0 {
+		return 1
+	}
+	return len(mant)
+}
+
+// RoundToPrecision rounds v to p significant decimal digits, the grid on
+// which precision-binned index boundaries live.
+func RoundToPrecision(v float64, p int) float64 {
+	if v == 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+		return v
+	}
+	if p < 1 {
+		p = 1
+	}
+	s := strconv.FormatFloat(v, 'e', p-1, 64)
+	out, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return v
+	}
+	return out
+}

@@ -1,0 +1,355 @@
+package query
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a query expression. Grammar:
+//
+//	expr    = or
+//	or      = and { "||" and }
+//	and     = unary { "&&" unary }
+//	unary   = "!" unary | primary
+//	primary = "(" expr ")" | ident cmpop number | number cmpop ident
+//	        | ident "in" "(" number { "," number } ")"
+//	cmpop   = "<" | "<=" | ">" | ">=" | "==" | "!="
+//
+// Identifiers are Go-like ([A-Za-z_][A-Za-z0-9_]*); numbers accept the
+// usual float syntax including scientific notation.
+func Parse(src string) (Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errorf("unexpected %q after expression", p.tok.text)
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and constants.
+func MustParse(src string) Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokOp     // < <= > >= == !=
+	tokAndAnd // &&
+	tokOrOr   // ||
+	tokBang   // !
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+	val  float64 // for tokNumber
+	op   Op      // for tokOp
+}
+
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) lex() (token, error) {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '&':
+		if strings.HasPrefix(l.src[l.pos:], "&&") {
+			l.pos += 2
+			return token{kind: tokAndAnd, text: "&&", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("query: position %d: single '&' (did you mean '&&'?)", start)
+	case c == '|':
+		if strings.HasPrefix(l.src[l.pos:], "||") {
+			l.pos += 2
+			return token{kind: tokOrOr, text: "||", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("query: position %d: single '|' (did you mean '||'?)", start)
+	case c == '!':
+		if strings.HasPrefix(l.src[l.pos:], "!=") {
+			l.pos += 2
+			return token{kind: tokOp, text: "!=", pos: start, op: NE}, nil
+		}
+		l.pos++
+		return token{kind: tokBang, text: "!", pos: start}, nil
+	case c == '<':
+		if strings.HasPrefix(l.src[l.pos:], "<=") {
+			l.pos += 2
+			return token{kind: tokOp, text: "<=", pos: start, op: LE}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", pos: start, op: LT}, nil
+	case c == '>':
+		if strings.HasPrefix(l.src[l.pos:], ">=") {
+			l.pos += 2
+			return token{kind: tokOp, text: ">=", pos: start, op: GE}, nil
+		}
+		l.pos++
+		return token{kind: tokOp, text: ">", pos: start, op: GT}, nil
+	case c == '=':
+		if strings.HasPrefix(l.src[l.pos:], "==") {
+			l.pos += 2
+			return token{kind: tokOp, text: "==", pos: start, op: EQ}, nil
+		}
+		// Accept single '=' as equality for user convenience.
+		l.pos++
+		return token{kind: tokOp, text: "=", pos: start, op: EQ}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentCont(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+	case isNumberStart(c):
+		return l.lexNumber(start)
+	default:
+		return token{}, fmt.Errorf("query: position %d: unexpected character %q", start, c)
+	}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	seenE := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c >= '0' && c <= '9' || c == '.':
+			l.pos++
+		case c == 'e' || c == 'E':
+			seenE = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		case (c == '+' || c == '-') && l.pos == start:
+			l.pos++
+		default:
+			goto done
+		}
+	}
+done:
+	_ = seenE
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, fmt.Errorf("query: position %d: bad number %q", start, text)
+	}
+	return token{kind: tokNumber, text: text, pos: start, val: v}, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || c >= '0' && c <= '9' }
+
+func isNumberStart(c byte) bool {
+	return c >= '0' && c <= '9' || c == '.' || c == '-' || c == '+'
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) next() error {
+	t, err := p.lex.lex()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("query: position %d: %s", p.tok.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	first, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.tok.kind == tokOrOr {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &Or{Terms: terms}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	first, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	terms := []Expr{first}
+	for p.tok.kind == tokAndAnd {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	if len(terms) == 1 {
+		return terms[0], nil
+	}
+	return &And{Terms: terms}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokBang {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Term: t}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokRParen {
+			return nil, p.errorf("expected ')', got %q", p.tok.text)
+		}
+		return e, p.next()
+	case tokIdent:
+		name := p.tok.text
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokIdent && strings.EqualFold(p.tok.text, "in") {
+			return p.parseInList(name)
+		}
+		if p.tok.kind != tokOp {
+			return nil, p.errorf("expected comparison operator after %q, got %q", name, p.tok.text)
+		}
+		op := p.tok.op
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokNumber {
+			return nil, p.errorf("expected number after operator, got %q", p.tok.text)
+		}
+		v := p.tok.val
+		if math.IsNaN(v) {
+			return nil, p.errorf("NaN constant not allowed")
+		}
+		return &Compare{Var: name, Op: op, Value: v}, p.next()
+	case tokNumber:
+		// `number op ident` form, e.g. `5 < x`.
+		v := p.tok.val
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokOp {
+			return nil, p.errorf("expected comparison operator after number, got %q", p.tok.text)
+		}
+		op := p.tok.op
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokIdent {
+			return nil, p.errorf("expected variable after operator, got %q", p.tok.text)
+		}
+		name := p.tok.text
+		return &Compare{Var: name, Op: op.Flip(), Value: v}, p.next()
+	default:
+		return nil, p.errorf("expected condition, got %q", p.tok.text)
+	}
+}
+
+func (p *parser) parseInList(name string) (Expr, error) {
+	if err := p.next(); err != nil { // consume 'in'
+		return nil, err
+	}
+	if p.tok.kind != tokLParen {
+		return nil, p.errorf("expected '(' after 'in', got %q", p.tok.text)
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	var values []float64
+	for {
+		if p.tok.kind != tokNumber {
+			return nil, p.errorf("expected number in 'in' list, got %q", p.tok.text)
+		}
+		values = append(values, p.tok.val)
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokComma {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if p.tok.kind != tokRParen {
+		return nil, p.errorf("expected ')' to close 'in' list, got %q", p.tok.text)
+	}
+	return NewIn(name, values), p.next()
+}

@@ -1,0 +1,106 @@
+package render
+
+import (
+	"image/color"
+	"strings"
+)
+
+// A minimal 5x7 bitmap font for axis labels and annotations: digits,
+// lowercase letters and the punctuation needed for numbers in scientific
+// notation and simple query strings. Uppercase input is folded to
+// lowercase; unknown runes render as a hollow box.
+//
+// Each glyph is 7 rows of 5 bits, most-significant bit leftmost.
+var font5x7 = map[rune][7]uint8{
+	'0': {0b01110, 0b10001, 0b10011, 0b10101, 0b11001, 0b10001, 0b01110},
+	'1': {0b00100, 0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'2': {0b01110, 0b10001, 0b00001, 0b00010, 0b00100, 0b01000, 0b11111},
+	'3': {0b11111, 0b00010, 0b00100, 0b00010, 0b00001, 0b10001, 0b01110},
+	'4': {0b00010, 0b00110, 0b01010, 0b10010, 0b11111, 0b00010, 0b00010},
+	'5': {0b11111, 0b10000, 0b11110, 0b00001, 0b00001, 0b10001, 0b01110},
+	'6': {0b00110, 0b01000, 0b10000, 0b11110, 0b10001, 0b10001, 0b01110},
+	'7': {0b11111, 0b00001, 0b00010, 0b00100, 0b01000, 0b01000, 0b01000},
+	'8': {0b01110, 0b10001, 0b10001, 0b01110, 0b10001, 0b10001, 0b01110},
+	'9': {0b01110, 0b10001, 0b10001, 0b01111, 0b00001, 0b00010, 0b01100},
+	'a': {0b00000, 0b00000, 0b01110, 0b00001, 0b01111, 0b10001, 0b01111},
+	'b': {0b10000, 0b10000, 0b11110, 0b10001, 0b10001, 0b10001, 0b11110},
+	'c': {0b00000, 0b00000, 0b01110, 0b10000, 0b10000, 0b10001, 0b01110},
+	'd': {0b00001, 0b00001, 0b01111, 0b10001, 0b10001, 0b10001, 0b01111},
+	'e': {0b00000, 0b00000, 0b01110, 0b10001, 0b11111, 0b10000, 0b01110},
+	'f': {0b00110, 0b01001, 0b01000, 0b11100, 0b01000, 0b01000, 0b01000},
+	'g': {0b00000, 0b01111, 0b10001, 0b10001, 0b01111, 0b00001, 0b01110},
+	'h': {0b10000, 0b10000, 0b11110, 0b10001, 0b10001, 0b10001, 0b10001},
+	'i': {0b00100, 0b00000, 0b01100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'j': {0b00010, 0b00000, 0b00110, 0b00010, 0b00010, 0b10010, 0b01100},
+	'k': {0b10000, 0b10000, 0b10010, 0b10100, 0b11000, 0b10100, 0b10010},
+	'l': {0b01100, 0b00100, 0b00100, 0b00100, 0b00100, 0b00100, 0b01110},
+	'm': {0b00000, 0b00000, 0b11010, 0b10101, 0b10101, 0b10101, 0b10101},
+	'n': {0b00000, 0b00000, 0b11110, 0b10001, 0b10001, 0b10001, 0b10001},
+	'o': {0b00000, 0b00000, 0b01110, 0b10001, 0b10001, 0b10001, 0b01110},
+	'p': {0b00000, 0b11110, 0b10001, 0b10001, 0b11110, 0b10000, 0b10000},
+	'q': {0b00000, 0b01111, 0b10001, 0b10001, 0b01111, 0b00001, 0b00001},
+	'r': {0b00000, 0b00000, 0b10110, 0b11001, 0b10000, 0b10000, 0b10000},
+	's': {0b00000, 0b00000, 0b01111, 0b10000, 0b01110, 0b00001, 0b11110},
+	't': {0b01000, 0b01000, 0b11100, 0b01000, 0b01000, 0b01001, 0b00110},
+	'u': {0b00000, 0b00000, 0b10001, 0b10001, 0b10001, 0b10011, 0b01101},
+	'v': {0b00000, 0b00000, 0b10001, 0b10001, 0b10001, 0b01010, 0b00100},
+	'w': {0b00000, 0b00000, 0b10101, 0b10101, 0b10101, 0b10101, 0b01010},
+	'x': {0b00000, 0b00000, 0b10001, 0b01010, 0b00100, 0b01010, 0b10001},
+	'y': {0b00000, 0b10001, 0b10001, 0b01111, 0b00001, 0b10001, 0b01110},
+	'z': {0b00000, 0b00000, 0b11111, 0b00010, 0b00100, 0b01000, 0b11111},
+	'.': {0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b01100},
+	',': {0b00000, 0b00000, 0b00000, 0b00000, 0b01100, 0b00100, 0b01000},
+	'-': {0b00000, 0b00000, 0b00000, 0b11111, 0b00000, 0b00000, 0b00000},
+	'+': {0b00000, 0b00100, 0b00100, 0b11111, 0b00100, 0b00100, 0b00000},
+	'=': {0b00000, 0b00000, 0b11111, 0b00000, 0b11111, 0b00000, 0b00000},
+	'>': {0b10000, 0b01000, 0b00100, 0b00010, 0b00100, 0b01000, 0b10000},
+	'<': {0b00001, 0b00010, 0b00100, 0b01000, 0b00100, 0b00010, 0b00001},
+	'(': {0b00010, 0b00100, 0b01000, 0b01000, 0b01000, 0b00100, 0b00010},
+	')': {0b01000, 0b00100, 0b00010, 0b00010, 0b00010, 0b00100, 0b01000},
+	'_': {0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b00000, 0b11111},
+	'/': {0b00001, 0b00010, 0b00010, 0b00100, 0b01000, 0b01000, 0b10000},
+	'*': {0b00000, 0b00100, 0b10101, 0b01110, 0b10101, 0b00100, 0b00000},
+	' ': {},
+}
+
+// GlyphWidth and GlyphHeight are the font cell dimensions including the
+// one-pixel advance gap.
+const (
+	GlyphWidth  = 6
+	GlyphHeight = 7
+)
+
+// TextWidth returns the rendered pixel width of s.
+func TextWidth(s string) int { return len([]rune(s)) * GlyphWidth }
+
+// Text draws s with its top-left corner at (x, y).
+func (c *Canvas) Text(x, y int, s string, col color.RGBA) {
+	s = strings.ToLower(s)
+	cx := x
+	for _, r := range s {
+		glyph, ok := font5x7[r]
+		if !ok {
+			// Hollow box for unknown runes.
+			c.HLine(cx, cx+4, y, col, 1)
+			c.HLine(cx, cx+4, y+6, col, 1)
+			c.VLine(cx, y, y+6, col, 1)
+			c.VLine(cx+4, y, y+6, col, 1)
+			cx += GlyphWidth
+			continue
+		}
+		for row := 0; row < 7; row++ {
+			bits := glyph[row]
+			for bit := 0; bit < 5; bit++ {
+				if bits&(1<<(4-bit)) != 0 {
+					c.Blend(cx+bit, y+row, col, 1)
+				}
+			}
+		}
+		cx += GlyphWidth
+	}
+}
+
+// TextCentered draws s horizontally centred on cx.
+func (c *Canvas) TextCentered(cx, y int, s string, col color.RGBA) {
+	c.Text(cx-TextWidth(s)/2, y, s, col)
+}

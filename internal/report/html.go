@@ -1,0 +1,72 @@
+package report
+
+import (
+	"encoding/base64"
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// Section is one block of an HTML report: prose, an optional table and an
+// optional embedded PNG image.
+type Section struct {
+	Title string
+	Text  string
+	Table *Table
+	PNG   []byte // embedded as a data URI
+}
+
+// HTMLReport is a self-contained experiment report: all images are
+// embedded, so the output is a single portable file.
+type HTMLReport struct {
+	Title    string
+	Intro    string
+	Sections []Section
+}
+
+var htmlTemplate = template.Must(template.New("report").Funcs(template.FuncMap{
+	"datauri": func(png []byte) template.URL {
+		return template.URL("data:image/png;base64," + base64.StdEncoding.EncodeToString(png))
+	},
+}).Parse(`<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; max-width: 70em; margin: 2em auto; padding: 0 1em; color: #222; }
+h1 { border-bottom: 2px solid #444; padding-bottom: .3em; }
+h2 { margin-top: 2em; color: #334; }
+table { border-collapse: collapse; margin: 1em 0; }
+th, td { border: 1px solid #bbb; padding: .3em .7em; font-variant-numeric: tabular-nums; text-align: right; }
+th { background: #eef; }
+td:first-child, th:first-child { text-align: left; }
+img { max-width: 100%; border: 1px solid #ccc; margin: .5em 0; }
+p.caption { color: #555; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+{{if .Intro}}<p>{{.Intro}}</p>{{end}}
+{{range .Sections}}
+<h2>{{.Title}}</h2>
+{{if .Text}}<p class="caption">{{.Text}}</p>{{end}}
+{{if .Table}}
+<table>
+<tr>{{range .Table.Columns}}<th>{{.}}</th>{{end}}</tr>
+{{range .Table.Rows}}<tr>{{range .}}<td>{{.}}</td>{{end}}</tr>{{end}}
+</table>
+{{end}}
+{{if .PNG}}<img src="{{datauri .PNG}}" alt="{{.Title}}">{{end}}
+{{end}}
+</body>
+</html>
+`))
+
+// WriteHTML renders the report.
+func (r *HTMLReport) WriteHTML(w io.Writer) error {
+	if err := htmlTemplate.Execute(w, r); err != nil {
+		return fmt.Errorf("report: render html: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFprint(t *testing.T) {
+	tb := NewTable("Demo", "a", "long_column", "c")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow("very-long-cell", "x", "y")
+	var sb strings.Builder
+	if err := tb.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "long_column") {
+		t.Fatalf("output missing headers:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	// Aligned: the first column is padded to the widest cell.
+	if !strings.HasPrefix(lines[3], "1              ") {
+		t.Fatalf("row misaligned: %q", lines[3])
+	}
+}
+
+func TestTableFprintCSV(t *testing.T) {
+	tb := NewTable("T", "x", "y")
+	tb.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tb.FprintCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "# T\nx,y\n1,2\n"
+	if sb.String() != want {
+		t.Fatalf("CSV = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if got := Seconds(1500 * time.Millisecond); got != "1.500000" {
+		t.Fatalf("Seconds = %q", got)
+	}
+}
+
+func TestMedianTime(t *testing.T) {
+	var calls int
+	d, err := MedianTime(5, func() error {
+		calls++
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil || calls != 6 { // 1 warm-up + 5 timed
+		t.Fatalf("calls=%d err=%v", calls, err)
+	}
+	if d < 500*time.Microsecond {
+		t.Fatalf("median %v implausibly small", d)
+	}
+	// Zero runs clamps to one timed run (plus warm-up).
+	calls = 0
+	if _, err := MedianTime(0, func() error { calls++; return nil }); err != nil || calls != 2 {
+		t.Fatalf("clamp failed: calls=%d err=%v", calls, err)
+	}
+	boom := errors.New("boom")
+	if _, err := MedianTime(3, func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+}
+
+func TestHTMLReport(t *testing.T) {
+	tb := NewTable("", "nodes", "time_s")
+	tb.AddRow("1", "2.5")
+	tb.AddRow("2", "1.3")
+	rep := &HTMLReport{
+		Title: "Demo <Report>",
+		Intro: "An intro.",
+		Sections: []Section{
+			{Title: "Timings", Text: "caption", Table: tb},
+			{Title: "Image", PNG: []byte{0x89, 0x50, 0x4E, 0x47}},
+		},
+	}
+	var sb strings.Builder
+	if err := rep.WriteHTML(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Demo &lt;Report&gt;", // escaped title
+		"<th>nodes</th>",
+		"<td>2.5</td>",
+		"data:image/png;base64,iVBORw==",
+		"An intro.",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("html missing %q:\n%s", want, out[:min(len(out), 1200)])
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,291 @@
+// Package scatter renders the pseudocolor particle plots the paper pairs
+// with its parallel coordinates views (Figs. 5b/5d, 6, 8b): particles in
+// physical space, with non-selected particles drawn as a gray context and
+// selected particles as colored markers, colour-mapped by a data variable
+// (typically the momentum px). It also renders particle-trace plots over
+// time (Fig. 7): one polyline per tracked particle through its positions
+// at successive timesteps, coloured by momentum or identifier.
+package scatter
+
+import (
+	"fmt"
+	"image/color"
+	"math"
+
+	"repro/internal/render"
+)
+
+// Options controls plot geometry and styling.
+type Options struct {
+	Width, Height int
+	Margin        int
+	Background    color.RGBA
+	AxisColor     color.RGBA
+	LabelColor    color.RGBA
+	ContextColor  color.RGBA
+	Colormap      render.Colormap
+	PointSize     int // marker half-extent in pixels; 0 = single pixel
+	DrawLabels    bool
+}
+
+// DefaultOptions returns the standard styling.
+func DefaultOptions() Options {
+	return Options{
+		Width:        900,
+		Height:       500,
+		Margin:       48,
+		Background:   color.RGBA{10, 10, 14, 255},
+		AxisColor:    color.RGBA{150, 150, 160, 255},
+		LabelColor:   color.RGBA{210, 210, 220, 255},
+		ContextColor: color.RGBA{90, 90, 100, 255},
+		Colormap:     render.Rainbow,
+		PointSize:    1,
+		DrawLabels:   true,
+	}
+}
+
+// Plot is a pseudocolor scatter plot under construction.
+type Plot struct {
+	opt                    Options
+	xVar, yVar             string
+	xMin, xMax, yMin, yMax float64
+
+	ctxX, ctxY []float64
+
+	selX, selY, selC []float64
+	cMin, cMax       float64
+	cVar             string
+	hasSel           bool
+}
+
+// New creates a plot over fixed value ranges.
+func New(xVar, yVar string, xMin, xMax, yMin, yMax float64, opt Options) (*Plot, error) {
+	if !(xMax > xMin) || !(yMax > yMin) {
+		return nil, fmt.Errorf("scatter: empty ranges x=[%g,%g] y=[%g,%g]", xMin, xMax, yMin, yMax)
+	}
+	if opt.Width < 32 || opt.Height < 32 {
+		return nil, fmt.Errorf("scatter: canvas %dx%d too small", opt.Width, opt.Height)
+	}
+	if opt.Colormap == nil {
+		opt.Colormap = render.Rainbow
+	}
+	return &Plot{
+		opt: opt, xVar: xVar, yVar: yVar,
+		xMin: xMin, xMax: xMax, yMin: yMin, yMax: yMax,
+	}, nil
+}
+
+// SetContext adds the gray background particles.
+func (p *Plot) SetContext(xs, ys []float64) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("scatter: context length mismatch %d vs %d", len(xs), len(ys))
+	}
+	p.ctxX, p.ctxY = xs, ys
+	return nil
+}
+
+// SetSelection adds the colored particles; colorVals drives the colormap
+// and its range is derived from the values when cMin >= cMax.
+func (p *Plot) SetSelection(cVar string, xs, ys, colorVals []float64, cMin, cMax float64) error {
+	if len(xs) != len(ys) || len(xs) != len(colorVals) {
+		return fmt.Errorf("scatter: selection length mismatch (%d, %d, %d)", len(xs), len(ys), len(colorVals))
+	}
+	if cMin >= cMax {
+		cMin, cMax = math.Inf(1), math.Inf(-1)
+		for _, v := range colorVals {
+			if v < cMin {
+				cMin = v
+			}
+			if v > cMax {
+				cMax = v
+			}
+		}
+		if cMin >= cMax {
+			cMax = cMin + 1
+		}
+	}
+	p.selX, p.selY, p.selC = xs, ys, colorVals
+	p.cMin, p.cMax = cMin, cMax
+	p.cVar = cVar
+	p.hasSel = true
+	return nil
+}
+
+func (p *Plot) px(v float64) float64 {
+	t := (v - p.xMin) / (p.xMax - p.xMin)
+	return float64(p.opt.Margin) + t*float64(p.opt.Width-2*p.opt.Margin)
+}
+
+func (p *Plot) py(v float64) float64 {
+	t := (v - p.yMin) / (p.yMax - p.yMin)
+	return float64(p.opt.Height-p.opt.Margin) - t*float64(p.opt.Height-2*p.opt.Margin)
+}
+
+func (p *Plot) inRange(x, y float64) bool {
+	return x >= p.xMin && x <= p.xMax && y >= p.yMin && y <= p.yMax
+}
+
+// Render draws the plot.
+func (p *Plot) Render() (*render.Canvas, error) {
+	c, err := render.NewCanvas(p.opt.Width, p.opt.Height, p.opt.Background)
+	if err != nil {
+		return nil, err
+	}
+	// Context first.
+	for i := range p.ctxX {
+		if !p.inRange(p.ctxX[i], p.ctxY[i]) {
+			continue
+		}
+		c.Blend(int(math.Round(p.px(p.ctxX[i]))), int(math.Round(p.py(p.ctxY[i]))), p.opt.ContextColor, 0.55)
+	}
+	// Selection markers on top.
+	norm := render.Normalize(p.cMin, p.cMax)
+	for i := range p.selX {
+		if !p.inRange(p.selX[i], p.selY[i]) {
+			continue
+		}
+		col := p.opt.Colormap(norm(p.selC[i]))
+		p.marker(c, p.px(p.selX[i]), p.py(p.selY[i]), col)
+	}
+	p.drawFrame(c)
+	return c, nil
+}
+
+func (p *Plot) marker(c *render.Canvas, x, y float64, col color.RGBA) {
+	r := p.opt.PointSize
+	xi, yi := int(math.Round(x)), int(math.Round(y))
+	if r <= 0 {
+		c.Blend(xi, yi, col, 1)
+		return
+	}
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			if dx*dx+dy*dy <= r*r {
+				c.Blend(xi+dx, yi+dy, col, 1)
+			}
+		}
+	}
+}
+
+func (p *Plot) drawFrame(c *render.Canvas) {
+	m := p.opt.Margin
+	w, h := p.opt.Width, p.opt.Height
+	c.HLine(m, w-m, h-m, p.opt.AxisColor, 1)
+	c.VLine(m, m, h-m, p.opt.AxisColor, 1)
+	if !p.opt.DrawLabels {
+		return
+	}
+	c.TextCentered(w/2, h-m+10, p.xVar, p.opt.LabelColor)
+	c.Text(4, m-10, p.yVar, p.opt.LabelColor)
+	c.Text(m, h-m+22, fmtVal(p.xMin), p.opt.LabelColor)
+	tw := render.TextWidth(fmtVal(p.xMax))
+	c.Text(w-m-tw, h-m+22, fmtVal(p.xMax), p.opt.LabelColor)
+	c.Text(4, h-m-4, fmtVal(p.yMin), p.opt.LabelColor)
+	c.Text(4, m+2, fmtVal(p.yMax), p.opt.LabelColor)
+	if p.hasSel {
+		p.drawColorbar(c)
+	}
+}
+
+// drawColorbar renders the selection colour scale on the right edge.
+func (p *Plot) drawColorbar(c *render.Canvas) {
+	m := p.opt.Margin
+	x0 := p.opt.Width - m + 12
+	if x0+10 >= p.opt.Width {
+		return
+	}
+	y0, y1 := m, p.opt.Height-m
+	for y := y0; y <= y1; y++ {
+		t := float64(y1-y) / float64(y1-y0)
+		col := p.opt.Colormap(t)
+		c.HLine(x0, x0+8, y, col, 1)
+	}
+	c.Text(x0-4, y0-12, p.cVar, p.opt.LabelColor)
+}
+
+func fmtVal(v float64) string {
+	av := math.Abs(v)
+	if av != 0 && (av >= 1e4 || av < 1e-2) {
+		return fmt.Sprintf("%.2e", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+// Trace is one particle's polyline through (x, y) space with a per-vertex
+// colour value.
+type Trace struct {
+	X, Y, C []float64
+}
+
+// TracePlot renders particle traces over time (paper Fig. 7): each trace
+// is a polyline through the particle's positions, coloured per segment by
+// the colour value (momentum, or identifier for Fig. 7's id colouring).
+type TracePlot struct {
+	plot   *Plot
+	traces []Trace
+}
+
+// NewTracePlot creates a trace plot over fixed ranges.
+func NewTracePlot(xVar, yVar string, xMin, xMax, yMin, yMax float64, opt Options) (*TracePlot, error) {
+	p, err := New(xVar, yVar, xMin, xMax, yMin, yMax, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &TracePlot{plot: p}, nil
+}
+
+// Add appends one trace; all slices must share a length ≥ 1.
+func (tp *TracePlot) Add(tr Trace) error {
+	if len(tr.X) == 0 || len(tr.X) != len(tr.Y) || len(tr.X) != len(tr.C) {
+		return fmt.Errorf("scatter: ragged trace (%d, %d, %d)", len(tr.X), len(tr.Y), len(tr.C))
+	}
+	tp.traces = append(tp.traces, tr)
+	return nil
+}
+
+// SetContext adds gray background particles behind the traces.
+func (tp *TracePlot) SetContext(xs, ys []float64) error { return tp.plot.SetContext(xs, ys) }
+
+// Render draws all traces.
+func (tp *TracePlot) Render() (*render.Canvas, error) {
+	// Colour range across all traces.
+	cMin, cMax := math.Inf(1), math.Inf(-1)
+	for _, tr := range tp.traces {
+		for _, v := range tr.C {
+			if v < cMin {
+				cMin = v
+			}
+			if v > cMax {
+				cMax = v
+			}
+		}
+	}
+	if cMin >= cMax {
+		cMax = cMin + 1
+	}
+	c, err := render.NewCanvas(tp.plot.opt.Width, tp.plot.opt.Height, tp.plot.opt.Background)
+	if err != nil {
+		return nil, err
+	}
+	p := tp.plot
+	for i := range p.ctxX {
+		if !p.inRange(p.ctxX[i], p.ctxY[i]) {
+			continue
+		}
+		c.Blend(int(math.Round(p.px(p.ctxX[i]))), int(math.Round(p.py(p.ctxY[i]))), p.opt.ContextColor, 0.5)
+	}
+	norm := render.Normalize(cMin, cMax)
+	for _, tr := range tp.traces {
+		for i := 1; i < len(tr.X); i++ {
+			col := p.opt.Colormap(norm(tr.C[i]))
+			c.Line(p.px(tr.X[i-1]), p.py(tr.Y[i-1]), p.px(tr.X[i]), p.py(tr.Y[i]), col, 0.9)
+		}
+		// Mark the endpoints so single-step traces stay visible.
+		last := len(tr.X) - 1
+		p.marker(c, p.px(tr.X[last]), p.py(tr.Y[last]), p.opt.Colormap(norm(tr.C[last])))
+	}
+	p.hasSel = true
+	p.cVar = "trace"
+	p.drawFrame(c)
+	return c, nil
+}

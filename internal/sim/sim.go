@@ -1,0 +1,385 @@
+// Package sim generates synthetic laser wakefield accelerator (LWFA)
+// particle data with the statistical and temporal structure of the VORPAL
+// simulations analysed in the paper: a moving simulation window sweeping
+// through a plasma, a thermal electron background with a suprathermal
+// momentum tail spanning several decades, and two trapped particle beams
+// in the first and second wake periods behind the laser pulse.
+//
+// The model is deterministic: a particle's full trajectory is a pure
+// function of its identifier and the timestep, so identifier-based
+// tracking across timesteps reconstructs physically consistent world
+// lines. Key qualitative behaviours reproduced from the paper's use case
+// (Section IV):
+//
+//   - Background particles enter the window from the right as it sweeps
+//     and leave on the left; beam particles are injected around a fixed
+//     timestep and then stay with the window.
+//   - Beam 1 (first wake period, rightmost) accelerates hard, reaches
+//     peak momentum with a low energy spread mid-run (t≈0.7·T), then
+//     dephases and decelerates.
+//   - Beam 2 (second wake period) accelerates more slowly but
+//     monotonically, overtaking beam 1 by the final timestep — which is
+//     why a late-time momentum threshold selects both beams.
+//   - Transverse focusing: beam particles spiral inward after injection.
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config parameterises a synthetic LWFA run. The zero value is not valid;
+// use DefaultConfig as a starting point.
+type Config struct {
+	Steps             int     // number of timesteps
+	Dim               int     // 2 or 3 (z, pz are zero in 2D)
+	BackgroundPerStep int     // approximate background particles in the window
+	BeamParticles     int     // particles per beam (two beams)
+	SuprathermalFrac  float64 // fraction of background with a log-uniform px tail
+	Seed              uint64  // deterministic seed
+
+	WindowLength float64 // window extent in x (metres)
+	WindowSpeed  float64 // window advance per timestep (metres)
+
+	ThermalPx    float64 // thermal momentum scale
+	TailPxMin    float64 // suprathermal tail: log-uniform lower bound
+	TailPxMax    float64 // suprathermal tail: upper bound
+	Beam1PeakPx  float64 // beam 1 momentum at its dephasing peak
+	Beam1FinalPx float64 // beam 1 momentum at the final timestep (after dephasing)
+	Beam2FinalPx float64 // beam 2 momentum at the final timestep
+}
+
+// DefaultConfig returns parameters scaled to the paper's 2D dataset
+// (38 timesteps, x ≈ 1.3e-3 m at the end, momenta up to ~1.1e11).
+func DefaultConfig() Config {
+	return Config{
+		Steps:             38,
+		Dim:               2,
+		BackgroundPerStep: 50000,
+		BeamParticles:     600,
+		SuprathermalFrac:  0.015,
+		Seed:              0x5eed,
+		WindowLength:      1.0e-4,
+		WindowSpeed:       3.3e-5,
+		ThermalPx:         6.0e7,
+		TailPxMin:         2.0e8,
+		TailPxMax:         4.0e10,
+		Beam1PeakPx:       1.10e11,
+		Beam1FinalPx:      0.93e11,
+		Beam2FinalPx:      0.98e11,
+	}
+}
+
+// Variables lists the per-particle columns produced for every timestep, in
+// file order. xrel(t) = x(t) − max(x(t)) is the derived relative window
+// position the paper adds to the data.
+var Variables = []string{"x", "y", "z", "px", "py", "pz", "xrel"}
+
+// IDVar is the name of the identifier column.
+const IDVar = "id"
+
+// Simulation generates timesteps for one configuration.
+type Simulation struct {
+	cfg Config
+
+	spacing   float64 // background particle spacing in lab x
+	nBgTotal  int64   // total background particles over the whole sweep
+	beam1Base int64   // first id of beam 1
+	beam2Base int64   // first id of beam 2
+	tInject   int     // first injection timestep
+	tPeak     int     // beam 1 dephasing peak timestep
+}
+
+// New validates the configuration and returns a simulation.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Steps < 2 {
+		return nil, fmt.Errorf("sim: need at least 2 steps, got %d", cfg.Steps)
+	}
+	if cfg.Dim != 2 && cfg.Dim != 3 {
+		return nil, fmt.Errorf("sim: dim must be 2 or 3, got %d", cfg.Dim)
+	}
+	if cfg.BackgroundPerStep < 1 {
+		return nil, fmt.Errorf("sim: BackgroundPerStep must be positive")
+	}
+	if cfg.WindowLength <= 0 || cfg.WindowSpeed <= 0 {
+		return nil, fmt.Errorf("sim: window length and speed must be positive")
+	}
+	if cfg.SuprathermalFrac < 0 || cfg.SuprathermalFrac > 1 {
+		return nil, fmt.Errorf("sim: SuprathermalFrac must be in [0,1]")
+	}
+	s := &Simulation{cfg: cfg}
+	s.spacing = cfg.WindowLength / float64(cfg.BackgroundPerStep)
+	sweep := cfg.WindowSpeed*float64(cfg.Steps-1) + cfg.WindowLength
+	s.nBgTotal = int64(math.Ceil(sweep / s.spacing))
+	s.beam1Base = s.nBgTotal
+	s.beam2Base = s.nBgTotal + int64(cfg.BeamParticles)
+	s.tInject = int(math.Round(0.37 * float64(cfg.Steps-1)))
+	if s.tInject < 1 {
+		s.tInject = 1
+	}
+	s.tPeak = int(math.Round(0.71 * float64(cfg.Steps-1)))
+	if s.tPeak <= s.tInject {
+		s.tPeak = s.tInject + 1
+	}
+	if s.tPeak >= cfg.Steps {
+		s.tPeak = cfg.Steps - 1
+	}
+	return s, nil
+}
+
+// Config returns the simulation configuration.
+func (s *Simulation) Config() Config { return s.cfg }
+
+// InjectionStep returns the timestep at which beam injection begins.
+func (s *Simulation) InjectionStep() int { return s.tInject }
+
+// PeakStep returns beam 1's dephasing-peak timestep.
+func (s *Simulation) PeakStep() int { return s.tPeak }
+
+// WindowStart returns the lab-frame x where the window begins at step t.
+func (s *Simulation) WindowStart(t int) float64 {
+	return s.cfg.WindowSpeed * float64(t)
+}
+
+// WindowEnd returns the lab-frame x where the window ends at step t.
+func (s *Simulation) WindowEnd(t int) float64 {
+	return s.WindowStart(t) + s.cfg.WindowLength
+}
+
+// ParticleSet holds one timestep's particles in structure-of-arrays form,
+// ordered by ascending identifier.
+type ParticleSet struct {
+	Step                      int
+	ID                        []int64
+	X, Y, Z, Px, Py, Pz, XRel []float64
+}
+
+// N returns the particle count.
+func (p *ParticleSet) N() int { return len(p.ID) }
+
+// Columns returns the float columns keyed by variable name.
+func (p *ParticleSet) Columns() map[string][]float64 {
+	return map[string][]float64{
+		"x": p.X, "y": p.Y, "z": p.Z,
+		"px": p.Px, "py": p.Py, "pz": p.Pz,
+		"xrel": p.XRel,
+	}
+}
+
+// Step generates the particle population of timestep t.
+func (s *Simulation) Step(t int) (*ParticleSet, error) {
+	if t < 0 || t >= s.cfg.Steps {
+		return nil, fmt.Errorf("sim: step %d out of range [0,%d)", t, s.cfg.Steps)
+	}
+	ps := &ParticleSet{Step: t}
+	w0, w1 := s.WindowStart(t), s.WindowEnd(t)
+
+	// Background: ids are laid out along lab x, so the window holds a
+	// contiguous id range.
+	first := int64(math.Ceil(w0 / s.spacing))
+	if first < 0 {
+		first = 0
+	}
+	for id := first; id < s.nBgTotal; id++ {
+		x0 := float64(id) * s.spacing
+		if x0 > w1 {
+			break
+		}
+		s.emitBackground(ps, id, t, x0)
+	}
+	// Beams: emitted once injected.
+	for k := 0; k < s.cfg.BeamParticles; k++ {
+		s.emitBeam(ps, s.beam1Base+int64(k), 1, t)
+	}
+	for k := 0; k < s.cfg.BeamParticles; k++ {
+		s.emitBeam(ps, s.beam2Base+int64(k), 2, t)
+	}
+
+	// Derived quantity xrel(t) = x(t) − max(x(t)).
+	maxX := math.Inf(-1)
+	for _, x := range ps.X {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	ps.XRel = make([]float64, len(ps.X))
+	for i, x := range ps.X {
+		ps.XRel[i] = x - maxX
+	}
+	return ps, nil
+}
+
+func (s *Simulation) emitBackground(ps *ParticleSet, id int64, t int, x0 float64) {
+	cfg := &s.cfg
+	// Plasma wave motion: small deterministic oscillation around x0.
+	phase := 2 * math.Pi * (x0/wakeWavelength(cfg) + 0.13*float64(t))
+	x := x0 + 0.004*cfg.WindowLength*math.Sin(phase)*s.unit(id, 1)
+
+	yAmp := 2.5e-5 * (0.5 + s.unit(id, 2))
+	y := yAmp * math.Sin(2*math.Pi*s.unit(id, 3)+0.31*float64(t))
+	var z float64
+	if cfg.Dim == 3 {
+		z = yAmp * math.Cos(2*math.Pi*s.unit(id, 4)+0.29*float64(t))
+	}
+
+	px := cfg.ThermalPx * s.norm(id, 5, uint64(t))
+	if s.unit(id, 6) < cfg.SuprathermalFrac {
+		// Log-uniform suprathermal tail, slowly energised over time.
+		logv := math.Log(cfg.TailPxMin) + s.unit(id, 7)*(math.Log(cfg.TailPxMax)-math.Log(cfg.TailPxMin))
+		px = math.Exp(logv) * (1 + 0.02*float64(t))
+	}
+	py := 0.3 * cfg.ThermalPx * s.norm(id, 8, uint64(t))
+	var pz float64
+	if cfg.Dim == 3 {
+		pz = 0.3 * cfg.ThermalPx * s.norm(id, 9, uint64(t))
+	}
+	ps.append(id, x, y, z, px, py, pz)
+}
+
+// wakeWavelength is the plasma wake period used for bucket spacing.
+func wakeWavelength(cfg *Config) float64 { return 0.28 * cfg.WindowLength }
+
+func (s *Simulation) emitBeam(ps *ParticleSet, id int64, beam int, t int) {
+	cfg := &s.cfg
+	// Injection staggering: half the beam enters at tInject, half one step
+	// later (the two injection sets of Fig. 6).
+	birth := s.tInject
+	if s.unit(id, 10) < 0.5 {
+		birth = s.tInject + 1
+	}
+	if t < birth {
+		return
+	}
+	age := float64(t - birth)
+	lifetime := float64(cfg.Steps - 1 - birth)
+
+	// Window-relative bucket centres: beam 1 rides the first wake period
+	// behind the laser (near the right edge), beam 2 one wavelength back.
+	lam := wakeWavelength(cfg)
+	var bucket float64
+	if beam == 1 {
+		bucket = -0.55 * lam
+	} else {
+		bucket = -1.55 * lam
+	}
+	// Longitudinal slippage inside the bucket plus per-particle jitter.
+	slip := 0.08 * lam * (age / math.Max(lifetime, 1))
+	xrel := bucket + 0.10*lam*(s.unit(id, 11)-0.5) + slip
+	x := s.WindowEnd(t) + xrel
+
+	// Transverse focusing: oscillation with decaying amplitude; beam 1
+	// focuses harder (the refinement story of Section IV-D).
+	decay := 0.35
+	if beam == 2 {
+		decay = 0.2
+	}
+	amp := 1.8e-5 * math.Exp(-decay*age) * (0.4 + s.unit(id, 12))
+	ph := 2*math.Pi*s.unit(id, 13) + 0.9*age
+	y := amp * math.Sin(ph)
+	var z float64
+	if cfg.Dim == 3 {
+		z = amp * math.Cos(ph)
+	}
+
+	px := s.beamPx(id, beam, t, birth)
+	// Transverse momentum follows the focusing oscillation.
+	py := 0.01 * px * math.Cos(ph)
+	var pz float64
+	if cfg.Dim == 3 {
+		pz = -0.01 * px * math.Sin(ph)
+	}
+	ps.append(id, x, y, z, px, py, pz)
+}
+
+// beamPx returns the longitudinal momentum of a beam particle.
+func (s *Simulation) beamPx(id int64, beam, t, birth int) float64 {
+	cfg := &s.cfg
+	tEnd := cfg.Steps - 1
+	var base float64
+	if beam == 1 {
+		if t <= s.tPeak {
+			// Accelerating phase: smooth ramp to the peak.
+			tau := float64(t-birth) / math.Max(float64(s.tPeak-birth), 1)
+			base = cfg.Beam1PeakPx * ramp(tau)
+		} else {
+			// Dephased: linear decay to the final value.
+			tau := float64(t-s.tPeak) / math.Max(float64(tEnd-s.tPeak), 1)
+			base = cfg.Beam1PeakPx + (cfg.Beam1FinalPx-cfg.Beam1PeakPx)*tau
+		}
+	} else {
+		// Beam 2: slower, monotonic ramp through the whole run.
+		tau := float64(t-birth) / math.Max(float64(tEnd-birth), 1)
+		base = cfg.Beam2FinalPx * ramp(0.85*tau) / ramp(0.85)
+	}
+	// Energy spread: beam 1 tightens near its peak, beam 2 stays broader.
+	var spread float64
+	if beam == 1 {
+		dist := math.Abs(float64(t-s.tPeak)) / math.Max(float64(tEnd-birth), 1)
+		spread = 0.03 + 0.10*dist
+	} else {
+		spread = 0.09
+	}
+	return base * (1 + spread*s.norm(id, 14))
+}
+
+// ramp is a smooth 0→1 acceleration profile.
+func ramp(tau float64) float64 {
+	if tau <= 0 {
+		return 0.02 // injected with small but nonzero momentum
+	}
+	if tau > 1 {
+		tau = 1
+	}
+	v := math.Sin(tau * math.Pi / 2)
+	return 0.02 + 0.98*v*v
+}
+
+func (ps *ParticleSet) append(id int64, x, y, z, px, py, pz float64) {
+	ps.ID = append(ps.ID, id)
+	ps.X = append(ps.X, x)
+	ps.Y = append(ps.Y, y)
+	ps.Z = append(ps.Z, z)
+	ps.Px = append(ps.Px, px)
+	ps.Py = append(ps.Py, py)
+	ps.Pz = append(ps.Pz, pz)
+}
+
+// BeamIDs returns the identifier range [lo, hi) of the given beam (1 or 2),
+// for test and analysis cross-checks.
+func (s *Simulation) BeamIDs(beam int) (lo, hi int64) {
+	if beam == 1 {
+		return s.beam1Base, s.beam1Base + int64(s.cfg.BeamParticles)
+	}
+	return s.beam2Base, s.beam2Base + int64(s.cfg.BeamParticles)
+}
+
+// --- deterministic hashing -------------------------------------------------
+
+// mix64 is the splitmix64 finaliser, the workhorse of the deterministic
+// per-particle randomness.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// unit returns a deterministic uniform value in [0, 1) for (id, salts…).
+func (s *Simulation) unit(id int64, salts ...uint64) float64 {
+	h := mix64(s.cfg.Seed ^ uint64(id))
+	for _, salt := range salts {
+		h = mix64(h ^ salt*0xa0761d6478bd642f)
+	}
+	return float64(h>>11) / float64(1<<53)
+}
+
+// norm returns a deterministic standard normal value for (id, salts…) via
+// Box–Muller.
+func (s *Simulation) norm(id int64, salts ...uint64) float64 {
+	u1 := s.unit(id, append(salts, 0xdead)...)
+	u2 := s.unit(id, append(salts, 0xbeef)...)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

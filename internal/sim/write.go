@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/colstore"
+	"repro/internal/fastbit"
+)
+
+// WriteOptions controls dataset generation.
+type WriteOptions struct {
+	// IndexVars lists the variables to build bitmap indexes for; nil
+	// indexes every variable.
+	IndexVars []string
+	// Index holds the bitmap index build options.
+	Index fastbit.IndexOptions
+	// SkipIndex generates data files only (the "one-time preprocessing"
+	// can then be run separately).
+	SkipIndex bool
+	// ChunkRows sets the colstore chunk size; 0 selects the default.
+	ChunkRows int
+	// Progress, when non-nil, is called after each timestep is written.
+	Progress func(step, totalSteps, particles int)
+}
+
+// WriteDataset runs the simulation and writes every timestep as a colstore
+// file plus (unless skipped) a FastBit sidecar index — the preprocessing
+// pipeline of Figure 1.
+func WriteDataset(dir string, cfg Config, opt WriteOptions) (*colstore.Dataset, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	vars := append(append([]string(nil), Variables...), IDVar)
+	ds, err := colstore.CreateDataset(dir, colstore.DatasetMeta{
+		Name:      "lwfa-synthetic",
+		Steps:     cfg.Steps,
+		Variables: vars,
+		Comment:   fmt.Sprintf("synthetic LWFA run, dim=%d, seed=%#x", cfg.Dim, cfg.Seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	indexVars := opt.IndexVars
+	if indexVars == nil {
+		indexVars = Variables
+	}
+	for t := 0; t < cfg.Steps; t++ {
+		ps, err := s.Step(t)
+		if err != nil {
+			return nil, err
+		}
+		if err := writeStep(ds, t, ps, opt, indexVars); err != nil {
+			return nil, err
+		}
+		if opt.Progress != nil {
+			opt.Progress(t, cfg.Steps, ps.N())
+		}
+	}
+	return ds, nil
+}
+
+func writeStep(ds *colstore.Dataset, t int, ps *ParticleSet, opt WriteOptions, indexVars []string) error {
+	w, err := colstore.NewWriter(ds.StepPath(t), uint64(ps.N()), opt.ChunkRows)
+	if err != nil {
+		return err
+	}
+	cols := ps.Columns()
+	for _, name := range Variables {
+		if err := w.AddFloat64(name, cols[name]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	if err := w.AddInt64(IDVar, ps.ID); err != nil {
+		w.Close()
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	if opt.SkipIndex {
+		return nil
+	}
+	toIndex := map[string][]float64{}
+	for _, name := range indexVars {
+		col, ok := cols[name]
+		if !ok {
+			return fmt.Errorf("sim: cannot index unknown variable %q", name)
+		}
+		toIndex[name] = col
+	}
+	si, err := fastbit.BuildStepIndex(toIndex, ps.ID, IDVar, opt.Index)
+	if err != nil {
+		return err
+	}
+	return si.WriteFile(ds.IndexPath(t))
+}
