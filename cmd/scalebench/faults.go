@@ -1,0 +1,192 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/cluster/faultnet"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/report"
+)
+
+// This file implements -faults: an end-to-end resilience demo that runs a
+// real net/rpc histogram sweep through the faultnet fault-injection
+// harness. Four workers serve the sweep: one clean, two behind injected
+// errors/drops/latency, and one that is killed mid-sweep. The sweep runs
+// twice — once with failover (full results despite the dead node) and once
+// with failover disabled under ReturnPartial (partial results plus a
+// structured error) — and every returned histogram is checked against a
+// local serial computation.
+
+type faultyWorkers struct {
+	addrs   []string
+	servers []*cluster.Server
+	injects []*faultnet.Listener // index-aligned with addrs; nil = clean worker
+	victim  *faultnet.Listener
+}
+
+func (fw *faultyWorkers) close() {
+	for _, s := range fw.servers {
+		s.Close()
+	}
+	for _, f := range fw.injects {
+		if f != nil {
+			f.Kill()
+		}
+	}
+}
+
+// startFaultyWorkers launches 4 workers: worker 0 clean, workers 1-2
+// behind the configured fault mix, worker 3 behind latency only (so its
+// calls are reliably in flight when it is killed).
+func (b *bench) startFaultyWorkers(cfg faultnet.Config) (*faultyWorkers, error) {
+	const n = 4
+	fw := &faultyWorkers{}
+	for i := 0; i < n; i++ {
+		srv, err := cluster.NewServer(cluster.NewWorker(b.dir))
+		if err != nil {
+			fw.close()
+			return nil, err
+		}
+		fw.servers = append(fw.servers, srv)
+		inner, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fw.close()
+			return nil, err
+		}
+		var l net.Listener = inner
+		var fl *faultnet.Listener
+		switch {
+		case i == n-1:
+			fl = faultnet.Wrap(inner, faultnet.Config{
+				Seed:    cfg.Seed + int64(i),
+				Latency: 5 * time.Millisecond,
+			})
+			fw.victim = fl
+		case i > 0:
+			c := cfg
+			c.Seed = cfg.Seed + int64(i)
+			fl = faultnet.Wrap(inner, c)
+		}
+		if fl != nil {
+			l = fl
+		}
+		fw.injects = append(fw.injects, fl)
+		srv.Serve(l)
+		fw.addrs = append(fw.addrs, inner.Addr().String())
+	}
+	return fw, nil
+}
+
+func (b *bench) faultStudy(cfg faultnet.Config) error {
+	nSteps := 2 * b.src.Steps()
+	if nSteps < 16 {
+		nSteps = 16
+	}
+	steps := make([]int, nSteps)
+	for i := range steps {
+		steps[i] = i % b.src.Steps()
+	}
+	spec := histPairs(b.bins)[4]
+
+	// Local serial reference for verifying every surviving result.
+	want := make([]*histogram.Hist2D, b.src.Steps())
+	for t := range want {
+		st, err := b.src.OpenStep(t)
+		if err != nil {
+			return err
+		}
+		h, err := st.Histogram2D(nil, spec, fastquery.FastBit)
+		st.Close()
+		if err != nil {
+			return err
+		}
+		want[t] = h
+	}
+
+	base := cluster.PoolConfig{
+		CallTimeout:   2 * time.Second,
+		MaxRetries:    3,
+		BackoffBase:   5 * time.Millisecond,
+		BackoffMax:    100 * time.Millisecond,
+		ProbeInterval: 100 * time.Millisecond,
+		Seed:          cfg.Seed,
+	}
+	failover := base
+	failover.MaxFailovers = -1
+	partial := base
+	partial.MaxFailovers = 0
+	partial.Partial = cluster.ReturnPartial
+
+	sweeps := report.NewTable(
+		fmt.Sprintf("Fault-tolerance demo — %d-step histogram sweep, 4 workers (1 clean, 2 faulty err=%.2f drop=%.2f, 1 killed mid-sweep)",
+			len(steps), cfg.ErrProb, cfg.DropProb),
+		"scenario", "ok", "failed", "wall_s", "attempts", "retries", "timeouts", "reconnects", "failovers")
+	injected := report.NewTable("Injected faults per worker",
+		"scenario", "worker", "accepted", "drops", "errors", "delays", "killed")
+
+	for _, sc := range []struct {
+		name string
+		pcfg cluster.PoolConfig
+	}{
+		{"failover", failover},
+		{"partial", partial},
+	} {
+		fw, err := b.startFaultyWorkers(cfg)
+		if err != nil {
+			return err
+		}
+		pool, err := cluster.DialConfig(fw.addrs, sc.pcfg)
+		if err != nil {
+			fw.close()
+			return err
+		}
+		kill := time.AfterFunc(25*time.Millisecond, fw.victim.Kill)
+		hists, err := pool.HistogramSweep(steps, "", spec, fastquery.FastBit)
+		kill.Stop()
+		var se *cluster.SweepError
+		if err != nil && !errors.As(err, &se) {
+			pool.Close()
+			fw.close()
+			return fmt.Errorf("scenario %s: %w", sc.name, err)
+		}
+		ok := 0
+		for i, h := range hists {
+			if h != nil && h.Total() == want[steps[i]].Total() {
+				ok++
+			}
+		}
+		ss := pool.LastSweepStats()
+		sweeps.AddRow(sc.name,
+			fmt.Sprintf("%d/%d", ok, len(steps)), fmt.Sprintf("%d", ss.Failed),
+			report.Seconds(ss.Wall),
+			fmt.Sprintf("%d", ss.Attempts), fmt.Sprintf("%d", ss.Retries),
+			fmt.Sprintf("%d", ss.Timeouts), fmt.Sprintf("%d", ss.Reconnects),
+			fmt.Sprintf("%d", ss.Failovers))
+		for i, fl := range fw.injects {
+			if fl == nil {
+				injected.AddRow(sc.name, fmt.Sprintf("%d (clean)", i), "-", "-", "-", "-", "-")
+				continue
+			}
+			fs := fl.Stats()
+			role := "faulty"
+			if fl == fw.victim {
+				role = "victim"
+			}
+			injected.AddRow(sc.name, fmt.Sprintf("%d (%s)", i, role),
+				fmt.Sprintf("%d", fs.Accepted), fmt.Sprintf("%d", fs.Drops),
+				fmt.Sprintf("%d", fs.Errors), fmt.Sprintf("%d", fs.Delays),
+				fmt.Sprintf("%v", fs.Killed))
+		}
+		pool.Close()
+		fw.close()
+	}
+	if err := b.emit(sweeps); err != nil {
+		return err
+	}
+	return b.emit(injected)
+}

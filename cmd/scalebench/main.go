@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/cluster/faultnet"
 	"repro/internal/fastquery"
 	"repro/internal/histogram"
 	"repro/internal/query"
@@ -55,6 +56,11 @@ func main() {
 		realRPC   = flag.Bool("real-rpc", false, "also execute over net/rpc workers where the node count fits")
 		schedules = flag.Bool("schedules", false, "also compare static/dynamic/LPT scheduling (ablation)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		faults    = flag.Bool("faults", false, "run the fault-injection resilience demo instead of the scaling studies")
+		faultErr  = flag.Float64("fault-err", 0.2, "with -faults: per-I/O-op injected error probability on faulty workers")
+		faultDrop = flag.Float64("fault-drop", 0.02, "with -faults: per-I/O-op connection-drop probability on faulty workers")
+		faultLat  = flag.Float64("fault-latency", 2, "with -faults: injected latency per I/O op in ms on faulty workers")
+		faultSeed = flag.Int64("fault-seed", 1, "with -faults: fault-schedule RNG seed")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -88,6 +94,17 @@ func main() {
 			BandwidthBytesPerSec: *bwMBs * 1e6,
 			SeekLatency:          time.Duration(*seekMs * float64(time.Millisecond)),
 		},
+	}
+	if *faults {
+		if err := b.faultStudy(faultnet.Config{
+			Seed:     *faultSeed,
+			ErrProb:  *faultErr,
+			DropProb: *faultDrop,
+			Latency:  time.Duration(*faultLat * float64(time.Millisecond)),
+		}); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	switch *exp {
 	case "hist":

@@ -1,0 +1,271 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/rpc"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fastquery"
+)
+
+// This file implements Caller, a resilient wrapper around rpc.Client. A
+// net/rpc call has no deadline and a dead connection poisons the client
+// forever; Caller adds per-attempt timeouts (goroutine + select, since
+// net/rpc predates contexts), bounded retries with exponential backoff and
+// jitter, and automatic reconnection, so a slow or flapping worker cannot
+// hang a sweep.
+
+// ErrCallTimeout marks an RPC attempt abandoned after CallerConfig.Timeout.
+var ErrCallTimeout = errors.New("call timeout")
+
+// ErrCallerClosed is returned by calls on a closed Caller.
+var ErrCallerClosed = errors.New("caller closed")
+
+// CallerConfig tunes one worker connection's resilience behaviour.
+type CallerConfig struct {
+	Timeout     time.Duration // per-attempt deadline; 0 waits forever
+	MaxRetries  int           // additional attempts after the first
+	BackoffBase time.Duration // delay before the first retry (default 10ms)
+	BackoffMax  time.Duration // backoff cap (default 1s)
+}
+
+// CallStats reports what one logical call cost.
+type CallStats struct {
+	Attempts   int // total RPC attempts, including the first
+	Timeouts   int // attempts abandoned on timeout
+	Reconnects int // re-dials after a previously working connection died
+}
+
+// Caller is a resilient RPC client for one worker address.
+type Caller struct {
+	addr string
+	cfg  CallerConfig
+	rng  *lockedRand
+
+	mu        sync.Mutex
+	client    *rpc.Client
+	connected bool // ever connected; distinguishes reconnects from the first dial
+	closed    bool
+
+	healthy atomic.Bool
+}
+
+// NewCaller creates a Caller for the address. The connection is dialled
+// lazily on first use (or eagerly via Connect).
+func NewCaller(addr string, cfg CallerConfig) *Caller {
+	return newCaller(addr, cfg, newLockedRand(1))
+}
+
+func newCaller(addr string, cfg CallerConfig, rng *lockedRand) *Caller {
+	c := &Caller{addr: addr, cfg: cfg, rng: rng}
+	c.healthy.Store(true)
+	return c
+}
+
+// Addr returns the worker address.
+func (c *Caller) Addr() string { return c.addr }
+
+// Healthy reports the worker's last known health.
+func (c *Caller) Healthy() bool { return c.healthy.Load() }
+
+// SetHealthy records the worker's health, e.g. after a failed call or a
+// successful probe.
+func (c *Caller) SetHealthy(v bool) { c.healthy.Store(v) }
+
+// Connect dials eagerly, verifying the worker is reachable.
+func (c *Caller) Connect() error {
+	_, _, err := c.conn()
+	return err
+}
+
+// Close tears down the connection. Further calls fail with ErrCallerClosed.
+// Close is idempotent.
+func (c *Caller) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.client != nil {
+		err := c.client.Close()
+		c.client = nil
+		return err
+	}
+	return nil
+}
+
+// Call invokes the RPC method with retries per the config.
+func (c *Caller) Call(method string, args, reply any) error {
+	_, err := c.CallWithStats(method, args, reply)
+	return err
+}
+
+// CallWithStats is Call plus an account of attempts, timeouts and
+// reconnects. Fatal errors (see fastquery.IsFatal) are returned without
+// burning retries: they are deterministic, so repeating them is waste.
+func (c *Caller) CallWithStats(method string, args, reply any) (CallStats, error) {
+	var cs CallStats
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		cs.Attempts++
+		err := c.callOnce(method, args, reply, c.cfg.Timeout, &cs)
+		if err == nil {
+			return cs, nil
+		}
+		lastErr = err
+		if attempt >= c.cfg.MaxRetries || !retryable(err) {
+			return cs, lastErr
+		}
+		c.backoff(attempt)
+	}
+}
+
+// Probe makes a single short-deadline Worker.Ping attempt, used by the
+// pool to detect a worker returning to health.
+func (c *Caller) Probe() error {
+	to := c.cfg.Timeout
+	if to <= 0 || to > 2*time.Second {
+		to = 2 * time.Second
+	}
+	var cs CallStats
+	var reply PingReply
+	return c.callOnce("Worker.Ping", &PingArgs{}, &reply, to, &cs)
+}
+
+// callOnce makes one attempt. The reply is decoded into a fresh value and
+// only copied into the caller's reply on success, so a timed-out attempt
+// whose response arrives late cannot race a retry writing the same reply.
+func (c *Caller) callOnce(method string, args, reply any, timeout time.Duration, cs *CallStats) error {
+	client, reconnected, err := c.conn()
+	if err != nil {
+		return err
+	}
+	if reconnected {
+		cs.Reconnects++
+	}
+	rv := reflect.New(reflect.TypeOf(reply).Elem())
+	call := client.Go(method, args, rv.Interface(), make(chan *rpc.Call, 1))
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-call.Done:
+		if call.Error != nil {
+			if !isServerError(call.Error) {
+				// Transport-level failure: the connection is unusable.
+				c.drop(client)
+			}
+			return call.Error
+		}
+		reflect.ValueOf(reply).Elem().Set(rv.Elem())
+		return nil
+	case <-timeoutCh:
+		cs.Timeouts++
+		// Closing the client aborts the in-flight call server-side reads
+		// and fails every other call pending on this connection; they all
+		// retry on a fresh connection.
+		c.drop(client)
+		return fmt.Errorf("cluster: %s to %s after %v: %w", method, c.addr, timeout, ErrCallTimeout)
+	}
+}
+
+// conn returns the live client, dialling if needed. The second result
+// reports whether this dial replaced a previously working connection.
+func (c *Caller) conn() (*rpc.Client, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, false, ErrCallerClosed
+	}
+	if c.client != nil {
+		return c.client, false, nil
+	}
+	cl, err := rpc.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, false, err
+	}
+	reconnect := c.connected
+	c.client = cl
+	c.connected = true
+	return cl, reconnect, nil
+}
+
+// drop discards a dead client so the next attempt re-dials.
+func (c *Caller) drop(cl *rpc.Client) {
+	c.mu.Lock()
+	if c.client == cl {
+		c.client = nil
+	}
+	c.mu.Unlock()
+	cl.Close()
+}
+
+// backoff sleeps for an exponentially growing, jittered delay: the
+// attempt's base delay doubles each time (capped at BackoffMax) and the
+// sleep is drawn uniformly from [d/2, d], decorrelating retry storms.
+func (c *Caller) backoff(attempt int) {
+	base := c.cfg.BackoffBase
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	max := c.cfg.BackoffMax
+	if max <= 0 {
+		max = time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	d = half + time.Duration(c.rng.Int63n(int64(half)+1))
+	time.Sleep(d)
+}
+
+// retryable reports whether another attempt could plausibly succeed.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, ErrCallerClosed) {
+		return false
+	}
+	if isServerError(err) {
+		// The worker executed the request and returned an application
+		// error. Fatal-classified ones (bad query, bad step) fail the same
+		// way everywhere; others may be transient I/O trouble.
+		return !fastquery.IsFatal(err)
+	}
+	// Dial failures, timeouts, EOF, rpc.ErrShutdown: all transport-level.
+	return true
+}
+
+func isServerError(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se)
+}
+
+// lockedRand is a seeded, goroutine-safe RNG for jitter; a fixed seed
+// keeps fault-injection tests deterministic.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newLockedRand(seed int64) *lockedRand {
+	if seed == 0 {
+		seed = 1
+	}
+	return &lockedRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

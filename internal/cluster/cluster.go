@@ -103,25 +103,36 @@ func Blocked(nTasks, nodes int) Assignment {
 	return a
 }
 
-// Run executes all tasks on a worker pool of the given width (0 selects
-// GOMAXPROCS) and returns per-task results indexed like tasks. Task errors
-// are recorded per task, not returned; Err aggregates the first one.
+// Run executes all tasks on a fixed pool of `workers` goroutines (0
+// selects GOMAXPROCS) and returns per-task results indexed like tasks —
+// the pool bounds goroutine count, not just concurrent execution. Task
+// errors are recorded per task, not returned; Err aggregates the first one.
 func Run(tasks []Task, workers int, model IOModel) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	results := make([]Result, len(tasks))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range tasks {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = runOne(tasks[i], model)
-		}(i)
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
+	results := make([]Result, len(tasks))
+	if len(tasks) == 0 {
+		return results, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(tasks[i], model)
+			}
+		}()
+	}
+	for i := range tasks {
+		idx <- i
+	}
+	close(idx)
 	wg.Wait()
 	for i := range results {
 		if results[i].Err != nil {

@@ -1,0 +1,213 @@
+// Package faultnet wraps net.Listener and net.Conn with deterministic
+// fault injection — connection drops, injected I/O errors and fixed or
+// random latency, each with a configurable probability — so the cluster
+// layer's retry, failover and partial-result machinery can be exercised
+// under repeatable adverse conditions (the fabbench approach: prove the
+// resilience code works by making the network misbehave on demand).
+//
+// All randomness comes from one seeded RNG, so a given seed replays the
+// same fault schedule relative to the sequence of I/O operations.
+package faultnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every synthetic fault, so tests can tell
+// injected failures from real ones with errors.Is.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// Config sets the fault mix. The zero value injects nothing.
+type Config struct {
+	Seed           int64         // RNG seed; 0 behaves as 1
+	DropProb       float64       // per-I/O-op probability of abruptly closing the conn
+	ErrProb        float64       // per-I/O-op probability of returning an error (conn left open)
+	AcceptDropProb float64       // probability a freshly accepted conn is closed immediately
+	Latency        time.Duration // fixed delay added to every I/O op
+	LatencyJitter  time.Duration // extra uniform-random delay in [0, LatencyJitter)
+}
+
+// Stats counts the faults a Listener has injected.
+type Stats struct {
+	Accepted    int64 // connections accepted
+	AcceptDrops int64 // connections killed at accept
+	Drops       int64 // connections killed mid-operation
+	Errors      int64 // injected I/O errors
+	Delays      int64 // operations delayed
+	Killed      bool  // Kill was called
+}
+
+// Listener wraps an inner listener, handing out fault-injecting conns.
+type Listener struct {
+	inner net.Listener
+	cfg   Config
+
+	rmu sync.Mutex
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	conns  map[*Conn]struct{}
+	killed bool
+
+	accepted, acceptDrops, drops, errs, delays atomic.Int64
+}
+
+// Wrap builds a fault-injecting listener around l.
+func Wrap(l net.Listener, cfg Config) *Listener {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Listener{
+		inner: l,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)),
+		conns: make(map[*Conn]struct{}),
+	}
+}
+
+// Accept accepts from the inner listener and wraps the conn. With
+// AcceptDropProb the conn is returned already closed, so the peer's first
+// use fails — modelling a node that dies during connection setup.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	fc := &Conn{Conn: c, l: l}
+	l.accepted.Add(1)
+	l.mu.Lock()
+	killed := l.killed
+	if !killed {
+		l.conns[fc] = struct{}{}
+	}
+	l.mu.Unlock()
+	if killed {
+		c.Close()
+		return nil, net.ErrClosed
+	}
+	if l.roll(l.cfg.AcceptDropProb) {
+		l.acceptDrops.Add(1)
+		fc.Close()
+	}
+	return fc, nil
+}
+
+// Addr returns the inner listener's address.
+func (l *Listener) Addr() net.Addr { return l.inner.Addr() }
+
+// Close closes the inner listener; live connections keep running (use
+// Kill to take the whole node down).
+func (l *Listener) Close() error { return l.inner.Close() }
+
+// Kill simulates the node dying: the listener and every live connection
+// are closed at once, and future accepts fail.
+func (l *Listener) Kill() {
+	l.mu.Lock()
+	l.killed = true
+	conns := make([]*Conn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.mu.Unlock()
+	l.inner.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (l *Listener) Stats() Stats {
+	l.mu.Lock()
+	killed := l.killed
+	l.mu.Unlock()
+	return Stats{
+		Accepted:    l.accepted.Load(),
+		AcceptDrops: l.acceptDrops.Load(),
+		Drops:       l.drops.Load(),
+		Errors:      l.errs.Load(),
+		Delays:      l.delays.Load(),
+		Killed:      killed,
+	}
+}
+
+func (l *Listener) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	l.rmu.Lock()
+	defer l.rmu.Unlock()
+	return l.rng.Float64() < p
+}
+
+func (l *Listener) delay() time.Duration {
+	d := l.cfg.Latency
+	if l.cfg.LatencyJitter > 0 {
+		l.rmu.Lock()
+		d += time.Duration(l.rng.Int63n(int64(l.cfg.LatencyJitter)))
+		l.rmu.Unlock()
+	}
+	return d
+}
+
+func (l *Listener) untrack(c *Conn) {
+	l.mu.Lock()
+	delete(l.conns, c)
+	l.mu.Unlock()
+}
+
+// Conn is a fault-injecting connection. Each Read/Write first sleeps the
+// configured latency, then rolls for a drop (conn closed, error returned)
+// and an injected error (conn left open).
+type Conn struct {
+	net.Conn
+	l      *Listener
+	closed atomic.Bool
+}
+
+func (c *Conn) inject(op string) error {
+	l := c.l
+	if d := l.delay(); d > 0 {
+		l.delays.Add(1)
+		time.Sleep(d)
+	}
+	if l.roll(l.cfg.DropProb) {
+		l.drops.Add(1)
+		c.Close()
+		return fmt.Errorf("faultnet: %s: connection dropped: %w", op, ErrInjected)
+	}
+	if l.roll(l.cfg.ErrProb) {
+		l.errs.Add(1)
+		return fmt.Errorf("faultnet: %s: %w", op, ErrInjected)
+	}
+	return nil
+}
+
+func (c *Conn) Read(p []byte) (int, error) {
+	if err := c.inject("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *Conn) Write(p []byte) (int, error) {
+	if err := c.inject("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// Close closes the underlying conn once and untracks it.
+func (c *Conn) Close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	c.l.untrack(c)
+	return c.Conn.Close()
+}

@@ -1,0 +1,179 @@
+package faultnet
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServe accepts conns from l and echoes bytes back until l dies.
+func echoServe(l net.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go func() {
+			defer c.Close()
+			io.Copy(c, c)
+		}()
+	}
+}
+
+func startEcho(t *testing.T, cfg Config) *Listener {
+	t.Helper()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, cfg)
+	go echoServe(l)
+	t.Cleanup(l.Kill)
+	return l
+}
+
+func roundTrip(addr string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("ping")); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	_, err = io.ReadFull(c, buf)
+	return err
+}
+
+func TestCleanPassThrough(t *testing.T) {
+	l := startEcho(t, Config{})
+	for i := 0; i < 5; i++ {
+		if err := roundTrip(l.Addr().String()); err != nil {
+			t.Fatalf("round trip %d: %v", i, err)
+		}
+	}
+	s := l.Stats()
+	if s.Accepted != 5 || s.Drops != 0 || s.Errors != 0 || s.Delays != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestInjectedErrorsAndDrops(t *testing.T) {
+	l := startEcho(t, Config{Seed: 42, ErrProb: 0.5, DropProb: 0.2})
+	fails := 0
+	for i := 0; i < 40; i++ {
+		if err := roundTrip(l.Addr().String()); err != nil {
+			fails++
+		}
+	}
+	s := l.Stats()
+	if s.Errors == 0 && s.Drops == 0 {
+		t.Fatalf("no faults injected: %+v", s)
+	}
+	if fails == 0 {
+		t.Fatal("every round trip succeeded despite heavy fault injection")
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	// The same seed must produce the same fault decisions for the same
+	// operation sequence.
+	run := func() []bool {
+		inner, _ := net.Listen("tcp", "127.0.0.1:0")
+		defer inner.Close()
+		l := Wrap(inner, Config{Seed: 7, ErrProb: 0.3})
+		out := make([]bool, 50)
+		for i := range out {
+			out[i] = l.roll(l.cfg.ErrProb)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("roll %d differs between runs with the same seed", i)
+		}
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	l := startEcho(t, Config{Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := roundTrip(l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+	// The echo path injects latency on the server's read and write.
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("round trip took %v, expected injected latency", el)
+	}
+	if l.Stats().Delays == 0 {
+		t.Fatal("no delays recorded")
+	}
+}
+
+func TestKillClosesLiveConns(t *testing.T) {
+	l := startEcho(t, Config{})
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	l.Kill()
+	// The killed node's conn must die promptly, not hang.
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read from killed node succeeded")
+	}
+	if !l.Stats().Killed {
+		t.Fatal("Killed not recorded")
+	}
+	// New dials must fail.
+	if conn, err := net.Dial("tcp", l.Addr().String()); err == nil {
+		conn.Close()
+		t.Fatal("dial to killed node succeeded")
+	}
+}
+
+func TestErrInjectedIsDetectable(t *testing.T) {
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := Wrap(inner, Config{Seed: 3, ErrProb: 1})
+	defer l.Kill()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var readErr error
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			readErr = err
+			return
+		}
+		defer c.Close()
+		_, readErr = c.Read(make([]byte, 1))
+	}()
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	wg.Wait()
+	if !errors.Is(readErr, ErrInjected) {
+		t.Fatalf("read error %v is not ErrInjected", readErr)
+	}
+}

@@ -1,0 +1,412 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+)
+
+// This file implements the client side of the RPC execution mode: a pool
+// of Callers with health tracking, failover and partial-result sweeps.
+// Each step of a sweep is first sent to its strided home worker; if that
+// worker fails (after the Caller's own retries) the step fails over to the
+// next healthy worker and the failed worker is marked unhealthy until a
+// background Worker.Ping probe revives it.
+
+// PartialPolicy selects how sweeps treat per-step failures.
+type PartialPolicy int
+
+const (
+	// FailFast aborts the sweep result on the first failed step (the
+	// pre-resilience behaviour): callers get nil results and one error.
+	FailFast PartialPolicy = iota
+	// ReturnPartial returns every step that succeeded plus a *SweepError
+	// describing the ones that did not.
+	ReturnPartial
+)
+
+// PoolConfig tunes the pool's resilience machinery. The zero value means:
+// no timeouts, no retries, no failover, no probing — plain net/rpc.
+type PoolConfig struct {
+	CallTimeout   time.Duration // per-attempt deadline; 0 waits forever
+	MaxRetries    int           // per-worker retries after the first attempt
+	BackoffBase   time.Duration // first retry delay (default 10ms when retrying)
+	BackoffMax    time.Duration // retry delay cap (default 1s when retrying)
+	MaxFailovers  int           // other workers to try per step: -1 = all, 0 = none
+	Partial       PartialPolicy // FailFast or ReturnPartial
+	ProbeInterval time.Duration // unhealthy-worker ping period; 0 disables probing
+	Seed          int64         // backoff-jitter RNG seed (0 behaves as 1)
+}
+
+// DefaultPoolConfig returns the production defaults used by Dial.
+func DefaultPoolConfig() PoolConfig {
+	return PoolConfig{
+		CallTimeout:   30 * time.Second,
+		MaxRetries:    2,
+		BackoffBase:   10 * time.Millisecond,
+		BackoffMax:    500 * time.Millisecond,
+		MaxFailovers:  -1,
+		Partial:       FailFast,
+		ProbeInterval: 200 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// PoolStats is a cumulative snapshot of the pool's resilience counters.
+type PoolStats struct {
+	Calls      int64 // RPC attempts made
+	Retries    int64 // attempts beyond the first, per worker
+	Timeouts   int64 // attempts abandoned on deadline
+	Reconnects int64 // re-dials of previously working connections
+	Failovers  int64 // steps moved to another worker
+	Probes     int64 // health pings sent to unhealthy workers
+	Recoveries int64 // workers probed back to health
+}
+
+// SweepStats describes the most recently completed sweep.
+type SweepStats struct {
+	Steps      int // steps requested
+	Failed     int // steps that returned no result
+	Attempts   int64
+	Retries    int64
+	Timeouts   int64
+	Reconnects int64
+	Failovers  int64
+	Wall       time.Duration
+}
+
+// StepError records one failed step of a partial sweep.
+type StepError struct {
+	Index int // position in the steps slice
+	Step  int // timestep number
+	Err   error
+}
+
+// SweepError is the structured multi-error returned by sweeps under
+// ReturnPartial: the successful steps are in the result slice, the failed
+// ones are listed here.
+type SweepError struct {
+	Total  int // steps requested
+	Failed []StepError
+}
+
+func (e *SweepError) Error() string {
+	if len(e.Failed) == 0 {
+		return "cluster: sweep failed (no step errors)"
+	}
+	return fmt.Sprintf("cluster: %d/%d steps failed; first: step %d: %v",
+		len(e.Failed), e.Total, e.Failed[0].Step, e.Failed[0].Err)
+}
+
+// Unwrap exposes the per-step errors to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failed))
+	for i, f := range e.Failed {
+		errs[i] = f.Err
+	}
+	return errs
+}
+
+type poolCounters struct {
+	calls, retries, timeouts, reconnects, failovers, probes, recoveries atomic.Int64
+}
+
+// Pool is a client-side connection pool over a set of worker addresses.
+type Pool struct {
+	cfg     PoolConfig
+	callers []*Caller
+	ctr     poolCounters
+
+	mu        sync.Mutex
+	lastSweep SweepStats
+
+	closeOnce sync.Once
+	stopProbe chan struct{}
+}
+
+// Dial connects to every worker address with DefaultPoolConfig.
+func Dial(addrs []string) (*Pool, error) {
+	return DialConfig(addrs, DefaultPoolConfig())
+}
+
+// DialConfig connects to every worker address, eagerly, so unreachable
+// workers fail here rather than mid-sweep.
+func DialConfig(addrs []string, cfg PoolConfig) (*Pool, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	p := &Pool{cfg: cfg, stopProbe: make(chan struct{})}
+	rng := newLockedRand(cfg.Seed)
+	ccfg := CallerConfig{
+		Timeout:     cfg.CallTimeout,
+		MaxRetries:  cfg.MaxRetries,
+		BackoffBase: cfg.BackoffBase,
+		BackoffMax:  cfg.BackoffMax,
+	}
+	for _, addr := range addrs {
+		c := newCaller(addr, ccfg, rng)
+		if err := c.Connect(); err != nil {
+			p.Close()
+			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
+		}
+		p.callers = append(p.callers, c)
+	}
+	if cfg.ProbeInterval > 0 {
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Close closes all client connections and stops health probing. Close is
+// idempotent and safe to call concurrently.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		close(p.stopProbe)
+		for _, c := range p.callers {
+			c.Close()
+		}
+	})
+}
+
+// Nodes returns the number of connected workers.
+func (p *Pool) Nodes() int { return len(p.callers) }
+
+// Callers exposes the pool's per-worker callers, primarily so tests and
+// harnesses can inspect or override health state.
+func (p *Pool) Callers() []*Caller { return p.callers }
+
+// HealthyNodes returns the number of workers currently believed healthy.
+func (p *Pool) HealthyNodes() int {
+	n := 0
+	for _, c := range p.callers {
+		if c.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats returns a snapshot of the cumulative resilience counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Calls:      p.ctr.calls.Load(),
+		Retries:    p.ctr.retries.Load(),
+		Timeouts:   p.ctr.timeouts.Load(),
+		Reconnects: p.ctr.reconnects.Load(),
+		Failovers:  p.ctr.failovers.Load(),
+		Probes:     p.ctr.probes.Load(),
+		Recoveries: p.ctr.recoveries.Load(),
+	}
+}
+
+// LastSweepStats returns the stats of the most recently completed sweep.
+// With concurrent sweeps on one pool the attribution is approximate.
+func (p *Pool) LastSweepStats() SweepStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastSweep
+}
+
+// probeLoop pings unhealthy workers until the pool closes, restoring them
+// to the failover rotation when they answer.
+func (p *Pool) probeLoop() {
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stopProbe:
+			return
+		case <-t.C:
+			for _, c := range p.callers {
+				if c.Healthy() {
+					continue
+				}
+				p.ctr.probes.Add(1)
+				if err := c.Probe(); err == nil {
+					c.SetHealthy(true)
+					p.ctr.recoveries.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// candidates returns the workers to try for a step, primary first, then
+// healthy workers in ring order, truncated per MaxFailovers. If every
+// worker is unhealthy the primary is tried anyway — better a last-ditch
+// attempt than certain failure.
+func (p *Pool) candidates(primary int) []*Caller {
+	n := len(p.callers)
+	maxFo := p.cfg.MaxFailovers
+	if maxFo < 0 || maxFo > n-1 {
+		maxFo = n - 1
+	}
+	if maxFo == 0 {
+		// Failover disabled: the step lives or dies with its home worker.
+		return []*Caller{p.callers[primary]}
+	}
+	cands := make([]*Caller, 0, n)
+	for off := 0; off < n; off++ {
+		c := p.callers[(primary+off)%n]
+		if c.Healthy() {
+			cands = append(cands, c)
+		}
+	}
+	if len(cands) == 0 {
+		cands = append(cands, p.callers[primary])
+	}
+	if len(cands) > maxFo+1 {
+		cands = cands[:maxFo+1]
+	}
+	return cands
+}
+
+// callStep runs one step's RPC with failover across candidate workers.
+func (p *Pool) callStep(i int, do func(c *Caller) (CallStats, error)) error {
+	var lastErr error
+	for k, c := range p.candidates(i % len(p.callers)) {
+		if k > 0 {
+			p.ctr.failovers.Add(1)
+		}
+		cs, err := do(c)
+		p.ctr.calls.Add(int64(cs.Attempts))
+		p.ctr.retries.Add(int64(cs.Attempts - 1))
+		p.ctr.timeouts.Add(int64(cs.Timeouts))
+		p.ctr.reconnects.Add(int64(cs.Reconnects))
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if fastquery.IsFatal(err) {
+			// The request itself is bad; every worker would refuse it.
+			return err
+		}
+		c.SetHealthy(false)
+	}
+	return lastErr
+}
+
+// sweep runs do for every step concurrently and resolves errors per the
+// pool's PartialPolicy.
+func (p *Pool) sweep(steps []int, do func(c *Caller, i, step int) (CallStats, error)) error {
+	start := time.Now()
+	before := p.Stats()
+	errs := make([]error, len(steps))
+	var wg sync.WaitGroup
+	for i, step := range steps {
+		wg.Add(1)
+		go func(i, step int) {
+			defer wg.Done()
+			errs[i] = p.callStep(i, func(c *Caller) (CallStats, error) {
+				return do(c, i, step)
+			})
+		}(i, step)
+	}
+	wg.Wait()
+	after := p.Stats()
+
+	var failed []StepError
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, StepError{Index: i, Step: steps[i], Err: err})
+		}
+	}
+	p.mu.Lock()
+	p.lastSweep = SweepStats{
+		Steps:      len(steps),
+		Failed:     len(failed),
+		Attempts:   after.Calls - before.Calls,
+		Retries:    after.Retries - before.Retries,
+		Timeouts:   after.Timeouts - before.Timeouts,
+		Reconnects: after.Reconnects - before.Reconnects,
+		Failovers:  after.Failovers - before.Failovers,
+		Wall:       time.Since(start),
+	}
+	p.mu.Unlock()
+
+	if len(failed) == 0 {
+		return nil
+	}
+	if p.cfg.Partial == ReturnPartial {
+		return &SweepError{Total: len(steps), Failed: failed}
+	}
+	f := failed[0]
+	return fmt.Errorf("cluster: step %d: %w", f.Step, f.Err)
+}
+
+// HistogramSweep computes one histogram per step, strided across the
+// workers with retry and failover. Under FailFast any step failure yields
+// (nil, err); under ReturnPartial the slice holds every successful step
+// (failed entries nil) and err is a *SweepError.
+func (p *Pool) HistogramSweep(steps []int, cond string, spec histogram.Spec2D, backend fastquery.Backend) ([]*histogram.Hist2D, error) {
+	out := make([]*histogram.Hist2D, len(steps))
+	err := p.sweep(steps, func(c *Caller, i, step int) (CallStats, error) {
+		var reply HistReply
+		cs, callErr := c.CallWithStats("Worker.Histogram2D", &HistArgs{
+			Step: step, Cond: cond, Spec: spec, Backend: backend,
+		}, &reply)
+		if callErr == nil {
+			out[i] = reply.Hist
+		}
+		return cs, callErr
+	})
+	if err != nil {
+		if p.cfg.Partial == ReturnPartial {
+			return out, err
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// SelectSweep evaluates the query on every step, strided across the
+// workers with retry and failover, returning per-step hit positions and
+// (optionally) identifiers. Error semantics match HistogramSweep.
+func (p *Pool) SelectSweep(steps []int, q string, wantIDs bool, backend fastquery.Backend) ([]SelectReply, error) {
+	out := make([]SelectReply, len(steps))
+	err := p.sweep(steps, func(c *Caller, i, step int) (CallStats, error) {
+		var reply SelectReply
+		cs, callErr := c.CallWithStats("Worker.Select", &SelectArgs{
+			Step: step, Query: q, WantIDs: wantIDs, Backend: backend,
+		}, &reply)
+		if callErr == nil {
+			out[i] = reply
+		}
+		return cs, callErr
+	})
+	if err != nil {
+		if p.cfg.Partial == ReturnPartial {
+			return out, err
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+// TrackSweep locates the identifier set in every step, strided across the
+// workers with retry and failover; it returns per-step positions. Error
+// semantics match HistogramSweep.
+func (p *Pool) TrackSweep(steps []int, ids []int64, backend fastquery.Backend) ([][]uint64, error) {
+	out := make([][]uint64, len(steps))
+	err := p.sweep(steps, func(c *Caller, i, step int) (CallStats, error) {
+		var reply FindReply
+		cs, callErr := c.CallWithStats("Worker.FindIDs", &FindArgs{
+			Step: step, IDs: ids, Backend: backend,
+		}, &reply)
+		if callErr == nil {
+			out[i] = reply.Positions
+		}
+		return cs, callErr
+	})
+	if err != nil {
+		if p.cfg.Partial == ReturnPartial {
+			return out, err
+		}
+		return nil, err
+	}
+	return out, nil
+}

@@ -11,11 +11,15 @@ import (
 	"repro/internal/query"
 )
 
-// This file provides the real multi-process execution mode: worker
-// processes (or in-process listeners in tests) serve per-timestep
-// operations over net/rpc, standing in for the compute nodes of the
-// paper's Cray XT4 runs. All workers read the dataset from a shared
+// This file provides the server side of the real multi-process execution
+// mode: worker processes (or in-process listeners in tests) serve
+// per-timestep operations over net/rpc, standing in for the compute nodes
+// of the paper's Cray XT4 runs. All workers read the dataset from a shared
 // directory, as the paper's nodes read from Lustre.
+//
+// Worker errors are classified retryable vs fatal (fastquery.Fatal): a bad
+// query or out-of-range step fails the same way on every node, so the
+// client gives up immediately instead of retrying or failing over.
 
 // Worker is the RPC service executed on each node.
 type Worker struct {
@@ -39,6 +43,34 @@ func (w *Worker) source() (*fastquery.Source, error) {
 		w.src = src
 	}
 	return w.src, nil
+}
+
+// Close releases the worker's cached dataset source. The worker stays
+// usable: the next request reopens the source. Close is idempotent.
+func (w *Worker) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.src == nil {
+		return nil
+	}
+	err := w.src.Close()
+	w.src = nil
+	return err
+}
+
+// PingArgs is the (empty) request of the Worker.Ping heartbeat.
+type PingArgs struct{}
+
+// PingReply acknowledges a heartbeat.
+type PingReply struct {
+	OK bool
+}
+
+// Ping is a lightweight liveness heartbeat used by the pool to probe
+// unhealthy workers back into the failover rotation.
+func (w *Worker) Ping(args *PingArgs, reply *PingReply) error {
+	reply.OK = true
+	return nil
 }
 
 // HistArgs requests a 2D histogram of one timestep.
@@ -69,7 +101,7 @@ func (w *Worker) Histogram2D(args *HistArgs, reply *HistReply) error {
 	var cond query.Expr
 	if args.Cond != "" {
 		if cond, err = query.Parse(args.Cond); err != nil {
-			return err
+			return fastquery.Fatal(err)
 		}
 	}
 	h, err := st.Histogram2D(cond, args.Spec, args.Backend)
@@ -142,7 +174,7 @@ func (w *Worker) Select(args *SelectArgs, reply *SelectReply) error {
 	defer st.Close()
 	e, err := query.Parse(args.Query)
 	if err != nil {
-		return err
+		return fastquery.Fatal(err)
 	}
 	if reply.Positions, err = st.Select(e, args.Backend); err != nil {
 		return err
@@ -156,154 +188,174 @@ func (w *Worker) Select(args *SelectArgs, reply *SelectReply) error {
 	return nil
 }
 
-// Serve starts an RPC worker on the listener. It returns immediately; the
-// listener owns the lifetime.
-func Serve(l net.Listener, w *Worker) error {
+// workerService exposes only the RPC-shaped methods of Worker, keeping
+// lifecycle methods like Close out of net/rpc registration (which would
+// otherwise log complaints about unsuitable exported methods).
+type workerService struct{ w *Worker }
+
+func (s *workerService) Ping(args *PingArgs, reply *PingReply) error { return s.w.Ping(args, reply) }
+func (s *workerService) Histogram2D(args *HistArgs, reply *HistReply) error {
+	return s.w.Histogram2D(args, reply)
+}
+func (s *workerService) FindIDs(args *FindArgs, reply *FindReply) error {
+	return s.w.FindIDs(args, reply)
+}
+func (s *workerService) Select(args *SelectArgs, reply *SelectReply) error {
+	return s.w.Select(args, reply)
+}
+
+// Server serves one Worker over any number of listeners, tracking every
+// accepted connection so Close can tear the whole node down — previously
+// in-flight ServeConn goroutines and their conns outlived the listener.
+type Server struct {
+	worker *Worker
+	rpcSrv *rpc.Server
+
+	mu               sync.Mutex
+	listeners        []net.Listener
+	conns            map[net.Conn]struct{}
+	closed           bool
+	closeOnAcceptErr bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer registers the worker and returns a server ready to Serve.
+func NewServer(w *Worker) (*Server, error) {
 	srv := rpc.NewServer()
-	if err := srv.RegisterName("Worker", w); err != nil {
-		return fmt.Errorf("cluster: register worker: %w", err)
+	if err := srv.RegisterName("Worker", &workerService{w: w}); err != nil {
+		return nil, fmt.Errorf("cluster: register worker: %w", err)
 	}
+	return &Server{worker: w, rpcSrv: srv, conns: make(map[net.Conn]struct{})}, nil
+}
+
+// Serve accepts and serves connections on the listener in a background
+// goroutine until the listener or the server is closed.
+func (s *Server) Serve(l net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return
+	}
+	s.listeners = append(s.listeners, l)
+	s.wg.Add(1)
+	s.mu.Unlock()
 	go func() {
+		defer s.wg.Done()
 		for {
 			conn, err := l.Accept()
 			if err != nil {
-				return // listener closed
+				if s.closeOnAcceptErr {
+					s.closeConns()
+				}
+				return
 			}
-			go srv.ServeConn(conn)
+			if !s.track(conn) {
+				conn.Close()
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.rpcSrv.ServeConn(conn)
+				s.untrack(conn)
+				conn.Close()
+			}()
 		}
 	}()
+}
+
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close stops the listeners, closes every in-flight connection, waits for
+// the serving goroutines to drain and releases the worker's cached source.
+// Close is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ls := s.listeners
+	s.listeners = nil
+	s.mu.Unlock()
+	for _, l := range ls {
+		l.Close()
+	}
+	s.closeConns()
+	s.wg.Wait()
+	return s.worker.Close()
+}
+
+// Serve starts an RPC worker on the listener. It returns immediately; the
+// listener owns the lifetime, and when it closes every connection it
+// accepted is closed with it.
+func Serve(l net.Listener, w *Worker) error {
+	s, err := NewServer(w)
+	if err != nil {
+		return err
+	}
+	s.closeOnAcceptErr = true
+	s.Serve(l)
 	return nil
 }
 
 // StartLocalWorkers starts n in-process RPC workers on loopback addresses
-// and returns their addresses plus a shutdown function.
+// and returns their addresses plus a shutdown function. Shutdown closes
+// the listeners, every served connection and the workers' cached sources,
+// and is idempotent.
 func StartLocalWorkers(n int, dir string) (addrs []string, shutdown func(), err error) {
-	var listeners []net.Listener
+	var servers []*Server
+	var once sync.Once
 	closeAll := func() {
-		for _, l := range listeners {
-			l.Close()
-		}
+		once.Do(func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		})
 	}
 	for i := 0; i < n; i++ {
+		srv, err := NewServer(NewWorker(dir))
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			closeAll()
 			return nil, nil, fmt.Errorf("cluster: listen: %w", err)
 		}
-		if err := Serve(l, NewWorker(dir)); err != nil {
-			closeAll()
-			return nil, nil, err
-		}
-		listeners = append(listeners, l)
+		servers = append(servers, srv)
+		srv.Serve(l)
 		addrs = append(addrs, l.Addr().String())
 	}
 	return addrs, closeAll, nil
-}
-
-// Pool is a client-side connection pool over a set of worker addresses.
-type Pool struct {
-	clients []*rpc.Client
-}
-
-// Dial connects to every worker address.
-func Dial(addrs []string) (*Pool, error) {
-	p := &Pool{}
-	for _, addr := range addrs {
-		c, err := rpc.Dial("tcp", addr)
-		if err != nil {
-			p.Close()
-			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
-		}
-		p.clients = append(p.clients, c)
-	}
-	return p, nil
-}
-
-// Close closes all client connections.
-func (p *Pool) Close() {
-	for _, c := range p.clients {
-		c.Close()
-	}
-}
-
-// Nodes returns the number of connected workers.
-func (p *Pool) Nodes() int { return len(p.clients) }
-
-// HistogramSweep computes one histogram per step, strided across the
-// workers, and returns the per-step histograms.
-func (p *Pool) HistogramSweep(steps []int, cond string, spec histogram.Spec2D, backend fastquery.Backend) ([]*histogram.Hist2D, error) {
-	out := make([]*histogram.Hist2D, len(steps))
-	errs := make([]error, len(steps))
-	var wg sync.WaitGroup
-	for i, step := range steps {
-		wg.Add(1)
-		go func(i, step int) {
-			defer wg.Done()
-			client := p.clients[i%len(p.clients)]
-			var reply HistReply
-			err := client.Call("Worker.Histogram2D", &HistArgs{
-				Step: step, Cond: cond, Spec: spec, Backend: backend,
-			}, &reply)
-			out[i], errs[i] = reply.Hist, err
-		}(i, step)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: step %d: %w", steps[i], err)
-		}
-	}
-	return out, nil
-}
-
-// SelectSweep evaluates the query on every step, strided across the
-// workers, returning per-step hit counts and (optionally) identifiers.
-func (p *Pool) SelectSweep(steps []int, q string, wantIDs bool, backend fastquery.Backend) ([]SelectReply, error) {
-	out := make([]SelectReply, len(steps))
-	errs := make([]error, len(steps))
-	var wg sync.WaitGroup
-	for i, step := range steps {
-		wg.Add(1)
-		go func(i, step int) {
-			defer wg.Done()
-			client := p.clients[i%len(p.clients)]
-			errs[i] = client.Call("Worker.Select", &SelectArgs{
-				Step: step, Query: q, WantIDs: wantIDs, Backend: backend,
-			}, &out[i])
-		}(i, step)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: step %d: %w", steps[i], err)
-		}
-	}
-	return out, nil
-}
-
-// TrackSweep locates the identifier set in every step, strided across the
-// workers; it returns per-step positions.
-func (p *Pool) TrackSweep(steps []int, ids []int64, backend fastquery.Backend) ([][]uint64, error) {
-	out := make([][]uint64, len(steps))
-	errs := make([]error, len(steps))
-	var wg sync.WaitGroup
-	for i, step := range steps {
-		wg.Add(1)
-		go func(i, step int) {
-			defer wg.Done()
-			client := p.clients[i%len(p.clients)]
-			var reply FindReply
-			err := client.Call("Worker.FindIDs", &FindArgs{
-				Step: step, IDs: ids, Backend: backend,
-			}, &reply)
-			out[i], errs[i] = reply.Positions, err
-		}(i, step)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("cluster: step %d: %w", steps[i], err)
-		}
-	}
-	return out, nil
 }

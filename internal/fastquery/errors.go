@@ -1,0 +1,54 @@
+package fastquery
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// This file classifies errors into fatal (deterministic: the request itself
+// is invalid, retrying or failing over cannot help) and retryable (possibly
+// transient: I/O trouble, a dying worker). The distinction drives the
+// cluster layer's retry and failover decisions.
+//
+// Errors that cross a net/rpc boundary are flattened to strings
+// (rpc.ServerError), so the classification must survive stringification:
+// fatal errors carry a message prefix as well as a wrapper type.
+
+// fatalPrefix marks fatal errors in a way that survives the net/rpc
+// string round-trip.
+const fatalPrefix = "fatal: "
+
+type fatalError struct{ err error }
+
+func (e *fatalError) Error() string { return fatalPrefix + e.err.Error() }
+func (e *fatalError) Unwrap() error { return e.err }
+
+// Fatal marks err as fatal: the request is invalid and will fail the same
+// way on every worker, so callers should not retry or fail over. Fatal is
+// idempotent and returns nil for a nil error.
+func Fatal(err error) error {
+	if err == nil || IsFatal(err) {
+		return err
+	}
+	return &fatalError{err: err}
+}
+
+// Fatalf formats a new fatal error.
+func Fatalf(format string, a ...any) error {
+	return Fatal(fmt.Errorf(format, a...))
+}
+
+// IsFatal reports whether err (or anything it wraps) is marked fatal. The
+// check works both on in-process error chains and on errors that crossed a
+// net/rpc boundary, where only the message string survives.
+func IsFatal(err error) bool {
+	if err == nil {
+		return false
+	}
+	var fe *fatalError
+	if errors.As(err, &fe) {
+		return true
+	}
+	return strings.Contains(err.Error(), fatalPrefix)
+}

@@ -1,0 +1,74 @@
+package fastquery
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFatalClassification(t *testing.T) {
+	if Fatal(nil) != nil {
+		t.Fatal("Fatal(nil) != nil")
+	}
+	base := errors.New("bad request")
+	f := Fatal(base)
+	if !IsFatal(f) {
+		t.Fatal("Fatal error not detected")
+	}
+	if IsFatal(base) {
+		t.Fatal("plain error classified fatal")
+	}
+	if !errors.Is(f, base) {
+		t.Fatal("Fatal broke the error chain")
+	}
+	// Idempotent: wrapping twice adds one prefix.
+	if Fatal(f) != f {
+		t.Fatal("Fatal not idempotent")
+	}
+	// Wrapping a fatal error keeps it fatal.
+	if !IsFatal(fmt.Errorf("step 3: %w", f)) {
+		t.Fatal("wrapped fatal error lost classification")
+	}
+}
+
+func TestFatalSurvivesStringRoundTrip(t *testing.T) {
+	// net/rpc flattens server errors to their message string; the
+	// classification must survive that.
+	f := Fatalf("timestep %d out of range", 99)
+	flattened := errors.New(f.Error())
+	if !IsFatal(flattened) {
+		t.Fatal("fatal marker lost across string round-trip")
+	}
+	wrapped := fmt.Errorf("cluster: step 99: %w", flattened)
+	if !IsFatal(wrapped) {
+		t.Fatal("fatal marker lost when re-wrapped after round-trip")
+	}
+}
+
+func TestSourceCloseAndFatalOpenStep(t *testing.T) {
+	src := testSource(t)
+	// Out-of-range steps are fatal: no worker could serve them.
+	if _, err := src.OpenStep(99); !IsFatal(err) {
+		t.Fatalf("out-of-range OpenStep err = %v, want fatal", err)
+	}
+	if _, err := src.OpenStep(-1); !IsFatal(err) {
+		t.Fatalf("negative OpenStep err = %v, want fatal", err)
+	}
+	st, err := src.OpenStep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+	// Steps opened before Close stay usable; new opens fail fatally.
+	if _, err := st.Rows(), st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.OpenStep(0); !IsFatal(err) {
+		t.Fatalf("OpenStep after Close err = %v, want fatal", err)
+	}
+}

@@ -16,6 +16,7 @@ package fastquery
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/fastbit"
@@ -46,7 +47,8 @@ func (b Backend) String() string {
 
 // Source is an open multi-timestep dataset.
 type Source struct {
-	ds *colstore.Dataset
+	ds     *colstore.Dataset
+	closed atomic.Bool
 }
 
 // Open opens a dataset directory produced by the preprocessing pipeline.
@@ -56,6 +58,14 @@ func Open(dir string) (*Source, error) {
 		return nil, err
 	}
 	return &Source{ds: ds}, nil
+}
+
+// Close marks the source closed; subsequent OpenStep calls fail. Steps
+// opened earlier stay valid — each Step owns its files. Close is
+// idempotent.
+func (s *Source) Close() error {
+	s.closed.Store(true)
+	return nil
 }
 
 // Steps returns the number of timesteps.
@@ -74,6 +84,12 @@ func (s *Source) Dataset() *colstore.Dataset { return s.ds }
 // is read up front, and each query loads just the column indexes it
 // touches, like FastBit. Without an index only the Scan backend works.
 func (s *Source) OpenStep(t int) (*Step, error) {
+	if s.closed.Load() {
+		return nil, Fatalf("fastquery: source closed")
+	}
+	if t < 0 || t >= s.ds.Meta.Steps {
+		return nil, Fatalf("fastquery: timestep %d out of range [0,%d)", t, s.ds.Meta.Steps)
+	}
 	f, err := s.ds.OpenStep(t)
 	if err != nil {
 		return nil, err
@@ -88,7 +104,7 @@ func (s *Source) OpenStep(t int) (*Step, error) {
 		if ls.N() != f.Rows() {
 			ls.Close()
 			f.Close()
-			return nil, fmt.Errorf("fastquery: step %d: index covers %d rows, data has %d", t, ls.N(), f.Rows())
+			return nil, Fatalf("fastquery: step %d: index covers %d rows, data has %d", t, ls.N(), f.Rows())
 		}
 		st.index = ls
 	}
