@@ -1,0 +1,331 @@
+// Command qload replays an interactive drill-down session against a
+// running qserve instance and reports serving-side latency percentiles and
+// cache effectiveness — the first serving-layer BENCH numbers.
+//
+// Each session is the paper's refinement loop over HTTP:
+//
+//  1. /v1/query     coarse momentum cut
+//  2. /v1/hist2d    conditional histogram at coarse resolution
+//  3. /v1/query     refined compound cut (momentum + position)
+//  4. /v1/hist2d    conditional histogram at fine resolution
+//
+// Sessions alternate the operand order of the compound cut, so a healthy
+// plan cache (canonicalized keys) turns half the refined queries into
+// hits. Run with concurrency above the server's -concurrency limit to see
+// admission control shed load with 429s.
+//
+// Usage:
+//
+//	qserve -data /tmp/lwfa -addr :8080 &
+//	qload -url http://127.0.0.1:8080 -sessions 100 -concurrency 16
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qload: ")
+
+	var (
+		base        = flag.String("url", "", "qserve base URL (required)")
+		dataset     = flag.String("dataset", "", "dataset name (default: the first served)")
+		step        = flag.Int("step", -1, "timestep (-1 = last)")
+		sessions    = flag.Int("sessions", 50, "drill-down sessions to replay")
+		concurrency = flag.Int("concurrency", 8, "concurrent sessions")
+		backend     = flag.String("backend", "", "backend parameter (fastbit | scan; empty = server default)")
+		xvar        = flag.String("x", "x", "histogram X variable")
+		yvar        = flag.String("y", "px", "histogram Y variable / cut variable")
+		coarse      = flag.Int("coarse", 32, "coarse hist2d bins per axis")
+		fine        = flag.Int("fine", 256, "fine hist2d bins per axis")
+		out         = flag.String("out", "BENCH_serve.json", "benchmark JSON output path (empty = skip)")
+	)
+	flag.Parse()
+	if *base == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	lg := &loadgen{
+		base:    *base,
+		backend: *backend,
+		client:  &http.Client{Timeout: 30 * time.Second},
+	}
+	if err := lg.setup(*dataset, *step, *xvar, *yvar); err != nil {
+		log.Fatal(err)
+	}
+	res, err := lg.run(*sessions, *concurrency, *xvar, *yvar, *coarse, *fine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res.print(os.Stdout)
+	if *out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s", *out)
+	}
+}
+
+type loadgen struct {
+	base    string
+	backend string
+	client  *http.Client
+
+	dataset  string
+	step     int
+	yLo, yHi float64
+	xLo, xHi float64
+}
+
+// getJSON fetches path (already query-encoded) and decodes into out.
+func (lg *loadgen) getJSON(path string, out any) (int, error) {
+	resp, err := lg.client.Get(lg.base + path)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, body)
+	}
+	if out != nil {
+		if err := json.Unmarshal(body, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("GET %s: decode: %w", path, err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// setup discovers the dataset, step and variable ranges the session
+// template needs.
+func (lg *loadgen) setup(dataset string, step int, xvar, yvar string) error {
+	var dss []serve.DatasetInfo
+	if _, err := lg.getJSON("/v1/datasets", &dss); err != nil {
+		return err
+	}
+	if len(dss) == 0 {
+		return fmt.Errorf("server has no datasets")
+	}
+	lg.dataset = dataset
+	var info *serve.DatasetInfo
+	for i := range dss {
+		if dataset == "" || dss[i].Name == dataset {
+			info = &dss[i]
+			break
+		}
+	}
+	if info == nil {
+		return fmt.Errorf("dataset %q not served", dataset)
+	}
+	lg.dataset = info.Name
+	lg.step = step
+	if lg.step < 0 {
+		lg.step = info.Steps - 1
+	}
+	var vars serve.VarsBody
+	path := fmt.Sprintf("/v1/vars?dataset=%s&step=%d", url.QueryEscape(lg.dataset), lg.step)
+	if _, err := lg.getJSON(path, &vars); err != nil {
+		return err
+	}
+	seen := 0
+	for _, v := range vars.Vars {
+		switch v.Name {
+		case xvar:
+			lg.xLo, lg.xHi = v.Min, v.Max
+			seen++
+		case yvar:
+			lg.yLo, lg.yHi = v.Min, v.Max
+			seen++
+		}
+	}
+	if seen != 2 {
+		return fmt.Errorf("dataset %q lacks variables %q/%q", lg.dataset, xvar, yvar)
+	}
+	return nil
+}
+
+func (lg *loadgen) stats() (serve.StatsBody, error) {
+	var st serve.StatsBody
+	_, err := lg.getJSON("/v1/stats", &st)
+	return st, err
+}
+
+// result is the BENCH_serve.json shape.
+type result struct {
+	Sessions    int     `json:"sessions"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	ElapsedS    float64 `json:"elapsed_s"`
+	RPS         float64 `json:"rps"`
+	P50MS       float64 `json:"p50_ms"`
+	P95MS       float64 `json:"p95_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	MeanMS      float64 `json:"mean_ms"`
+	Shed429     int     `json:"shed_429"`
+	Shed503     int     `json:"shed_503"`
+	Errors      int     `json:"errors"`
+	HitRate     float64 `json:"cache_hit_rate"`
+	Backend     uint64  `json:"backend_calls"`
+}
+
+func (r *result) print(w io.Writer) {
+	fmt.Fprintf(w, "sessions %d  requests %d  concurrency %d  elapsed %.2fs  %.1f req/s\n",
+		r.Sessions, r.Requests, r.Concurrency, r.ElapsedS, r.RPS)
+	fmt.Fprintf(w, "latency ms  p50 %.2f  p95 %.2f  p99 %.2f  mean %.2f\n",
+		r.P50MS, r.P95MS, r.P99MS, r.MeanMS)
+	fmt.Fprintf(w, "cache hit rate %.1f%%  backend calls %d  shed 429 %d  shed 503 %d  errors %d\n",
+		100*r.HitRate, r.Backend, r.Shed429, r.Shed503, r.Errors)
+}
+
+// sessionOutcome carries one session's request latencies and shed counts.
+type sessionOutcome struct {
+	latencies []time.Duration
+	shed429   int
+	shed503   int
+	errs      int
+}
+
+func (lg *loadgen) run(sessions, concurrency int, xvar, yvar string, coarse, fine int) (*result, error) {
+	before, err := lg.stats()
+	if err != nil {
+		return nil, err
+	}
+
+	// Thresholds of the paper's refinement: a momentum cut, then a
+	// compound momentum+position cut.
+	t1 := lg.yLo + 0.6*(lg.yHi-lg.yLo)
+	t2 := lg.yLo + 0.8*(lg.yHi-lg.yLo)
+	xmid := (lg.xLo + lg.xHi) / 2
+	q1 := fmt.Sprintf("%s > %g", yvar, t1)
+	// Two equivalent spellings of the refined query; the plan cache should
+	// treat them as one.
+	q2a := fmt.Sprintf("%s > %g && %s > %g", yvar, t2, xvar, xmid)
+	q2b := fmt.Sprintf("%s > %g && %s > %g", xvar, xmid, yvar, t2)
+
+	jobs := make(chan int)
+	outcomes := make(chan sessionOutcome, sessions)
+	for w := 0; w < concurrency; w++ {
+		go func() {
+			for i := range jobs {
+				outcomes <- lg.session(i, q1, q2a, q2b, xvar, yvar, coarse, fine)
+			}
+		}()
+	}
+	start := time.Now()
+	go func() {
+		for i := 0; i < sessions; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	var all []time.Duration
+	res := &result{Sessions: sessions, Concurrency: concurrency}
+	for i := 0; i < sessions; i++ {
+		o := <-outcomes
+		all = append(all, o.latencies...)
+		res.Shed429 += o.shed429
+		res.Shed503 += o.shed503
+		res.Errors += o.errs
+	}
+	elapsed := time.Since(start)
+
+	after, err := lg.stats()
+	if err != nil {
+		return nil, err
+	}
+	res.Requests = len(all) + res.Shed429 + res.Shed503 + res.Errors
+	res.ElapsedS = elapsed.Seconds()
+	if res.ElapsedS > 0 {
+		res.RPS = float64(res.Requests) / res.ElapsedS
+	}
+	res.MeanMS = meanMS(all)
+	res.P50MS = percentileMS(all, 50)
+	res.P95MS = percentileMS(all, 95)
+	res.P99MS = percentileMS(all, 99)
+	hits := after.Cache.Hits - before.Cache.Hits
+	lookups := hits + (after.Cache.Misses - before.Cache.Misses) + (after.Cache.Coalesced - before.Cache.Coalesced)
+	if lookups > 0 {
+		res.HitRate = float64(hits) / float64(lookups)
+	}
+	res.Backend = after.BackendCalls - before.BackendCalls
+	return res, nil
+}
+
+// session replays one drill-down; i alternates the refined-query spelling.
+func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine int) sessionOutcome {
+	q2 := q2a
+	if i%2 == 1 {
+		q2 = q2b
+	}
+	common := fmt.Sprintf("dataset=%s&step=%d", url.QueryEscape(lg.dataset), lg.step)
+	if lg.backend != "" {
+		common += "&backend=" + url.QueryEscape(lg.backend)
+	}
+	paths := []string{
+		fmt.Sprintf("/v1/query?%s&q=%s", common, url.QueryEscape(q1)),
+		fmt.Sprintf("/v1/hist2d?%s&x=%s&y=%s&xbins=%d&ybins=%d&q=%s",
+			common, url.QueryEscape(xvar), url.QueryEscape(yvar), coarse, coarse, url.QueryEscape(q1)),
+		fmt.Sprintf("/v1/query?%s&q=%s", common, url.QueryEscape(q2)),
+		fmt.Sprintf("/v1/hist2d?%s&x=%s&y=%s&xbins=%d&ybins=%d&q=%s",
+			common, url.QueryEscape(xvar), url.QueryEscape(yvar), fine, fine, url.QueryEscape(q2)),
+	}
+	var o sessionOutcome
+	for _, p := range paths {
+		start := time.Now()
+		code, err := lg.getJSON(p, nil)
+		lat := time.Since(start)
+		switch {
+		case code == http.StatusTooManyRequests:
+			o.shed429++
+		case code == http.StatusServiceUnavailable:
+			o.shed503++
+		case err != nil:
+			o.errs++
+		default:
+			o.latencies = append(o.latencies, lat)
+		}
+	}
+	return o
+}
+
+func meanMS(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return float64(sum) / float64(len(ds)) / float64(time.Millisecond)
+}
+
+func percentileMS(ds []time.Duration, p int) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)-1)*p + 50
+	return float64(sorted[idx/100]) / float64(time.Millisecond)
+}

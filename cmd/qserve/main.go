@@ -1,0 +1,124 @@
+// Command qserve is the interactive query service: it serves one or more
+// datasets over an HTTP/JSON API — compound range queries and conditional
+// histograms at arbitrary resolution — with a canonical-plan result cache,
+// request coalescing and admission control.
+//
+// Usage:
+//
+//	lwfagen -out /tmp/lwfa -steps 30 -particles 200000
+//	qserve -data /tmp/lwfa -addr :8080
+//	qserve -data beam=/tmp/lwfa -data run2=/data/run2
+//
+// Endpoints:
+//
+//	GET /v1/datasets                          served datasets
+//	GET /v1/steps?dataset=D&detail=1          timestep metadata
+//	GET /v1/vars?dataset=D&step=T             variables with value ranges
+//	GET /v1/query?q=...&step=T&backend=B      selection summary
+//	GET /v1/hist1d?var=V&bins=N&q=...         conditional 1D histogram
+//	GET /v1/hist2d?x=X&y=Y&xbins=N&ybins=M    conditional 2D histogram
+//	GET /v1/stats                             cache/admission counters
+//	GET /healthz                              liveness
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// dataFlags collects repeated -data name=dir (or plain dir) flags.
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qserve: ")
+
+	var datas dataFlags
+	flag.Var(&datas, "data", "dataset to serve, as dir or name=dir (repeatable)")
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+		cacheEntries = flag.Int("cache-entries", 256, "result cache size in entries (0 disables storage)")
+		concurrency  = flag.Int("concurrency", 8, "max requests doing backend work at once")
+		queueDepth   = flag.Int("queue", -1, "admission queue depth (-1 = 2x concurrency, 0 = no queue)")
+		queueWait    = flag.Duration("queue-timeout", 2*time.Second, "max time a request waits for admission")
+	)
+	flag.Parse()
+	if len(datas) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := serve.Config{
+		CacheEntries: *cacheEntries,
+		Concurrency:  *concurrency,
+		QueueTimeout: *queueWait,
+	}
+	// Flag semantics differ from Config zero-value semantics: translate
+	// "0 = off" into Config's "negative = off".
+	if *cacheEntries <= 0 {
+		cfg.CacheEntries = -1
+	}
+	switch {
+	case *queueDepth > 0:
+		cfg.QueueDepth = *queueDepth
+	case *queueDepth == 0:
+		cfg.QueueDepth = -1
+	}
+	s := serve.New(cfg)
+	defer s.Close()
+	for _, spec := range datas {
+		name, dir := spec, spec
+		if i := strings.IndexByte(spec, '='); i >= 0 {
+			name, dir = spec[:i], spec[i+1:]
+		} else {
+			name = filepath.Base(filepath.Clean(dir))
+		}
+		if err := s.AddDataset(name, dir); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving dataset %q from %s", name, dir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The actual address matters with port 0; print it where scripts and
+	// tests can parse it.
+	fmt.Printf("qserve: listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: s}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-sig:
+		log.Printf("shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	}
+}

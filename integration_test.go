@@ -6,11 +6,15 @@ package repro
 // as real subprocesses.
 
 import (
+	"bufio"
+	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fastbit"
@@ -257,5 +261,149 @@ func TestCommandLineTools(t *testing.T) {
 	html, err := os.ReadFile(htmlPath)
 	if err != nil || !strings.Contains(string(html), "data:image/png;base64,") {
 		t.Fatalf("mkreport output invalid: %v", err)
+	}
+}
+
+// TestQueryService drives the HTTP serving layer end to end: qserve as a
+// real subprocess, a drill-down over HTTP with both backends agreeing,
+// cache hits on repeat, and qload producing BENCH_serve.json.
+func TestQueryService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := t.TempDir()
+	for _, tool := range []string{"qserve", "qload"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(bin, tool), "./cmd/"+tool)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+	data := integrationDataset(t)
+
+	srv := exec.Command(filepath.Join(bin, "qserve"), "-data", "lwfa="+data, "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill() //nolint:errcheck // test teardown
+		srv.Wait()         //nolint:errcheck
+	}()
+
+	// qserve prints "qserve: listening on <addr>" once the socket is open.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "qserve: listening on "); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("qserve never announced its address: %v", sc.Err())
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+	get := func(path string, out any) {
+		t.Helper()
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	// Drill down: coarse cut, then refined compound cut, on both backends.
+	type queryBody struct {
+		Matches uint64 `json:"matches"`
+		Backend string `json:"backend"`
+		Outcome string `json:"outcome"`
+	}
+	type hist2dBody struct {
+		Counts []uint64 `json:"counts"` // row-major
+		Total  uint64   `json:"total"`
+	}
+	total := func(h hist2dBody) uint64 {
+		var n uint64
+		for _, c := range h.Counts {
+			n += c
+		}
+		return n
+	}
+	for _, q := range []string{"px > 1e10", "px > 5e10 && x > 0"} {
+		qe := strings.ReplaceAll(q, " ", "%20")
+		qe = strings.ReplaceAll(qe, ">", "%3E")
+		qe = strings.ReplaceAll(qe, "&", "%26")
+		var fbq, scq queryBody
+		get("/v1/query?q="+qe+"&backend=fastbit", &fbq)
+		get("/v1/query?q="+qe+"&backend=scan", &scq)
+		if fbq.Matches == 0 || fbq.Matches != scq.Matches {
+			t.Fatalf("%q: fastbit %d, scan %d matches", q, fbq.Matches, scq.Matches)
+		}
+		var fbh, sch hist2dBody
+		hq := "&x=x&y=px&xbins=32&ybins=32&q=" + qe
+		get("/v1/hist2d?backend=fastbit"+hq, &fbh)
+		get("/v1/hist2d?backend=scan"+hq, &sch)
+		if total(fbh) != fbq.Matches || total(sch) != total(fbh) {
+			t.Fatalf("%q: hist totals fastbit %d scan %d, matches %d",
+				q, total(fbh), total(sch), fbq.Matches)
+		}
+	}
+
+	// Repeating a request must hit the cache without new backend calls.
+	type statsBody struct {
+		Cache struct {
+			Hits uint64 `json:"hits"`
+		} `json:"cache"`
+		BackendCalls uint64 `json:"backend_calls"`
+	}
+	var st0, st1 statsBody
+	get("/v1/stats", &st0)
+	var repeat queryBody
+	get("/v1/query?q=px%20%3E%201e10&backend=fastbit", &repeat)
+	if repeat.Outcome != "hit" {
+		t.Fatalf("repeat outcome %q, want hit", repeat.Outcome)
+	}
+	get("/v1/stats", &st1)
+	if st1.Cache.Hits != st0.Cache.Hits+1 || st1.BackendCalls != st0.BackendCalls {
+		t.Fatalf("stats before %+v after %+v", st0, st1)
+	}
+
+	// qload replays sessions and writes the benchmark JSON.
+	benchPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	cmd := exec.Command(filepath.Join(bin, "qload"),
+		"-url", base, "-sessions", "12", "-concurrency", "4", "-out", benchPath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("qload: %v\n%s", err, out)
+	}
+	raw, err := os.ReadFile(benchPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bench struct {
+		Requests int     `json:"requests"`
+		P50MS    float64 `json:"p50_ms"`
+		P99MS    float64 `json:"p99_ms"`
+		HitRate  float64 `json:"cache_hit_rate"`
+		Errors   int     `json:"errors"`
+	}
+	if err := json.Unmarshal(raw, &bench); err != nil {
+		t.Fatalf("BENCH_serve.json: %v\n%s", err, raw)
+	}
+	if bench.Requests != 12*4 || bench.Errors != 0 || bench.P50MS <= 0 || bench.P99MS < bench.P50MS {
+		t.Fatalf("bench looks wrong: %s", raw)
+	}
+	// 12 sessions share 2 distinct plans x 2 endpoints: most must hit.
+	if bench.HitRate < 0.5 {
+		t.Fatalf("cache hit rate %.2f, want >= 0.5\n%s", bench.HitRate, raw)
 	}
 }

@@ -11,6 +11,15 @@
 //
 // Both produce identical results; the performance comparison between them
 // is the subject of the paper's evaluation section.
+//
+// # Concurrency
+//
+// Source and Step are safe for concurrent readers: any number of
+// goroutines may call Count, Select, Histogram1D/2D and MinMax on the
+// same Step (or open Steps from the same Source) simultaneously. Data
+// reads use positioned I/O (ReadAt), the lazy index guards its section
+// caches with a mutex, and every evaluation allocates its own scratch
+// state. Close must not race with in-flight queries on the same Step.
 package fastquery
 
 import (
@@ -111,7 +120,8 @@ func (s *Source) OpenStep(t int) (*Step, error) {
 	return st, nil
 }
 
-// Step is one open timestep.
+// Step is one open timestep. Its query and histogram methods are safe
+// for concurrent use; see the package comment.
 type Step struct {
 	t     int
 	file  *colstore.File

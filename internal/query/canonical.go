@@ -1,0 +1,162 @@
+package query
+
+import (
+	"math"
+	"sort"
+)
+
+// Canonical returns a semantically equivalent expression in a canonical
+// form: two queries that select the same records through reordered or
+// redundantly split range conditions (`x > 1 && y < 2` versus
+// `y < 2 && x > 1`, or `x > 1 && x > 3` versus `x > 3`) canonicalize to
+// structurally identical trees with identical String() renderings. This is
+// what makes a query usable as a cache key in the serving layer.
+//
+// The transformation:
+//
+//   - flattens nested conjunctions and disjunctions,
+//   - intersects all interval-representable comparisons on the same
+//     variable inside a conjunction into at most two comparisons
+//     (lower bound, upper bound) or one equality,
+//   - sorts the terms of And/Or by their canonical rendering and removes
+//     duplicates,
+//   - eliminates double negation, and
+//   - re-normalizes In value lists (sorted, deduplicated).
+//
+// Canonical never changes what a query matches, and it is idempotent:
+// Canonical(Canonical(e)) is structurally identical to Canonical(e).
+// The result shares no And/Or/Not nodes with the input, but may share
+// Compare/In leaves that were already canonical.
+func Canonical(e Expr) Expr {
+	switch t := e.(type) {
+	case *Compare:
+		return t
+	case *In:
+		return NewIn(t.Var, t.Values)
+	case *Not:
+		inner := Canonical(t.Term)
+		if n, ok := inner.(*Not); ok {
+			return n.Term // !!x == x
+		}
+		return &Not{Term: inner}
+	case *And:
+		return canonicalAnd(t)
+	case *Or:
+		return canonicalOr(t)
+	default:
+		return e
+	}
+}
+
+// canonicalAnd flattens, merges per-variable ranges, sorts and dedups.
+func canonicalAnd(a *And) Expr {
+	flat := flatten(a.Terms, func(e Expr) ([]Expr, bool) {
+		sub, ok := e.(*And)
+		if !ok {
+			return nil, false
+		}
+		return sub.Terms, true
+	})
+
+	// Partition: interval-representable comparisons merge per variable;
+	// everything else passes through untouched.
+	ranges := map[string]Interval{}
+	var varOrder []string
+	var rest []Expr
+	for _, term := range flat {
+		c, ok := term.(*Compare)
+		if !ok {
+			rest = append(rest, term)
+			continue
+		}
+		iv, ok := CompareInterval(c)
+		if !ok { // NE: not one interval
+			rest = append(rest, term)
+			continue
+		}
+		if prev, exists := ranges[c.Var]; exists {
+			ranges[c.Var] = Intersect(prev, iv)
+		} else {
+			ranges[c.Var] = iv
+			varOrder = append(varOrder, c.Var)
+		}
+	}
+
+	terms := make([]Expr, 0, len(flat))
+	for _, v := range varOrder {
+		terms = append(terms, intervalTerms(v, ranges[v])...)
+	}
+	terms = append(terms, rest...)
+	return rebuildNary(terms, func(ts []Expr) Expr { return &And{Terms: ts} })
+}
+
+// canonicalOr flattens, sorts and dedups.
+func canonicalOr(o *Or) Expr {
+	flat := flatten(o.Terms, func(e Expr) ([]Expr, bool) {
+		sub, ok := e.(*Or)
+		if !ok {
+			return nil, false
+		}
+		return sub.Terms, true
+	})
+	return rebuildNary(flat, func(ts []Expr) Expr { return &Or{Terms: ts} })
+}
+
+// flatten canonicalizes each term and splices in the terms of nested
+// nodes of the same kind (as identified by explode).
+func flatten(terms []Expr, explode func(Expr) ([]Expr, bool)) []Expr {
+	out := make([]Expr, 0, len(terms))
+	for _, t := range terms {
+		ct := Canonical(t)
+		if sub, ok := explode(ct); ok {
+			out = append(out, sub...)
+		} else {
+			out = append(out, ct)
+		}
+	}
+	return out
+}
+
+// rebuildNary sorts terms by rendering, removes duplicates, and collapses
+// single-term nodes.
+func rebuildNary(terms []Expr, build func([]Expr) Expr) Expr {
+	sort.SliceStable(terms, func(i, j int) bool {
+		return terms[i].String() < terms[j].String()
+	})
+	dedup := terms[:0]
+	for i, t := range terms {
+		if i == 0 || t.String() != terms[i-1].String() {
+			dedup = append(dedup, t)
+		}
+	}
+	if len(dedup) == 1 {
+		return dedup[0]
+	}
+	return build(append([]Expr(nil), dedup...))
+}
+
+// intervalTerms renders an interval as its minimal comparison list: one
+// equality for a closed point, a single one-sided comparison for a
+// half-bounded interval, or a lower+upper pair. An empty interval keeps
+// both (contradictory) bounds so the expression still matches nothing.
+func intervalTerms(v string, iv Interval) []Expr {
+	if iv.Lo == iv.Hi && !iv.LoOpen && !iv.HiOpen {
+		return []Expr{&Compare{Var: v, Op: EQ, Value: iv.Lo}}
+	}
+	var out []Expr
+	if !math.IsInf(iv.Lo, -1) {
+		op := GE
+		if iv.LoOpen {
+			op = GT
+		}
+		out = append(out, &Compare{Var: v, Op: op, Value: iv.Lo})
+	}
+	if !math.IsInf(iv.Hi, 1) {
+		op := LE
+		if iv.HiOpen {
+			op = LT
+		}
+		out = append(out, &Compare{Var: v, Op: op, Value: iv.Hi})
+	}
+	return out
+}

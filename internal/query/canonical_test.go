@@ -1,0 +1,141 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestStringRoundTripStructural checks Parse(e.String()) ≡ e (structural
+// equality, not just a stable rendering) for parsed expressions.
+func TestStringRoundTripStructural(t *testing.T) {
+	srcs := []string{
+		"x > 1",
+		"x >= 1.5e-3",
+		"px > 1e9 && py < 1e8 && y > 0",
+		"!(x < 0.5) || px >= 2.5e8",
+		"id in (17, 99, 2048)",
+		"x != 0",
+		"x == -0.25",
+		"(a > 1 || b < 2) && c >= 3",
+		"a > 1 || b < 2 && c >= 3",
+		"!(a > 1 && b < 2)",
+		"!!(a > 1)",
+		"5 < x",
+		"x > 1e+09",
+		"x > -1.7976931348623157e+308",
+	}
+	for _, src := range srcs {
+		e, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		back, err := Parse(e.String())
+		if err != nil {
+			t.Fatalf("Parse(%q.String() = %q): %v", src, e.String(), err)
+		}
+		if !reflect.DeepEqual(e, back) {
+			t.Errorf("round trip of %q: got %q (%#v), want %#v", src, e.String(), back, e)
+		}
+	}
+}
+
+// TestCanonicalEquivalentForms checks that differently written but
+// equivalent queries canonicalize to the same rendering — the property the
+// serving layer's plan cache depends on.
+func TestCanonicalEquivalentForms(t *testing.T) {
+	groups := [][]string{
+		{"x > 1 && y < 2", "y < 2 && x > 1"},
+		{"x > 1 && x > 3", "x > 3 && x > 1", "x > 3"},
+		{"x > 1 && x <= 5 && y < 2", "y < 2 && x <= 5 && x > 1"},
+		{"x >= 2 && x <= 2", "x == 2"},
+		{"a > 1 || b < 2", "b < 2 || a > 1"},
+		{"a > 1 || a > 1", "a > 1"},
+		{"(a > 1 && b < 2) || c == 3", "c == 3 || (b < 2 && a > 1)"},
+		{"!!(a > 1)", "a > 1"},
+		{"a > 1 && (b < 2 && c > 3)", "c > 3 && b < 2 && a > 1"},
+		{"id in (3, 1, 2, 2)", "id in (1, 2, 3)"},
+		{"x != 5 && y > 0", "y > 0 && x != 5"},
+	}
+	for _, group := range groups {
+		want := ""
+		for i, src := range group {
+			c := Canonical(MustParse(src))
+			if i == 0 {
+				want = c.String()
+				continue
+			}
+			if got := c.String(); got != want {
+				t.Errorf("Canonical(%q) = %q, want %q (from %q)", src, got, want, group[0])
+			}
+		}
+	}
+}
+
+// TestCanonicalPreservesSemantics evaluates original and canonical forms
+// against random records.
+func TestCanonicalPreservesSemantics(t *testing.T) {
+	srcs := []string{
+		"x > 0.5",
+		"x > 0.2 && x < 0.8",
+		"x > 0.2 && x > 0.4 && y < 0.9",
+		"x >= 0.3 && x <= 0.3",
+		"x > 0.6 && x < 0.4", // contradiction
+		"x < 0.3 || y > 0.7",
+		"!(x < 0.5) && y != 0.25",
+		"id in (1, 3, 5) && x > 0.1",
+		"(x > 0.2 || y < 0.5) && !(x > 0.9)",
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, src := range srcs {
+		orig := MustParse(src)
+		canon := Canonical(orig)
+		for trial := 0; trial < 200; trial++ {
+			rec := map[string]float64{
+				"x":  rng.Float64(),
+				"y":  rng.Float64(),
+				"id": float64(rng.Intn(8)),
+			}
+			get := func(name string) float64 { return rec[name] }
+			if orig.Eval(get) != canon.Eval(get) {
+				t.Fatalf("%q: canonical form %q disagrees on record %v", src, canon.String(), rec)
+			}
+		}
+	}
+}
+
+// TestCanonicalIdempotent checks Canonical(Canonical(e)) ≡ Canonical(e),
+// and that the canonical form survives a parse round-trip.
+func TestCanonicalIdempotent(t *testing.T) {
+	srcs := []string{
+		"x > 1 && y < 2 && x <= 5",
+		"x > 0.6 && x < 0.4",
+		"a > 1 || (b < 2 && c > 3) || a > 1",
+		"!(x < 0.5) || px >= 2.5e8",
+		"id in (9, 1, 4)",
+	}
+	for _, src := range srcs {
+		c1 := Canonical(MustParse(src))
+		c2 := Canonical(c1)
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("%q: Canonical not idempotent: %q vs %q", src, c1.String(), c2.String())
+		}
+		back, err := Parse(c1.String())
+		if err != nil {
+			t.Fatalf("%q: canonical form %q does not reparse: %v", src, c1.String(), err)
+		}
+		if !reflect.DeepEqual(Canonical(back), c1) {
+			t.Errorf("%q: canonical form %q not stable under reparse", src, c1.String())
+		}
+	}
+}
+
+// TestCanonicalContradiction ensures an empty merged interval still
+// matches nothing rather than being dropped.
+func TestCanonicalContradiction(t *testing.T) {
+	c := Canonical(MustParse("x > 5 && x < 3"))
+	get := func(string) float64 { return 4 }
+	if c.Eval(get) {
+		t.Fatalf("contradictory query %q canonicalized to a satisfiable form", c.String())
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Admission-control errors; the HTTP layer maps them to 429/503 with a
+// Retry-After header.
+var (
+	// ErrQueueFull means the server is at its concurrency limit and its
+	// wait queue is full: shed the request immediately (HTTP 429).
+	ErrQueueFull = errors.New("serve: overloaded, queue full")
+	// ErrQueueTimeout means the request waited in the queue for the full
+	// admission deadline without a slot freeing up (HTTP 503).
+	ErrQueueTimeout = errors.New("serve: overloaded, queue wait deadline exceeded")
+)
+
+// GateStats is a snapshot of admission-control counters.
+type GateStats struct {
+	Limit            int    `json:"limit"`
+	QueueDepth       int    `json:"queue_depth"`
+	Admitted         uint64 `json:"admitted"`
+	RejectedFull     uint64 `json:"rejected_queue_full"`
+	RejectedDeadline uint64 `json:"rejected_deadline"`
+	Canceled         uint64 `json:"canceled"`
+	InFlight         int    `json:"in_flight"`
+	Queued           int    `json:"queued"`
+}
+
+// Gate bounds the number of requests executing heavy work concurrently.
+// Beyond the limit, up to queueDepth requests wait (bounded by timeout and
+// by the request context); anything more is shed immediately. This is what
+// keeps a burst of expensive histogram requests degrading into fast,
+// explicit rejections instead of an unbounded pile-up.
+type Gate struct {
+	slots   chan struct{} // capacity = concurrency limit
+	waiters chan struct{} // capacity = queue depth
+	timeout time.Duration
+
+	admitted, rejectedFull, rejectedDeadline, canceled atomic.Uint64
+}
+
+// NewGate creates a gate admitting limit concurrent holders with a wait
+// queue of queueDepth and a per-request queue deadline. limit < 1 is
+// clamped to 1; queueDepth < 0 to 0; timeout <= 0 means wait forever
+// (still bounded by the request context).
+func NewGate(limit, queueDepth int, timeout time.Duration) *Gate {
+	if limit < 1 {
+		limit = 1
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	return &Gate{
+		slots:   make(chan struct{}, limit),
+		waiters: make(chan struct{}, queueDepth),
+		timeout: timeout,
+	}
+}
+
+// Acquire blocks until a slot is free, the queue deadline passes, or ctx
+// is done. On nil return the caller must call Release exactly once.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	default:
+	}
+	// No free slot: claim a queue position or shed.
+	select {
+	case g.waiters <- struct{}{}:
+	default:
+		g.rejectedFull.Add(1)
+		return ErrQueueFull
+	}
+	defer func() { <-g.waiters }()
+
+	var deadline <-chan time.Time
+	if g.timeout > 0 {
+		timer := time.NewTimer(g.timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	select {
+	case g.slots <- struct{}{}:
+		g.admitted.Add(1)
+		return nil
+	case <-deadline:
+		g.rejectedDeadline.Add(1)
+		return ErrQueueTimeout
+	case <-ctx.Done():
+		g.canceled.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot acquired with Acquire.
+func (g *Gate) Release() { <-g.slots }
+
+// Stats returns a snapshot of the counters.
+func (g *Gate) Stats() GateStats {
+	return GateStats{
+		Limit:            cap(g.slots),
+		QueueDepth:       cap(g.waiters),
+		Admitted:         g.admitted.Load(),
+		RejectedFull:     g.rejectedFull.Load(),
+		RejectedDeadline: g.rejectedDeadline.Load(),
+		Canceled:         g.canceled.Load(),
+		InFlight:         len(g.slots),
+		Queued:           len(g.waiters),
+	}
+}

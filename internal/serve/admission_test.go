@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateAdmitsUpToLimit(t *testing.T) {
+	g := NewGate(3, 0, time.Second)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if err := g.Acquire(ctx); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+	}
+	// Limit reached and queue depth is 0: immediate shed.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-limit acquire: %v, want ErrQueueFull", err)
+	}
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	st := g.Stats()
+	if st.Admitted != 4 || st.RejectedFull != 1 || st.InFlight != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestGateQueueTimeout(t *testing.T) {
+	g := NewGate(1, 1, 20*time.Millisecond)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := g.Acquire(ctx) // queues, then times out
+	if !errors.Is(err, ErrQueueTimeout) {
+		t.Fatalf("queued acquire: %v, want ErrQueueTimeout", err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("timed out before the deadline")
+	}
+	// The queue slot must have been returned.
+	if st := g.Stats(); st.Queued != 0 {
+		t.Fatalf("queued = %d after timeout", st.Queued)
+	}
+}
+
+func TestGateQueueDrains(t *testing.T) {
+	g := NewGate(1, 4, time.Second)
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = g.Acquire(ctx)
+			if errs[i] == nil {
+				g.Release()
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond) // let them queue
+	g.Release()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("queued waiter %d: %v", i, err)
+		}
+	}
+}
+
+func TestGateContextCancel(t *testing.T) {
+	g := NewGate(1, 1, time.Minute)
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire: %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+// Package serve is the interactive query service: an HTTP/JSON front-end
+// over fastquery sources that exposes the paper's operations — compound
+// range queries and conditional histograms at arbitrary resolution — the
+// way the visualization client consumes them during drill-down.
+//
+// Three layers make it production-shaped rather than a thin wrapper:
+//
+//   - a canonical plan layer (query.Canonical) that normalizes equivalent
+//     queries to one deterministic cache key,
+//   - a result cache with request coalescing (Cache), so repeated and
+//     concurrent identical drill-downs cost one backend evaluation,
+//   - admission control (Gate), so a burst of heavy histogram requests
+//     degrades into explicit 429/503 rejections instead of a pile-up.
+package serve
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// DatasetInfo describes one served dataset.
+type DatasetInfo struct {
+	Name      string   `json:"name"`
+	Steps     int      `json:"steps"`
+	Variables []string `json:"variables"`
+}
+
+// StepInfo describes one timestep of a dataset.
+type StepInfo struct {
+	Step    int    `json:"step"`
+	Indexed bool   `json:"indexed"`
+	Rows    uint64 `json:"rows,omitempty"` // populated with ?detail=1
+}
+
+// StepsBody is the /v1/steps response.
+type StepsBody struct {
+	Dataset string     `json:"dataset"`
+	Steps   int        `json:"steps"`
+	Detail  []StepInfo `json:"detail,omitempty"`
+}
+
+// VarInfo is one variable's metadata at a timestep. Min/Max come from the
+// index metadata when available (free) or a column scan otherwise.
+type VarInfo struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// VarsBody is the /v1/vars response.
+type VarsBody struct {
+	Dataset string    `json:"dataset"`
+	Step    int       `json:"step"`
+	Vars    []VarInfo `json:"vars"`
+}
+
+// QueryBody is the /v1/query response: the selection summary for a
+// compound range query.
+type QueryBody struct {
+	Dataset     string  `json:"dataset"`
+	Step        int     `json:"step"`
+	Query       string  `json:"query"`
+	Plan        string  `json:"plan"` // canonical form, the cache key
+	Backend     string  `json:"backend"`
+	Rows        uint64  `json:"rows"`
+	Matches     uint64  `json:"matches"`
+	Selectivity float64 `json:"selectivity"`
+	Outcome     string  `json:"outcome"` // computed | hit | coalesced
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// Hist1DBody is the /v1/hist1d response.
+type Hist1DBody struct {
+	Dataset   string    `json:"dataset"`
+	Step      int       `json:"step"`
+	Plan      string    `json:"plan,omitempty"`
+	Backend   string    `json:"backend"`
+	Var       string    `json:"var"`
+	Binning   string    `json:"binning"`
+	Edges     []float64 `json:"edges"`
+	Counts    []uint64  `json:"counts"`
+	Total     uint64    `json:"total"`
+	Outcome   string    `json:"outcome"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// Hist2DBody is the /v1/hist2d response. Counts are row-major:
+// Counts[iy*len(XEdges-1) + ix].
+type Hist2DBody struct {
+	Dataset   string    `json:"dataset"`
+	Step      int       `json:"step"`
+	Plan      string    `json:"plan,omitempty"`
+	Backend   string    `json:"backend"`
+	XVar      string    `json:"xvar"`
+	YVar      string    `json:"yvar"`
+	Binning   string    `json:"binning"`
+	XEdges    []float64 `json:"xedges"`
+	YEdges    []float64 `json:"yedges"`
+	Counts    []uint64  `json:"counts"`
+	Total     uint64    `json:"total"`
+	Outcome   string    `json:"outcome"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+}
+
+// StatsBody is the /v1/stats response: cache, admission and backend
+// counters for operations and tests.
+type StatsBody struct {
+	Cache        CacheStats `json:"cache"`
+	Admission    GateStats  `json:"admission"`
+	BackendCalls uint64     `json:"backend_calls"`
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Outcome describes how a cache lookup was satisfied.
+type Outcome int
+
+// Lookup outcomes.
+const (
+	// Computed: this call ran the compute function.
+	Computed Outcome = iota
+	// Hit: the result was already stored.
+	Hit
+	// Coalesced: an identical call was in flight; this call waited for
+	// its result instead of recomputing (singleflight).
+	Coalesced
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Computed:
+		return "computed"
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "unknown"
+	}
+}
+
+// CacheStats is a snapshot of cache counters.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Coalesced uint64 `json:"coalesced"`
+	Inflight  int    `json:"inflight"`
+	Entries   int    `json:"entries"`
+}
+
+// Cache is a size-bounded LRU result cache with request coalescing: when
+// several goroutines ask for the same key concurrently, exactly one runs
+// the compute function and the rest wait for its result. Results are
+// cached only on success; errors propagate to every waiter and leave no
+// entry behind.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	flights    map[string]*flight
+
+	hits, misses, evictions, coalesced uint64
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewCache creates a cache bounded to maxEntries results. maxEntries <= 0
+// disables storage (coalescing still works).
+func NewCache(maxEntries int) *Cache {
+	return &Cache{
+		maxEntries: maxEntries,
+		ll:         list.New(),
+		items:      map[string]*list.Element{},
+		flights:    map[string]*flight{},
+	}
+}
+
+// Do returns the cached result for key, or computes it with fn. Identical
+// concurrent calls are collapsed into one fn invocation.
+func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.val, Coalesced, f.err
+	}
+	c.misses++
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil && c.maxEntries > 0 {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+		for c.ll.Len() > c.maxEntries {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.items, oldest.Value.(*cacheEntry).key)
+			c.evictions++
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, Computed, f.err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Coalesced: c.coalesced,
+		Inflight:  len(c.flights),
+		Entries:   c.ll.Len(),
+	}
+}

@@ -1,0 +1,166 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCacheHitAndEvict(t *testing.T) {
+	c := NewCache(2)
+	get := func(key string) (any, Outcome) {
+		v, o, err := c.Do(key, func() (any, error) { return "v:" + key, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v, o
+	}
+	if v, o := get("a"); o != Computed || v != "v:a" {
+		t.Fatalf("first lookup: %v %v", v, o)
+	}
+	if _, o := get("a"); o != Hit {
+		t.Fatalf("second lookup outcome %v, want Hit", o)
+	}
+	get("b")
+	get("c") // evicts a (LRU)
+	if _, o := get("a"); o != Computed {
+		t.Fatalf("evicted key outcome %v, want Computed", o)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Evictions < 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := NewCache(2)
+	do := func(key string) Outcome {
+		_, o, _ := c.Do(key, func() (any, error) { return key, nil })
+		return o
+	}
+	do("a")
+	do("b")
+	do("a") // refresh a; b is now LRU
+	do("c") // should evict b, keep a
+	if o := do("a"); o != Hit {
+		t.Fatalf("a outcome %v, want Hit (b should have been evicted)", o)
+	}
+	if o := do("b"); o != Computed {
+		t.Fatalf("b outcome %v, want Computed", o)
+	}
+}
+
+func TestCacheErrorNotStored(t *testing.T) {
+	c := NewCache(4)
+	boom := errors.New("boom")
+	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failure must not be cached.
+	v, o, err := c.Do("k", func() (any, error) { return 7, nil })
+	if err != nil || o != Computed || v != 7 {
+		t.Fatalf("after error: %v %v %v", v, o, err)
+	}
+}
+
+// TestCacheSingleflight proves identical concurrent requests collapse to
+// one compute call.
+func TestCacheSingleflight(t *testing.T) {
+	c := NewCache(4)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	errs := make([]error, n)
+	outcomes := make([]Outcome, n)
+
+	// First goroutine enters the compute fn and blocks; the rest must
+	// coalesce onto it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		results[0], outcomes[0], errs[0] = c.Do("key", func() (any, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return "result", nil
+		})
+	}()
+	<-started
+	for i := 1; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], outcomes[i], errs[i] = c.Do("key", func() (any, error) {
+				calls.Add(1)
+				return "result", nil
+			})
+		}()
+	}
+	// Wait until every waiter has joined the in-flight call, then release.
+	for c.Stats().Coalesced < n-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	coalesced := 0
+	for i := 0; i < n; i++ {
+		if errs[i] != nil || results[i] != "result" {
+			t.Fatalf("call %d: %v %v", i, results[i], errs[i])
+		}
+		if outcomes[i] == Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != n-1 {
+		t.Fatalf("coalesced %d of %d calls, want %d", coalesced, n, n-1)
+	}
+}
+
+// TestCacheStorageDisabled: maxEntries <= 0 must never store results,
+// only coalesce.
+func TestCacheStorageDisabled(t *testing.T) {
+	c := NewCache(0)
+	for i := 0; i < 3; i++ {
+		_, o, err := c.Do("k", func() (any, error) { return i, nil })
+		if err != nil || o != Computed {
+			t.Fatalf("call %d: outcome %v, err %v", i, o, err)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Entries != 0 || st.Misses != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCacheConcurrentKeys hammers the cache from many goroutines under
+// -race.
+func TestCacheConcurrentKeys(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%16)
+				if _, _, err := c.Do(key, func() (any, error) { return key, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

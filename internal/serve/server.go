@@ -1,0 +1,654 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/query"
+)
+
+// Limits on requested histogram resolution; beyond them a request is
+// rejected with 400 rather than allocating unbounded bin arrays.
+const (
+	MaxBins1D = 1 << 20
+	MaxBins2D = 4096 // per axis
+)
+
+// Config parameterises a Server. Zero values take the documented
+// defaults; pass a negative value to turn a bounded feature off
+// entirely.
+type Config struct {
+	// CacheEntries bounds the result cache. 0 means the default (256);
+	// negative disables storage (coalescing still applies).
+	CacheEntries int
+	// Concurrency is the number of requests allowed to run backend work
+	// at once. Default 8.
+	Concurrency int
+	// QueueDepth is the number of requests allowed to wait for a slot
+	// before new arrivals are shed with 429. 0 means the default
+	// (2x Concurrency); negative means no queue at all.
+	QueueDepth int
+	// QueueTimeout bounds how long a queued request waits before 503.
+	// Default 2s.
+	QueueTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 8
+	}
+	switch {
+	case c.QueueDepth == 0:
+		c.QueueDepth = 2 * c.Concurrency
+	case c.QueueDepth < 0:
+		c.QueueDepth = 0
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// dataset is one served dataset: the open source plus a registry of open
+// timesteps shared by all requests (Source and Step are safe for
+// concurrent readers).
+type dataset struct {
+	name string
+	src  *fastquery.Source
+
+	mu    sync.Mutex
+	steps map[int]*fastquery.Step
+}
+
+// step returns the shared open handle for timestep t, opening it on first
+// use.
+func (d *dataset) step(t int) (*fastquery.Step, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st, ok := d.steps[t]; ok {
+		return st, nil
+	}
+	st, err := d.src.OpenStep(t)
+	if err != nil {
+		return nil, err
+	}
+	d.steps[t] = st
+	return st, nil
+}
+
+func (d *dataset) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, st := range d.steps {
+		st.Close() //nolint:errcheck // read-only handles
+	}
+	d.steps = map[int]*fastquery.Step{}
+	d.src.Close() //nolint:errcheck // idempotent
+}
+
+// Server is the HTTP query service. Create with New, register datasets
+// with AddDataset, then use it as an http.Handler.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	gate  *Gate
+	mux   *http.ServeMux
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+	order    []string
+
+	backendCalls atomic.Uint64
+}
+
+// New creates a Server with no datasets.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		cache:    NewCache(cfg.CacheEntries),
+		gate:     NewGate(cfg.Concurrency, cfg.QueueDepth, cfg.QueueTimeout),
+		mux:      http.NewServeMux(),
+		datasets: map[string]*dataset{},
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
+	s.mux.HandleFunc("/v1/steps", s.handleSteps)
+	s.mux.HandleFunc("/v1/vars", s.handleVars)
+	s.mux.HandleFunc("/v1/query", s.admitted(s.handleQuery))
+	s.mux.HandleFunc("/v1/hist1d", s.admitted(s.handleHist1D))
+	s.mux.HandleFunc("/v1/hist2d", s.admitted(s.handleHist2D))
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	return s
+}
+
+// AddDataset opens a dataset directory and serves it under name.
+func (s *Server) AddDataset(name, dir string) error {
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.datasets[name]; dup {
+		src.Close() //nolint:errcheck // idempotent
+		return fmt.Errorf("serve: duplicate dataset %q", name)
+	}
+	s.datasets[name] = &dataset{name: name, src: src, steps: map[int]*fastquery.Step{}}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Close releases every open dataset.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, d := range s.datasets {
+		d.close()
+	}
+	s.datasets = map[string]*dataset{}
+	s.order = nil
+}
+
+// BackendCalls returns how many backend evaluations have run (cache
+// misses), for tests and the stats endpoint.
+func (s *Server) BackendCalls() uint64 { return s.backendCalls.Load() }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// admitted wraps a heavy handler with admission control.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if err := s.gate.Acquire(r.Context()); err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusTooManyRequests, "%v", err)
+			case errors.Is(err, ErrQueueTimeout):
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, "%v", err)
+			default: // client went away
+				writeError(w, 499, "client canceled: %v", err)
+			}
+			return
+		}
+		defer s.gate.Release()
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// httpError carries a status code through request helpers.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(status int, format string, args ...any) *httpError {
+	return &httpError{status: status, msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsBody{
+		Cache:        s.cache.Stats(),
+		Admission:    s.gate.Stats(),
+		BackendCalls: s.backendCalls.Load(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(s.order))
+	for _, name := range s.order {
+		d := s.datasets[name]
+		out = append(out, DatasetInfo{
+			Name:      name,
+			Steps:     d.src.Steps(),
+			Variables: d.src.Variables(),
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// lookup resolves the dataset named in the request.
+func (s *Server) lookup(r *http.Request) (*dataset, *httpError) {
+	name := r.FormValue("dataset")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		if len(s.order) == 1 {
+			return s.datasets[s.order[0]], nil
+		}
+		return nil, errf(http.StatusBadRequest, "missing dataset parameter (have %v)", s.order)
+	}
+	d, ok := s.datasets[name]
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown dataset %q (have %v)", name, s.order)
+	}
+	return d, nil
+}
+
+// stepParam resolves the step parameter, defaulting to the last timestep.
+func stepParam(r *http.Request, d *dataset) (int, *httpError) {
+	raw := r.FormValue("step")
+	if raw == "" {
+		return d.src.Steps() - 1, nil
+	}
+	t, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, errf(http.StatusBadRequest, "bad step %q", raw)
+	}
+	if t < 0 || t >= d.src.Steps() {
+		return 0, errf(http.StatusNotFound, "step %d out of range [0,%d)", t, d.src.Steps())
+	}
+	return t, nil
+}
+
+func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
+	d, herr := s.lookup(r)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	body := StepsBody{Dataset: d.name, Steps: d.src.Steps()}
+	if r.FormValue("detail") != "" {
+		for t := 0; t < d.src.Steps(); t++ {
+			st, err := d.step(t)
+			if err != nil {
+				writeError(w, http.StatusInternalServerError, "step %d: %v", t, err)
+				return
+			}
+			body.Detail = append(body.Detail, StepInfo{Step: t, Indexed: st.HasIndex(), Rows: st.Rows()})
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleVars(w http.ResponseWriter, r *http.Request) {
+	d, herr := s.lookup(r)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	t, herr := stepParam(r, d)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	st, err := d.step(t)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	names := d.src.Variables()
+	sort.Strings(names)
+	body := VarsBody{Dataset: d.name, Step: t, Vars: make([]VarInfo, 0, len(names))}
+	for _, name := range names {
+		lo, hi, err := st.MinMax(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "%s: %v", name, err)
+			return
+		}
+		body.Vars = append(body.Vars, VarInfo{Name: name, Min: lo, Max: hi})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// request bundles the parameters shared by the query/histogram endpoints.
+type request struct {
+	d       *dataset
+	st      *fastquery.Step
+	t       int
+	expr    query.Expr // nil when no condition was given
+	src     string     // query text as received
+	plan    string     // canonical rendering, "" when expr == nil
+	backend fastquery.Backend
+}
+
+// parseRequest resolves dataset, step, condition and backend, validating
+// every referenced variable so unknown names are a 404, not a backend
+// error.
+func (s *Server) parseRequest(r *http.Request, requireQuery bool) (*request, *httpError) {
+	d, herr := s.lookup(r)
+	if herr != nil {
+		return nil, herr
+	}
+	t, herr := stepParam(r, d)
+	if herr != nil {
+		return nil, herr
+	}
+	st, err := d.step(t)
+	if err != nil {
+		return nil, errf(http.StatusInternalServerError, "%v", err)
+	}
+	req := &request{d: d, st: st, t: t, src: r.FormValue("q")}
+	if req.src == "" && requireQuery {
+		return nil, errf(http.StatusBadRequest, "missing q parameter")
+	}
+	if req.src != "" {
+		expr, err := query.Parse(req.src)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		req.expr = query.Canonical(expr)
+		req.plan = req.expr.String()
+		if herr := checkVars(d, query.Vars(req.expr)...); herr != nil {
+			return nil, herr
+		}
+	}
+	switch b := r.FormValue("backend"); b {
+	case "", "fastbit", "fb":
+		if st.HasIndex() {
+			req.backend = fastquery.FastBit
+		} else if b == "" {
+			req.backend = fastquery.Scan
+		} else {
+			return nil, errf(http.StatusBadRequest,
+				"step %d has no index; use backend=scan", t)
+		}
+	case "scan", "custom":
+		req.backend = fastquery.Scan
+	default:
+		return nil, errf(http.StatusBadRequest, "unknown backend %q (fastbit | scan)", b)
+	}
+	return req, nil
+}
+
+// checkVars verifies each name is a declared dataset variable.
+func checkVars(d *dataset, names ...string) *httpError {
+	have := d.src.Variables()
+	set := map[string]bool{}
+	for _, v := range have {
+		set[v] = true
+	}
+	for _, name := range names {
+		if name == "" {
+			return errf(http.StatusBadRequest, "missing variable parameter")
+		}
+		if !set[name] {
+			sort.Strings(have)
+			return errf(http.StatusNotFound, "unknown variable %q (have %v)", name, have)
+		}
+	}
+	return nil
+}
+
+// cacheKey builds the deterministic result-cache key: dataset, step,
+// backend, canonical plan, and the operation-specific spec.
+func (req *request) cacheKey(spec string) string {
+	return strings.Join([]string{
+		req.d.name, strconv.Itoa(req.t), req.backend.String(), req.plan, spec,
+	}, "\x1f")
+}
+
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// binningParam parses the binning parameter (uniform default).
+func binningParam(r *http.Request) (histogram.Binning, *httpError) {
+	switch b := r.FormValue("binning"); b {
+	case "", "uniform":
+		return histogram.Uniform, nil
+	case "adaptive":
+		return histogram.Adaptive, nil
+	default:
+		return 0, errf(http.StatusBadRequest, "unknown binning %q (uniform | adaptive)", b)
+	}
+}
+
+// intParam parses an integer parameter with a default and bounds.
+func intParam(r *http.Request, name string, def, min, max int) (int, *httpError) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, errf(http.StatusBadRequest, "bad %s %q", name, raw)
+	}
+	if v < min || v > max {
+		return 0, errf(http.StatusBadRequest, "%s %d out of range [%d,%d]", name, v, min, max)
+	}
+	return v, nil
+}
+
+// floatParam parses a float parameter; NaN when absent.
+func floatParam(r *http.Request, name string) (float64, *httpError) {
+	raw := r.FormValue(name)
+	if raw == "" {
+		return math.NaN(), nil
+	}
+	v, err := strconv.ParseFloat(raw, 64)
+	if err != nil || math.IsNaN(v) {
+		return 0, errf(http.StatusBadRequest, "bad %s %q", name, raw)
+	}
+	return v, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, herr := s.parseRequest(r, true)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	key := req.cacheKey("count")
+	val, outcome, err := s.cache.Do(key, func() (any, error) {
+		s.backendCalls.Add(1)
+		return req.st.Count(req.expr, req.backend)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	matches := val.(uint64)
+	rows := req.st.Rows()
+	sel := 0.0
+	if rows > 0 {
+		sel = float64(matches) / float64(rows)
+	}
+	writeJSON(w, http.StatusOK, QueryBody{
+		Dataset:     req.d.name,
+		Step:        req.t,
+		Query:       req.src,
+		Plan:        req.plan,
+		Backend:     req.backend.String(),
+		Rows:        rows,
+		Matches:     matches,
+		Selectivity: sel,
+		Outcome:     outcome.String(),
+		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHist1D(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, herr := s.parseRequest(r, false)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	spec, herr := hist1DSpec(r, req.d)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	s.serveHist1D(w, req, spec, start)
+}
+
+// hist1DSpec parses the 1D histogram parameters.
+func hist1DSpec(r *http.Request, d *dataset) (histogram.Spec1D, *httpError) {
+	var zero histogram.Spec1D
+	v := r.FormValue("var")
+	if herr := checkVars(d, v); herr != nil {
+		return zero, herr
+	}
+	bins, herr := intParam(r, "bins", 64, 1, MaxBins1D)
+	if herr != nil {
+		return zero, herr
+	}
+	spec := histogram.NewSpec1D(v, bins)
+	if spec.Binning, herr = binningParam(r); herr != nil {
+		return zero, herr
+	}
+	if spec.Lo, herr = floatParam(r, "lo"); herr != nil {
+		return zero, herr
+	}
+	if spec.Hi, herr = floatParam(r, "hi"); herr != nil {
+		return zero, herr
+	}
+	if spec.MinDensity, herr = floatParam(r, "mindensity"); herr != nil {
+		return zero, herr
+	}
+	if math.IsNaN(spec.MinDensity) {
+		spec.MinDensity = 0
+	}
+	return spec, nil
+}
+
+func (s *Server) serveHist1D(w http.ResponseWriter, req *request, spec histogram.Spec1D, start time.Time) {
+	specKey := strings.Join([]string{
+		"hist1d", spec.Var, strconv.Itoa(spec.Bins), spec.Binning.String(),
+		fmtG(spec.Lo), fmtG(spec.Hi), fmtG(spec.MinDensity),
+	}, "|")
+	val, outcome, err := s.cache.Do(req.cacheKey(specKey), func() (any, error) {
+		s.backendCalls.Add(1)
+		return req.st.Histogram1D(req.expr, spec, req.backend)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	h := val.(*histogram.Hist1D)
+	writeJSON(w, http.StatusOK, Hist1DBody{
+		Dataset:   req.d.name,
+		Step:      req.t,
+		Plan:      req.plan,
+		Backend:   req.backend.String(),
+		Var:       spec.Var,
+		Binning:   spec.Binning.String(),
+		Edges:     h.Edges,
+		Counts:    h.Counts,
+		Total:     h.Total(),
+		Outcome:   outcome.String(),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHist2D(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, herr := s.parseRequest(r, false)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	spec, herr := hist2DSpec(r, req.d)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	s.serveHist2D(w, req, spec, start)
+}
+
+// hist2DSpec parses the 2D histogram parameters.
+func hist2DSpec(r *http.Request, d *dataset) (histogram.Spec2D, *httpError) {
+	var zero histogram.Spec2D
+	xv, yv := r.FormValue("x"), r.FormValue("y")
+	if herr := checkVars(d, xv, yv); herr != nil {
+		return zero, herr
+	}
+	spec := histogram.NewSpec2D(xv, yv, 0, 0)
+	var herr *httpError
+	if spec.XBins, herr = intParam(r, "xbins", 64, 1, MaxBins2D); herr != nil {
+		return zero, herr
+	}
+	if spec.YBins, herr = intParam(r, "ybins", 64, 1, MaxBins2D); herr != nil {
+		return zero, herr
+	}
+	if spec.Binning, herr = binningParam(r); herr != nil {
+		return zero, herr
+	}
+	bounds := []struct {
+		name string
+		dst  *float64
+	}{
+		{"xlo", &spec.XLo}, {"xhi", &spec.XHi},
+		{"ylo", &spec.YLo}, {"yhi", &spec.YHi},
+		{"mindensity", &spec.MinDensity},
+	}
+	for _, b := range bounds {
+		if *b.dst, herr = floatParam(r, b.name); herr != nil {
+			return zero, herr
+		}
+	}
+	if math.IsNaN(spec.MinDensity) {
+		spec.MinDensity = 0
+	}
+	return spec, nil
+}
+
+func (s *Server) serveHist2D(w http.ResponseWriter, req *request, spec histogram.Spec2D, start time.Time) {
+	specKey := strings.Join([]string{
+		"hist2d", spec.XVar, spec.YVar,
+		strconv.Itoa(spec.XBins), strconv.Itoa(spec.YBins), spec.Binning.String(),
+		fmtG(spec.XLo), fmtG(spec.XHi), fmtG(spec.YLo), fmtG(spec.YHi),
+		fmtG(spec.MinDensity),
+	}, "|")
+	val, outcome, err := s.cache.Do(req.cacheKey(specKey), func() (any, error) {
+		s.backendCalls.Add(1)
+		return req.st.Histogram2D(req.expr, spec, req.backend)
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	h := val.(*histogram.Hist2D)
+	writeJSON(w, http.StatusOK, Hist2DBody{
+		Dataset:   req.d.name,
+		Step:      req.t,
+		Plan:      req.plan,
+		Backend:   req.backend.String(),
+		XVar:      spec.XVar,
+		YVar:      spec.YVar,
+		Binning:   spec.Binning.String(),
+		XEdges:    h.XEdges,
+		YEdges:    h.YEdges,
+		Counts:    h.Counts,
+		Total:     h.Total(),
+		Outcome:   outcome.String(),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
