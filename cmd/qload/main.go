@@ -12,7 +12,10 @@
 // Sessions alternate the operand order of the compound cut, so a healthy
 // plan cache (canonicalized keys) turns half the refined queries into
 // hits. Run with concurrency above the server's -concurrency limit to see
-// admission control shed load with 429s.
+// admission control shed load with 429s. With -cancel-frac > 0 a share of
+// requests is abandoned mid-flight — the impatient-analyst pattern — and
+// the report includes the server's 499 and abandoned-waiter deltas, which
+// confirm cancellation actually reached the backend.
 //
 // Usage:
 //
@@ -21,7 +24,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +35,7 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serve"
@@ -50,6 +56,7 @@ func main() {
 		yvar        = flag.String("y", "px", "histogram Y variable / cut variable")
 		coarse      = flag.Int("coarse", 32, "coarse hist2d bins per axis")
 		fine        = flag.Int("fine", 256, "fine hist2d bins per axis")
+		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of requests abandoned mid-flight (0..1), exercising server-side cancellation")
 		out         = flag.String("out", "BENCH_serve.json", "benchmark JSON output path (empty = skip)")
 	)
 	flag.Parse()
@@ -58,10 +65,14 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *cancelFrac < 0 || *cancelFrac > 1 {
+		log.Fatal("-cancel-frac must be in [0, 1]")
+	}
 	lg := &loadgen{
-		base:    *base,
-		backend: *backend,
-		client:  &http.Client{Timeout: 30 * time.Second},
+		base:       *base,
+		backend:    *backend,
+		cancelFrac: *cancelFrac,
+		client:     &http.Client{Timeout: 30 * time.Second},
 	}
 	if err := lg.setup(*dataset, *step, *xvar, *yvar); err != nil {
 		log.Fatal(err)
@@ -84,14 +95,56 @@ func main() {
 }
 
 type loadgen struct {
-	base    string
-	backend string
-	client  *http.Client
+	base       string
+	backend    string
+	cancelFrac float64
+	client     *http.Client
 
 	dataset  string
 	step     int
 	yLo, yHi float64
 	xLo, xHi float64
+
+	reqSeq atomic.Uint64 // request counter driving the cancel stride
+}
+
+// shouldCancel deterministically marks a cancelFrac share of requests for
+// mid-flight abandonment: request n is canceled when the running total
+// floor(n*frac) advances. A stride, not a coin flip, so runs are
+// reproducible and the share is exact.
+func (lg *loadgen) shouldCancel() bool {
+	if lg.cancelFrac <= 0 {
+		return false
+	}
+	n := lg.reqSeq.Add(1) - 1
+	return uint64(float64(n+1)*lg.cancelFrac) > uint64(float64(n)*lg.cancelFrac)
+}
+
+// getCanceled issues the request and abandons it almost immediately,
+// simulating a user who navigated away mid-histogram. Returns true if the
+// request was actually canceled (a fast cache hit may win the race).
+func (lg *loadgen) getCanceled(path string) (bool, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(2*time.Millisecond, cancel)
+	defer timer.Stop()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, lg.base+path, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			return true, nil
+		}
+		return false, err
+	}
+	defer resp.Body.Close()
+	_, err = io.Copy(io.Discard, resp.Body)
+	if errors.Is(err, context.Canceled) {
+		return true, nil
+	}
+	return false, nil // completed before the cancel fired
 }
 
 // getJSON fetches path (already query-encoded) and decodes into out.
@@ -186,6 +239,13 @@ type result struct {
 	Errors      int     `json:"errors"`
 	HitRate     float64 `json:"cache_hit_rate"`
 	Backend     uint64  `json:"backend_calls"`
+	// Cancellation exercise (-cancel-frac): requests this client abandoned
+	// mid-flight, and the server's 499/abandoned-waiter deltas confirming
+	// the backend observed the disconnects.
+	CancelFrac     float64 `json:"cancel_frac,omitempty"`
+	Canceled       int     `json:"canceled_client,omitempty"`
+	ServerCanceled uint64  `json:"server_canceled_499,omitempty"`
+	Abandoned      uint64  `json:"cache_abandoned,omitempty"`
 }
 
 func (r *result) print(w io.Writer) {
@@ -195,6 +255,10 @@ func (r *result) print(w io.Writer) {
 		r.P50MS, r.P95MS, r.P99MS, r.MeanMS)
 	fmt.Fprintf(w, "cache hit rate %.1f%%  backend calls %d  shed 429 %d  shed 503 %d  errors %d\n",
 		100*r.HitRate, r.Backend, r.Shed429, r.Shed503, r.Errors)
+	if r.CancelFrac > 0 {
+		fmt.Fprintf(w, "canceled client-side %d (frac %.2f)  server 499s %d  cache waiters abandoned %d\n",
+			r.Canceled, r.CancelFrac, r.ServerCanceled, r.Abandoned)
+	}
 }
 
 // sessionOutcome carries one session's request latencies and shed counts.
@@ -203,6 +267,7 @@ type sessionOutcome struct {
 	shed429   int
 	shed503   int
 	errs      int
+	canceled  int
 }
 
 func (lg *loadgen) run(sessions, concurrency int, xvar, yvar string, coarse, fine int) (*result, error) {
@@ -240,13 +305,14 @@ func (lg *loadgen) run(sessions, concurrency int, xvar, yvar string, coarse, fin
 	}()
 
 	var all []time.Duration
-	res := &result{Sessions: sessions, Concurrency: concurrency}
+	res := &result{Sessions: sessions, Concurrency: concurrency, CancelFrac: lg.cancelFrac}
 	for i := 0; i < sessions; i++ {
 		o := <-outcomes
 		all = append(all, o.latencies...)
 		res.Shed429 += o.shed429
 		res.Shed503 += o.shed503
 		res.Errors += o.errs
+		res.Canceled += o.canceled
 	}
 	elapsed := time.Since(start)
 
@@ -254,7 +320,9 @@ func (lg *loadgen) run(sessions, concurrency int, xvar, yvar string, coarse, fin
 	if err != nil {
 		return nil, err
 	}
-	res.Requests = len(all) + res.Shed429 + res.Shed503 + res.Errors
+	res.ServerCanceled = after.Canceled - before.Canceled
+	res.Abandoned = after.Cache.Abandoned - before.Cache.Abandoned
+	res.Requests = len(all) + res.Shed429 + res.Shed503 + res.Errors + res.Canceled
 	res.ElapsedS = elapsed.Seconds()
 	if res.ElapsedS > 0 {
 		res.RPS = float64(res.Requests) / res.ElapsedS
@@ -292,6 +360,18 @@ func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine 
 	}
 	var o sessionOutcome
 	for _, p := range paths {
+		if lg.shouldCancel() {
+			canceled, err := lg.getCanceled(p)
+			switch {
+			case err != nil:
+				o.errs++
+			case canceled:
+				o.canceled++
+			}
+			// A request that completed before its cancel fired contributes
+			// nothing: its latency is contaminated by the cancel race.
+			continue
+		}
 		start := time.Now()
 		code, err := lg.getJSON(p, nil)
 		lat := time.Since(start)

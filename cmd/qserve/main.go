@@ -18,7 +18,11 @@
 //	GET /v1/hist1d?var=V&bins=N&q=...         conditional 1D histogram
 //	GET /v1/hist2d?x=X&y=Y&xbins=N&ybins=M    conditional 2D histogram
 //	GET /v1/stats                             cache/admission counters
-//	GET /healthz                              liveness
+//	GET /healthz                              liveness (always 200 while up)
+//	GET /readyz                               readiness (503 once draining)
+//
+// On SIGTERM/SIGINT the server flips /readyz to 503, drains in-flight
+// requests (deadline covering -exec-timeout), and exits 0.
 package main
 
 import (
@@ -60,6 +64,7 @@ func main() {
 		concurrency  = flag.Int("concurrency", 8, "max requests doing backend work at once")
 		queueDepth   = flag.Int("queue", -1, "admission queue depth (-1 = 2x concurrency, 0 = no queue)")
 		queueWait    = flag.Duration("queue-timeout", 2*time.Second, "max time a request waits for admission")
+		execTimeout  = flag.Duration("exec-timeout", 30*time.Second, "per-request execution deadline, answered 504 (0 = no deadline)")
 	)
 	flag.Parse()
 	if len(datas) == 0 {
@@ -71,6 +76,12 @@ func main() {
 		CacheEntries: *cacheEntries,
 		Concurrency:  *concurrency,
 		QueueTimeout: *queueWait,
+		ExecTimeout:  *execTimeout,
+	}
+	// Flag semantics: 0 disables the deadline; Config expresses that as a
+	// negative value (its own zero means "use the default").
+	if *execTimeout <= 0 {
+		cfg.ExecTimeout = -1
 	}
 	// Flag semantics differ from Config zero-value semantics: translate
 	// "0 = off" into Config's "negative = off".
@@ -106,7 +117,21 @@ func main() {
 	// tests can parse it.
 	fmt.Printf("qserve: listening on %s\n", ln.Addr())
 
-	srv := &http.Server{Handler: s}
+	// Slow-client protection: a reader that trickles its request header or
+	// never drains its response must not pin a connection (and its handler)
+	// forever. WriteTimeout must cover the execution deadline, or the server
+	// would cut off legitimately slow histograms before their 504 fires.
+	writeTimeout := cfg.ExecTimeout + 30*time.Second
+	if cfg.ExecTimeout < 0 {
+		writeTimeout = 0 // deadline disabled: don't reintroduce one here
+	}
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+		MaxHeaderBytes:    1 << 20,
+	}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -116,9 +141,21 @@ func main() {
 	case err := <-done:
 		log.Fatal(err)
 	case <-sig:
-		log.Printf("shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Graceful drain: flip /readyz to 503 so load balancers stop
+		// routing here, then let in-flight requests finish. The drain
+		// deadline must exceed the execution deadline so no request is
+		// killed by shutdown that would have completed within its budget.
+		log.Printf("draining")
+		s.SetDraining(true)
+		drain := 10 * time.Second
+		if cfg.ExecTimeout > 0 && cfg.ExecTimeout+5*time.Second > drain {
+			drain = cfg.ExecTimeout + 5*time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
-		srv.Shutdown(ctx) //nolint:errcheck // best-effort drain
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("drained, exiting")
 	}
 }

@@ -8,11 +8,14 @@ package repro
 import (
 	"bufio"
 	"encoding/json"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -264,6 +267,97 @@ func TestCommandLineTools(t *testing.T) {
 	}
 }
 
+// TestServeDrainOnSIGTERM checks the graceful-shutdown contract as an
+// operator sees it: SIGTERM mid-load flips readiness, lets in-flight
+// requests finish, and exits 0 — never a crash or a hung process.
+func TestServeDrainOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := t.TempDir()
+	cmd := exec.Command("go", "build", "-o", filepath.Join(bin, "qserve"), "./cmd/qserve")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build qserve: %v\n%s", err, out)
+	}
+	data := integrationDataset(t)
+
+	srv := exec.Command(filepath.Join(bin, "qserve"), "-data", "lwfa="+data, "-addr", "127.0.0.1:0")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill() //nolint:errcheck // belt and braces if the drain hangs
+
+	var base string
+	sc := bufio.NewScanner(stdout)
+	for sc.Scan() {
+		if addr, ok := strings.CutPrefix(sc.Text(), "qserve: listening on "); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("qserve never announced its address: %v", sc.Err())
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	// Load the server from several goroutines, then SIGTERM mid-flight.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := "/v1/hist2d?x=x&y=px&xbins=64&ybins=64&q=px%20%3E%200"
+				if i%2 == 1 {
+					path = "/v1/query?q=px%20%3E%201e10"
+				}
+				resp, err := client.Get(base + path)
+				if err != nil {
+					return // server closed its listener: drain has begun
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+				// In-flight and pre-drain requests must succeed; shedding
+				// statuses are acceptable under load, 5xx are not.
+				if resp.StatusCode != http.StatusOK &&
+					resp.StatusCode != http.StatusTooManyRequests &&
+					resp.StatusCode != http.StatusServiceUnavailable {
+					t.Errorf("GET %s: status %d", path, resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // let the load get going
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("qserve exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("qserve did not exit within 60s of SIGTERM")
+	}
+	close(stop)
+	wg.Wait()
+}
+
 // TestQueryService drives the HTTP serving layer end to end: qserve as a
 // real subprocess, a drill-down over HTTP with both backends agreeing,
 // cache hits on repeat, and qload producing BENCH_serve.json.
@@ -406,4 +500,34 @@ func TestQueryService(t *testing.T) {
 	if bench.HitRate < 0.5 {
 		t.Fatalf("cache hit rate %.2f, want >= 0.5\n%s", bench.HitRate, raw)
 	}
+
+	// A cancellation-heavy pass: abandoned requests must not fail the run
+	// or poison the server for the requests that remain.
+	cancelBench := filepath.Join(t.TempDir(), "BENCH_cancel.json")
+	cmd = exec.Command(filepath.Join(bin, "qload"),
+		"-url", base, "-sessions", "12", "-concurrency", "4",
+		"-cancel-frac", "0.5", "-out", cancelBench)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("qload -cancel-frac: %v\n%s", err, out)
+	}
+	raw, err = os.ReadFile(cancelBench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cb struct {
+		Canceled int `json:"canceled_client"`
+		Errors   int `json:"errors"`
+	}
+	if err := json.Unmarshal(raw, &cb); err != nil {
+		t.Fatalf("BENCH_cancel.json: %v\n%s", err, raw)
+	}
+	if cb.Errors != 0 {
+		t.Fatalf("cancellation pass had %d errors: %s", cb.Errors, raw)
+	}
+	// Server stayed healthy through the churn.
+	resp, err := client.Get(base + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after cancel pass: %v %v", err, resp)
+	}
+	resp.Body.Close()
 }

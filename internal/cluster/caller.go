@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -110,19 +111,32 @@ func (c *Caller) Call(method string, args, reply any) error {
 // reconnects. Fatal errors (see fastquery.IsFatal) are returned without
 // burning retries: they are deterministic, so repeating them is waste.
 func (c *Caller) CallWithStats(method string, args, reply any) (CallStats, error) {
+	return c.CallWithStatsCtx(context.Background(), method, args, reply)
+}
+
+// CallWithStatsCtx is CallWithStats with caller-supplied cancellation: a
+// done ctx abandons the in-flight attempt, skips remaining retries, and
+// interrupts backoff sleeps, so a canceled sweep stops burning the retry
+// budget the moment nobody wants its result.
+func (c *Caller) CallWithStatsCtx(ctx context.Context, method string, args, reply any) (CallStats, error) {
 	var cs CallStats
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return cs, err
+		}
 		cs.Attempts++
-		err := c.callOnce(method, args, reply, c.cfg.Timeout, &cs)
+		err := c.callOnce(ctx, method, args, reply, c.cfg.Timeout, &cs)
 		if err == nil {
 			return cs, nil
 		}
 		lastErr = err
-		if attempt >= c.cfg.MaxRetries || !retryable(err) {
+		if ctx.Err() != nil || attempt >= c.cfg.MaxRetries || !retryable(err) {
 			return cs, lastErr
 		}
-		c.backoff(attempt)
+		if !c.backoffCtx(ctx, attempt) {
+			return cs, lastErr
+		}
 	}
 }
 
@@ -135,13 +149,13 @@ func (c *Caller) Probe() error {
 	}
 	var cs CallStats
 	var reply PingReply
-	return c.callOnce("Worker.Ping", &PingArgs{}, &reply, to, &cs)
+	return c.callOnce(context.Background(), "Worker.Ping", &PingArgs{}, &reply, to, &cs)
 }
 
 // callOnce makes one attempt. The reply is decoded into a fresh value and
 // only copied into the caller's reply on success, so a timed-out attempt
 // whose response arrives late cannot race a retry writing the same reply.
-func (c *Caller) callOnce(method string, args, reply any, timeout time.Duration, cs *CallStats) error {
+func (c *Caller) callOnce(ctx context.Context, method string, args, reply any, timeout time.Duration, cs *CallStats) error {
 	client, reconnected, err := c.conn()
 	if err != nil {
 		return err
@@ -175,6 +189,11 @@ func (c *Caller) callOnce(method string, args, reply any, timeout time.Duration,
 		// retry on a fresh connection.
 		c.drop(client)
 		return fmt.Errorf("cluster: %s to %s after %v: %w", method, c.addr, timeout, ErrCallTimeout)
+	case <-ctx.Done():
+		// Same treatment as a timeout: dropping the connection is the only
+		// way net/rpc lets us stop the server working on our behalf.
+		c.drop(client)
+		return ctx.Err()
 	}
 }
 
@@ -209,10 +228,11 @@ func (c *Caller) drop(cl *rpc.Client) {
 	cl.Close()
 }
 
-// backoff sleeps for an exponentially growing, jittered delay: the
+// backoffCtx sleeps for an exponentially growing, jittered delay: the
 // attempt's base delay doubles each time (capped at BackoffMax) and the
-// sleep is drawn uniformly from [d/2, d], decorrelating retry storms.
-func (c *Caller) backoff(attempt int) {
+// sleep is drawn uniformly from [d/2, d], decorrelating retry storms. It
+// returns false if ctx was done before the delay elapsed.
+func (c *Caller) backoffCtx(ctx context.Context, attempt int) bool {
 	base := c.cfg.BackoffBase
 	if base <= 0 {
 		base = 10 * time.Millisecond
@@ -227,7 +247,14 @@ func (c *Caller) backoff(attempt int) {
 	}
 	half := d / 2
 	d = half + time.Duration(c.rng.Int63n(int64(half)+1))
-	time.Sleep(d)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // retryable reports whether another attempt could plausibly succeed.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -265,10 +266,18 @@ func (p *Pool) candidates(primary int) []*Caller {
 	return cands
 }
 
-// callStep runs one step's RPC with failover across candidate workers.
-func (p *Pool) callStep(i int, do func(c *Caller) (CallStats, error)) error {
+// callStep runs one step's RPC with failover across candidate workers. A
+// done ctx stops the failover walk early: trying further workers for a
+// result nobody wants is pure waste.
+func (p *Pool) callStep(ctx context.Context, i int, do func(c *Caller) (CallStats, error)) error {
 	var lastErr error
 	for k, c := range p.candidates(i % len(p.callers)) {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
 		if k > 0 {
 			p.ctr.failovers.Add(1)
 		}
@@ -285,6 +294,11 @@ func (p *Pool) callStep(i int, do func(c *Caller) (CallStats, error)) error {
 			// The request itself is bad; every worker would refuse it.
 			return err
 		}
+		if ctx.Err() != nil {
+			// The attempt died because the sweep was canceled, not because
+			// the worker is sick; don't penalise its health.
+			return lastErr
+		}
 		c.SetHealthy(false)
 	}
 	return lastErr
@@ -292,7 +306,7 @@ func (p *Pool) callStep(i int, do func(c *Caller) (CallStats, error)) error {
 
 // sweep runs do for every step concurrently and resolves errors per the
 // pool's PartialPolicy.
-func (p *Pool) sweep(steps []int, do func(c *Caller, i, step int) (CallStats, error)) error {
+func (p *Pool) sweep(ctx context.Context, steps []int, do func(c *Caller, i, step int) (CallStats, error)) error {
 	start := time.Now()
 	before := p.Stats()
 	errs := make([]error, len(steps))
@@ -301,7 +315,7 @@ func (p *Pool) sweep(steps []int, do func(c *Caller, i, step int) (CallStats, er
 		wg.Add(1)
 		go func(i, step int) {
 			defer wg.Done()
-			errs[i] = p.callStep(i, func(c *Caller) (CallStats, error) {
+			errs[i] = p.callStep(ctx, i, func(c *Caller) (CallStats, error) {
 				return do(c, i, step)
 			})
 		}(i, step)
@@ -343,10 +357,17 @@ func (p *Pool) sweep(steps []int, do func(c *Caller, i, step int) (CallStats, er
 // (nil, err); under ReturnPartial the slice holds every successful step
 // (failed entries nil) and err is a *SweepError.
 func (p *Pool) HistogramSweep(steps []int, cond string, spec histogram.Spec2D, backend fastquery.Backend) ([]*histogram.Hist2D, error) {
+	return p.HistogramSweepCtx(context.Background(), steps, cond, spec, backend)
+}
+
+// HistogramSweepCtx is HistogramSweep with caller-supplied cancellation:
+// a done ctx abandons in-flight RPCs and skips pending retries and
+// failovers across every step of the sweep.
+func (p *Pool) HistogramSweepCtx(ctx context.Context, steps []int, cond string, spec histogram.Spec2D, backend fastquery.Backend) ([]*histogram.Hist2D, error) {
 	out := make([]*histogram.Hist2D, len(steps))
-	err := p.sweep(steps, func(c *Caller, i, step int) (CallStats, error) {
+	err := p.sweep(ctx, steps, func(c *Caller, i, step int) (CallStats, error) {
 		var reply HistReply
-		cs, callErr := c.CallWithStats("Worker.Histogram2D", &HistArgs{
+		cs, callErr := c.CallWithStatsCtx(ctx, "Worker.Histogram2D", &HistArgs{
 			Step: step, Cond: cond, Spec: spec, Backend: backend,
 		}, &reply)
 		if callErr == nil {
@@ -367,10 +388,16 @@ func (p *Pool) HistogramSweep(steps []int, cond string, spec histogram.Spec2D, b
 // workers with retry and failover, returning per-step hit positions and
 // (optionally) identifiers. Error semantics match HistogramSweep.
 func (p *Pool) SelectSweep(steps []int, q string, wantIDs bool, backend fastquery.Backend) ([]SelectReply, error) {
+	return p.SelectSweepCtx(context.Background(), steps, q, wantIDs, backend)
+}
+
+// SelectSweepCtx is SelectSweep with caller-supplied cancellation; see
+// HistogramSweepCtx.
+func (p *Pool) SelectSweepCtx(ctx context.Context, steps []int, q string, wantIDs bool, backend fastquery.Backend) ([]SelectReply, error) {
 	out := make([]SelectReply, len(steps))
-	err := p.sweep(steps, func(c *Caller, i, step int) (CallStats, error) {
+	err := p.sweep(ctx, steps, func(c *Caller, i, step int) (CallStats, error) {
 		var reply SelectReply
-		cs, callErr := c.CallWithStats("Worker.Select", &SelectArgs{
+		cs, callErr := c.CallWithStatsCtx(ctx, "Worker.Select", &SelectArgs{
 			Step: step, Query: q, WantIDs: wantIDs, Backend: backend,
 		}, &reply)
 		if callErr == nil {
@@ -391,10 +418,16 @@ func (p *Pool) SelectSweep(steps []int, q string, wantIDs bool, backend fastquer
 // workers with retry and failover; it returns per-step positions. Error
 // semantics match HistogramSweep.
 func (p *Pool) TrackSweep(steps []int, ids []int64, backend fastquery.Backend) ([][]uint64, error) {
+	return p.TrackSweepCtx(context.Background(), steps, ids, backend)
+}
+
+// TrackSweepCtx is TrackSweep with caller-supplied cancellation; see
+// HistogramSweepCtx.
+func (p *Pool) TrackSweepCtx(ctx context.Context, steps []int, ids []int64, backend fastquery.Backend) ([][]uint64, error) {
 	out := make([][]uint64, len(steps))
-	err := p.sweep(steps, func(c *Caller, i, step int) (CallStats, error) {
+	err := p.sweep(ctx, steps, func(c *Caller, i, step int) (CallStats, error) {
 		var reply FindReply
-		cs, callErr := c.CallWithStats("Worker.FindIDs", &FindArgs{
+		cs, callErr := c.CallWithStatsCtx(ctx, "Worker.FindIDs", &FindArgs{
 			Step: step, IDs: ids, Backend: backend,
 		}, &reply)
 		if callErr == nil {

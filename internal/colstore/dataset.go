@@ -40,10 +40,49 @@ func CreateDataset(dir string, meta DatasetMeta) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("colstore: encode meta: %w", err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, metaFileName), buf, 0o644); err != nil {
+	if err := atomicWriteFile(filepath.Join(dir, metaFileName), buf, 0o644); err != nil {
 		return nil, fmt.Errorf("colstore: write meta: %w", err)
 	}
 	return &Dataset{Dir: dir, Meta: meta}, nil
+}
+
+// atomicWriteFile writes data to a temp file in path's directory, fsyncs
+// it, and renames it into place, so a crash mid-write can never leave a
+// partial metadata file for OpenDataset to choke on.
+func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		return cleanup(err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory: rename is already visible
+		d.Close()
+	}
+	return nil
 }
 
 // OpenDataset opens an existing dataset directory.

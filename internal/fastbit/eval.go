@@ -1,6 +1,7 @@
 package fastbit
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -8,6 +9,10 @@ import (
 	"repro/internal/bitmap"
 	"repro/internal/query"
 )
+
+// checkpointRows is the cancellation checkpoint interval of the candidate
+// check loops: ctx is tested once every checkpointRows records.
+const checkpointRows = 64 * 1024
 
 // RawReader provides access to the base data for candidate checks and for
 // the value-gather step of conditional histograms.
@@ -94,17 +99,27 @@ func (ev *Evaluator) idIndex() *IDIndex {
 
 // Eval computes the bitmap of records matching e.
 func (ev *Evaluator) Eval(e query.Expr) (*bitmap.Vector, error) {
+	return ev.EvalCtx(context.Background(), e)
+}
+
+// EvalCtx is Eval with cooperative cancellation: ctx is observed between
+// boolean terms and inside candidate-check loops, so a canceled query
+// stops within one checkpoint interval.
+func (ev *Evaluator) EvalCtx(ctx context.Context, e query.Expr) (*bitmap.Vector, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch t := e.(type) {
 	case *query.Compare:
-		return ev.evalCompare(t)
+		return ev.evalCompare(ctx, t)
 	case *query.In:
-		return ev.evalIn(t)
+		return ev.evalIn(ctx, t)
 	case *query.And:
-		return ev.evalAnd(t.Terms)
+		return ev.evalAnd(ctx, t.Terms)
 	case *query.Or:
-		return ev.evalNary(t.Terms, func(a, b *bitmap.Vector) *bitmap.Vector { return a.Or(b) })
+		return ev.evalNary(ctx, t.Terms, func(a, b *bitmap.Vector) *bitmap.Vector { return a.Or(b) })
 	case *query.Not:
-		inner, err := ev.Eval(t.Term)
+		inner, err := ev.EvalCtx(ctx, t.Term)
 		if err != nil {
 			return nil, err
 		}
@@ -117,13 +132,13 @@ func (ev *Evaluator) Eval(e query.Expr) (*bitmap.Vector, error) {
 // evalAnd evaluates a conjunction with an empty-result short circuit:
 // once the running intersection has no bits set, the remaining terms'
 // bitmaps (and especially their candidate checks) are never computed.
-func (ev *Evaluator) evalAnd(terms []query.Expr) (*bitmap.Vector, error) {
+func (ev *Evaluator) evalAnd(ctx context.Context, terms []query.Expr) (*bitmap.Vector, error) {
 	if len(terms) == 0 {
 		return nil, fmt.Errorf("fastbit: empty boolean term list")
 	}
 	var acc *bitmap.Vector
 	for _, t := range terms {
-		v, err := ev.Eval(t)
+		v, err := ev.EvalCtx(ctx, t)
 		if err != nil {
 			return nil, err
 		}
@@ -142,10 +157,10 @@ func (ev *Evaluator) evalAnd(terms []query.Expr) (*bitmap.Vector, error) {
 	return acc, nil
 }
 
-func (ev *Evaluator) evalNary(terms []query.Expr, combine func(a, b *bitmap.Vector) *bitmap.Vector) (*bitmap.Vector, error) {
+func (ev *Evaluator) evalNary(ctx context.Context, terms []query.Expr, combine func(a, b *bitmap.Vector) *bitmap.Vector) (*bitmap.Vector, error) {
 	var acc *bitmap.Vector
 	for _, t := range terms {
-		v, err := ev.Eval(t)
+		v, err := ev.EvalCtx(ctx, t)
 		if err != nil {
 			return nil, err
 		}
@@ -161,13 +176,13 @@ func (ev *Evaluator) evalNary(terms []query.Expr, combine func(a, b *bitmap.Vect
 	return acc, nil
 }
 
-func (ev *Evaluator) evalCompare(c *query.Compare) (*bitmap.Vector, error) {
+func (ev *Evaluator) evalCompare(ctx context.Context, c *query.Compare) (*bitmap.Vector, error) {
 	ix, err := ev.index(c.Var)
 	if err != nil {
 		return nil, err
 	}
 	if c.Op == query.NE {
-		eqv, err := ev.evalCompare(&query.Compare{Var: c.Var, Op: query.EQ, Value: c.Value})
+		eqv, err := ev.evalCompare(ctx, &query.Compare{Var: c.Var, Op: query.EQ, Value: c.Value})
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +192,7 @@ func (ev *Evaluator) evalCompare(c *query.Compare) (*bitmap.Vector, error) {
 	if !ok {
 		return nil, fmt.Errorf("fastbit: cannot evaluate operator %v", c.Op)
 	}
-	v, st, err := ix.Evaluate(iv, ev.rawFor(c.Var))
+	v, st, err := ix.EvaluateCtx(ctx, iv, ev.rawFor(c.Var))
 	ev.accumulate(st)
 	return v, err
 }
@@ -185,7 +200,7 @@ func (ev *Evaluator) evalCompare(c *query.Compare) (*bitmap.Vector, error) {
 // evalIn resolves a membership condition. The identifier column uses the
 // dedicated ID index; any other variable is resolved through its range
 // index with a single grouped candidate check.
-func (ev *Evaluator) evalIn(in *query.In) (*bitmap.Vector, error) {
+func (ev *Evaluator) evalIn(ctx context.Context, in *query.In) (*bitmap.Vector, error) {
 	if in.Var == ev.IDVar {
 		if idIdx := ev.idIndex(); idIdx != nil {
 			ids := make([]int64, len(in.Values))
@@ -238,6 +253,11 @@ func (ev *Evaluator) evalIn(in *query.In) (*bitmap.Vector, error) {
 	}
 	hits := positions[:0]
 	for i, p := range positions {
+		if i&(checkpointRows-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if in.Contains(values[i]) {
 			hits = append(hits, p)
 		}
@@ -262,7 +282,12 @@ func (ev *Evaluator) accumulate(st EvalStats) {
 
 // Count returns the number of records matching e.
 func (ev *Evaluator) Count(e query.Expr) (uint64, error) {
-	v, err := ev.Eval(e)
+	return ev.CountCtx(context.Background(), e)
+}
+
+// CountCtx is Count with cooperative cancellation.
+func (ev *Evaluator) CountCtx(ctx context.Context, e query.Expr) (uint64, error) {
+	v, err := ev.EvalCtx(ctx, e)
 	if err != nil {
 		return 0, err
 	}
@@ -271,7 +296,12 @@ func (ev *Evaluator) Count(e query.Expr) (uint64, error) {
 
 // Select returns the sorted record positions matching e.
 func (ev *Evaluator) Select(e query.Expr) ([]uint64, error) {
-	v, err := ev.Eval(e)
+	return ev.SelectCtx(context.Background(), e)
+}
+
+// SelectCtx is Select with cooperative cancellation.
+func (ev *Evaluator) SelectCtx(ctx context.Context, e query.Expr) ([]uint64, error) {
+	v, err := ev.EvalCtx(ctx, e)
 	if err != nil {
 		return nil, err
 	}
@@ -281,7 +311,12 @@ func (ev *Evaluator) Select(e query.Expr) ([]uint64, error) {
 // SelectIDs returns the identifiers of records matching e, read from the
 // identifier column at the matching positions.
 func (ev *Evaluator) SelectIDs(e query.Expr) ([]int64, error) {
-	pos, err := ev.Select(e)
+	return ev.SelectIDsCtx(context.Background(), e)
+}
+
+// SelectIDsCtx is SelectIDs with cooperative cancellation.
+func (ev *Evaluator) SelectIDsCtx(ctx context.Context, e query.Expr) ([]int64, error) {
+	pos, err := ev.SelectCtx(ctx, e)
 	if err != nil {
 		return nil, err
 	}

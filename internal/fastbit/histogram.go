@@ -1,9 +1,10 @@
 package fastbit
 
 import (
+	"context"
 	"fmt"
-	"repro/internal/bitmap"
 
+	"repro/internal/bitmap"
 	"repro/internal/histogram"
 	"repro/internal/query"
 	"repro/internal/scan"
@@ -23,6 +24,13 @@ import (
 // histograms win for selective conditions and lose to a sequential scan
 // once the selection approaches the whole dataset.
 func (ev *Evaluator) Histogram2D(cond query.Expr, spec histogram.Spec2D) (*histogram.Hist2D, error) {
+	return ev.Histogram2DCtx(context.Background(), cond, spec)
+}
+
+// Histogram2DCtx is Histogram2D with cooperative cancellation: ctx is
+// observed during condition evaluation and during the binning pass over
+// the gathered values.
+func (ev *Evaluator) Histogram2DCtx(ctx context.Context, cond query.Expr, spec histogram.Spec2D) (*histogram.Hist2D, error) {
 	if ev.Raw == nil {
 		return nil, fmt.Errorf("fastbit: histograms require a raw reader")
 	}
@@ -36,7 +44,7 @@ func (ev *Evaluator) Histogram2D(cond query.Expr, spec histogram.Spec2D) (*histo
 			return nil, err
 		}
 	} else {
-		hits, err := ev.Eval(cond)
+		hits, err := ev.EvalCtx(ctx, cond)
 		if err != nil {
 			return nil, err
 		}
@@ -48,7 +56,7 @@ func (ev *Evaluator) Histogram2D(cond query.Expr, spec histogram.Spec2D) (*histo
 			return nil, err
 		}
 	}
-	return binPairs(xs, ys, spec, ev)
+	return binPairs(ctx, xs, ys, spec, ev)
 }
 
 // indexOrNil resolves an index, returning nil when unavailable; used
@@ -65,6 +73,11 @@ func (ev *Evaluator) indexOrNil(name string) *Index {
 // Histogram1D computes a 1D histogram, conditional when cond is non-nil,
 // using the same two-step strategy as Histogram2D.
 func (ev *Evaluator) Histogram1D(cond query.Expr, spec histogram.Spec1D) (*histogram.Hist1D, error) {
+	return ev.Histogram1DCtx(context.Background(), cond, spec)
+}
+
+// Histogram1DCtx is Histogram1D with cooperative cancellation.
+func (ev *Evaluator) Histogram1DCtx(ctx context.Context, cond query.Expr, spec histogram.Spec1D) (*histogram.Hist1D, error) {
 	if ev.Raw == nil {
 		return nil, fmt.Errorf("fastbit: histograms require a raw reader")
 	}
@@ -86,7 +99,7 @@ func (ev *Evaluator) Histogram1D(cond query.Expr, spec histogram.Spec1D) (*histo
 			return nil, err
 		}
 	} else {
-		hits, err := ev.Eval(cond)
+		hits, err := ev.EvalCtx(ctx, cond)
 		if err != nil {
 			return nil, err
 		}
@@ -108,7 +121,7 @@ func (ev *Evaluator) Histogram1D(cond query.Expr, spec histogram.Spec1D) (*histo
 	} else {
 		edges = histogram.UniformEdges(lo, hi, spec.Bins)
 	}
-	return histogram.Compute1D(spec.Var, vs, edges)
+	return histogram.Compute1DCtx(ctx, spec.Var, vs, edges)
 }
 
 // Histogram1DFromBitmaps computes a conditional 1D histogram entirely in
@@ -119,6 +132,12 @@ func (ev *Evaluator) Histogram1D(cond query.Expr, spec histogram.Spec1D) (*histo
 // Section II-C), provided here as the ablation counterpart to the
 // two-step gather-then-bin strategy used by Histogram1D/2D.
 func (ev *Evaluator) Histogram1DFromBitmaps(cond query.Expr, name string) (*histogram.Hist1D, error) {
+	return ev.Histogram1DFromBitmapsCtx(context.Background(), cond, name)
+}
+
+// Histogram1DFromBitmapsCtx is Histogram1DFromBitmaps with cooperative
+// cancellation.
+func (ev *Evaluator) Histogram1DFromBitmapsCtx(ctx context.Context, cond query.Expr, name string) (*histogram.Hist1D, error) {
 	ix, err := ev.index(name)
 	if err != nil {
 		return nil, err
@@ -132,7 +151,7 @@ func (ev *Evaluator) Histogram1DFromBitmaps(cond query.Expr, name string) (*hist
 		copy(h.Counts, ix.BinCounts())
 		return h, nil
 	}
-	hits, err := ev.Eval(cond)
+	hits, err := ev.EvalCtx(ctx, cond)
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +169,12 @@ func (ev *Evaluator) Histogram1DFromBitmaps(cond query.Expr, name string) (*hist
 // paper's network-analysis predecessor (Section II-C). Quadratic in bin
 // count, so intended for coarse overview grids.
 func (ev *Evaluator) Histogram2DFromBitmaps(cond query.Expr, xvar, yvar string) (*histogram.Hist2D, error) {
+	return ev.Histogram2DFromBitmapsCtx(context.Background(), cond, xvar, yvar)
+}
+
+// Histogram2DFromBitmapsCtx is Histogram2DFromBitmaps with cooperative
+// cancellation: ctx is observed per y-bin row of the cell grid.
+func (ev *Evaluator) Histogram2DFromBitmapsCtx(ctx context.Context, cond query.Expr, xvar, yvar string) (*histogram.Hist2D, error) {
 	ixX, err := ev.index(xvar)
 	if err != nil {
 		return nil, err
@@ -166,12 +191,15 @@ func (ev *Evaluator) Histogram2DFromBitmaps(cond query.Expr, xvar, yvar string) 
 	}
 	var hits *bitmap.Vector
 	if cond != nil {
-		if hits, err = ev.Eval(cond); err != nil {
+		if hits, err = ev.EvalCtx(ctx, cond); err != nil {
 			return nil, err
 		}
 	}
 	nx := ixX.Bins()
 	for iy, bmY := range ixY.Bitmaps {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		row := bmY
 		if hits != nil {
 			row = bmY.And(hits)
@@ -192,7 +220,7 @@ func (ev *Evaluator) Histogram2DFromBitmaps(cond query.Expr, xvar, yvar string) 
 // to the column index's min/max when available (no data pass needed) and
 // otherwise to a min/max scan of the gathered values — the extra work the
 // paper observes for adaptive binning over large selections.
-func binPairs(xs, ys []float64, spec histogram.Spec2D, ev *Evaluator) (*histogram.Hist2D, error) {
+func binPairs(ctx context.Context, xs, ys []float64, spec histogram.Spec2D, ev *Evaluator) (*histogram.Hist2D, error) {
 	ixX, ixY := ev.indexOrNil(spec.XVar), ev.indexOrNil(spec.YVar)
 	xlo, xhi := rangeFor(xs, spec.XLo, spec.XHi, spec.HasXRange(), ixX, len(xs) == indexLen(ixX))
 	ylo, yhi := rangeFor(ys, spec.YLo, spec.YHi, spec.HasYRange(), ixY, len(ys) == indexLen(ixY))
@@ -210,7 +238,7 @@ func binPairs(xs, ys []float64, spec histogram.Spec2D, ev *Evaluator) (*histogra
 		xEdges = histogram.UniformEdges(xlo, xhi, spec.XBins)
 		yEdges = histogram.UniformEdges(ylo, yhi, spec.YBins)
 	}
-	return histogram.Compute2D(spec.XVar, spec.YVar, xs, ys, xEdges, yEdges)
+	return histogram.Compute2DCtx(ctx, spec.XVar, spec.YVar, xs, ys, xEdges, yEdges)
 }
 
 func indexLen(ix *Index) int {

@@ -1,6 +1,7 @@
 package fastbit
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -129,6 +130,12 @@ type EvalStats struct {
 // consulted only for records in boundary bins; it may be nil when the
 // interval is aligned with bin boundaries.
 func (ix *Index) Evaluate(iv query.Interval, raw RawValues) (*bitmap.Vector, EvalStats, error) {
+	return ix.EvaluateCtx(context.Background(), iv, raw)
+}
+
+// EvaluateCtx is Evaluate with cooperative cancellation: the candidate
+// check loop observes ctx every checkpointRows records.
+func (ix *Index) EvaluateCtx(ctx context.Context, iv query.Interval, raw RawValues) (*bitmap.Vector, EvalStats, error) {
 	var st EvalStats
 	nb := ix.Bins()
 	min, max := ix.Min(), ix.Max()
@@ -196,6 +203,11 @@ func (ix *Index) Evaluate(iv query.Interval, raw RawValues) (*bitmap.Vector, Eva
 	}
 	hits := positions[:0]
 	for i, p := range positions {
+		if i&(checkpointRows-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, st, err
+			}
+		}
 		if iv.Contains(values[i]) {
 			hits = append(hits, p)
 		}

@@ -32,7 +32,10 @@ type LazyStep struct {
 // them collapses the syscall count from O(n log N) to roughly O(n).
 const blockSize = 4096
 
-// OpenLazy opens an index file for on-demand loading.
+// OpenLazy opens an index file for on-demand loading. The directory is
+// validated against the file size so truncated index files (e.g. from a
+// crash mid-write under a non-atomic writer) are rejected here, not when
+// a query first touches the missing tail.
 func OpenLazy(path string) (*LazyStep, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -40,6 +43,15 @@ func OpenLazy(path string) (*LazyStep, error) {
 	}
 	d, err := readDirectory(f)
 	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fastbit: stat index: %w", err)
+	}
+	if err := d.validate(st.Size()); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -269,6 +281,9 @@ func (ls *LazyStep) readSection(sec section) ([]byte, error) {
 	blob := make([]byte, sec.size)
 	if _, err := ls.f.ReadAt(blob, int64(sec.offset)); err != nil {
 		return nil, fmt.Errorf("fastbit: read index section: %w", err)
+	}
+	if err := sec.verify(ls.path, blob); err != nil {
+		return nil, err
 	}
 	ls.ioBytes += sec.size
 	return blob, nil

@@ -2,8 +2,11 @@ package fastbit
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -110,4 +113,91 @@ func TestOpenLazyTruncatedFile(t *testing.T) {
 
 func writeFile(path string, data []byte) error {
 	return os.WriteFile(path, data, 0o644)
+}
+
+// TestSectionCRCDetectsBitFlips flips one byte inside every section's
+// payload and checks the per-section checksum catches it — on the eager
+// read path and on the lazy section-load path.
+func TestSectionCRCDetectsBitFlips(t *testing.T) {
+	data := serializedFixture(t)
+	d, err := readDirectory(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	checkFlip := func(what string, sec section, lazyLoad func(*LazyStep) error) {
+		t.Helper()
+		corrupt := append([]byte(nil), data...)
+		corrupt[sec.offset+sec.size/2] ^= 0x10
+
+		if _, err := ReadStepIndex(bytes.NewReader(corrupt)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: eager read of flipped payload: err = %v, want ErrCorrupt", what, err)
+		}
+
+		// The directory is intact, so lazy open succeeds; the damage must
+		// surface when the flipped section is actually loaded.
+		path := filepath.Join(t.TempDir(), "flip.idx")
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ls, err := OpenLazy(path)
+		if err != nil {
+			t.Fatalf("%s: OpenLazy rejected a file with a healthy directory: %v", what, err)
+		}
+		defer ls.Close()
+		if err := lazyLoad(ls); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: lazy load of flipped payload: err = %v, want ErrCorrupt", what, err)
+		}
+	}
+
+	for _, name := range d.order {
+		name := name
+		checkFlip("column "+name, d.cols[name], func(ls *LazyStep) error {
+			_, err := ls.Column(name)
+			return err
+		})
+	}
+	if d.hasID {
+		checkFlip("id index", d.idSec, func(ls *LazyStep) error {
+			_, err := ls.IDIndex()
+			return err
+		})
+	}
+}
+
+// TestWriteFileAtomic checks the write-then-rename discipline: the target
+// appears fully formed, overwrites are clean, and no temp files survive.
+func TestWriteFileAtomic(t *testing.T) {
+	si, _, _ := buildTestStep(t, 300, 17, IndexOptions{Bins: 8})
+	dir := t.TempDir()
+	path := filepath.Join(dir, "step.idx")
+	for i := 0; i < 2; i++ { // fresh write, then overwrite
+		if err := si.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := ReadFile(path); err != nil {
+		t.Fatalf("written index unreadable: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("expected only step.idx in dir, found %d entries", len(entries))
+	}
+
+	// A failed write (unwritable destination dir) must leave no debris.
+	if err := si.WriteFile(filepath.Join(dir, "missing", "step.idx")); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	entries, _ = os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("failed write left debris: %d entries", len(entries))
+	}
 }

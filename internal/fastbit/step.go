@@ -4,14 +4,22 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/bitmap"
 )
+
+// ErrCorrupt marks index files whose bytes fail validation — truncated
+// sections or CRC mismatches. Callers can test for it with errors.Is and
+// degrade to a scan backend instead of failing the timestep.
+var ErrCorrupt = errors.New("index corrupt")
 
 // StepIndex bundles all index structures for one timestep: a range index
 // per indexed variable plus the identifier index. It corresponds to the
@@ -82,16 +90,19 @@ func (si *StepIndex) SizeBytes() int {
 
 var indexMagic = [4]byte{'L', 'W', 'I', 'X'}
 
-const indexVersion = 2
+const indexVersion = 3
 
 // File layout (little-endian):
 //
 //	"LWIX" magic, u32 version, u64 N
-//	u32 ncols; per column: string name, u64 offset, u64 size
-//	u32 hasID; when 1: string idVar, u64 offset, u64 size
+//	u32 ncols; per column: string name, u64 offset, u64 size, u32 crc
+//	u32 hasID; when 1: string idVar, u64 offset, u64 size, u32 crc
 //	column sections…, id section
 //
-// Offsets are absolute file positions.
+// Offsets are absolute file positions. The per-section crc (CRC-32/IEEE of
+// the section bytes, added in version 3) lets readers detect bit flips
+// before decoding; version-2 files are still read, with crc checks skipped.
+// A crc of 0 means "not recorded".
 
 // encodeColumn serializes one column index section.
 func encodeColumn(ix *Index) []byte {
@@ -227,11 +238,11 @@ func (si *StepIndex) WriteTo(w io.Writer) (int64, error) {
 	// First pass: compute the header size so offsets are absolute.
 	headerSize := header.Len()
 	for _, name := range names {
-		headerSize += 4 + len(name) + 16
+		headerSize += 4 + len(name) + 20
 	}
 	headerSize += 4 // hasID
 	if si.ID != nil {
-		headerSize += 4 + len(si.IDVar) + 16
+		headerSize += 4 + len(si.IDVar) + 20
 	}
 
 	offset := uint64(headerSize)
@@ -240,6 +251,7 @@ func (si *StepIndex) WriteTo(w io.Writer) (int64, error) {
 		writeString(&header, name)
 		writeU64(&header, offset)
 		writeU64(&header, uint64(len(blob)))
+		writeU32(&header, crc32.ChecksumIEEE(blob))
 		sections = append(sections, blob)
 		offset += uint64(len(blob))
 	}
@@ -249,6 +261,7 @@ func (si *StepIndex) WriteTo(w io.Writer) (int64, error) {
 		writeString(&header, si.IDVar)
 		writeU64(&header, offset)
 		writeU64(&header, uint64(len(blob)))
+		writeU32(&header, crc32.ChecksumIEEE(blob))
 		sections = append(sections, blob)
 	} else {
 		writeU32(&header, 0)
@@ -273,10 +286,23 @@ func (si *StepIndex) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
-// section locates one directory entry.
+// section locates one directory entry. crc is the CRC-32/IEEE of the
+// section bytes; 0 means not recorded (version-2 files).
 type section struct {
 	offset uint64
 	size   uint64
+	crc    uint32
+}
+
+// verify checks blob against the recorded checksum.
+func (s section) verify(what string, blob []byte) error {
+	if s.crc == 0 {
+		return nil
+	}
+	if got := crc32.ChecksumIEEE(blob); got != s.crc {
+		return fmt.Errorf("fastbit: section %s: crc %08x, want %08x: %w", what, got, s.crc, ErrCorrupt)
+	}
+	return nil
 }
 
 // directory is the parsed index file header.
@@ -296,13 +322,13 @@ func readDirectory(r io.Reader) (*directory, error) {
 		return nil, fmt.Errorf("fastbit: read index magic: %w", err)
 	}
 	if magic != indexMagic {
-		return nil, fmt.Errorf("fastbit: bad index magic %q", magic[:])
+		return nil, fmt.Errorf("fastbit: bad index magic %q: %w", magic[:], ErrCorrupt)
 	}
 	ver, err := readU32(br)
 	if err != nil {
 		return nil, err
 	}
-	if ver != indexVersion {
+	if ver != 2 && ver != indexVersion {
 		return nil, fmt.Errorf("fastbit: unsupported index version %d", ver)
 	}
 	d := &directory{cols: map[string]section{}}
@@ -326,7 +352,13 @@ func readDirectory(r io.Reader) (*directory, error) {
 		if err != nil {
 			return nil, err
 		}
-		d.cols[name] = section{off, size}
+		var crc uint32
+		if ver >= 3 {
+			if crc, err = readU32(br); err != nil {
+				return nil, err
+			}
+		}
+		d.cols[name] = section{off, size, crc}
 		d.order = append(d.order, name)
 	}
 	hasID, err := readU32(br)
@@ -344,8 +376,30 @@ func readDirectory(r io.Reader) (*directory, error) {
 		if d.idSec.size, err = readU64(br); err != nil {
 			return nil, err
 		}
+		if ver >= 3 {
+			if d.idSec.crc, err = readU32(br); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return d, nil
+}
+
+// validate checks every directory section against the actual file size, so
+// a truncated index file is rejected at open time rather than when a query
+// first touches the missing tail.
+func (d *directory) validate(fileSize int64) error {
+	for name, sec := range d.cols {
+		if sec.offset+sec.size > uint64(fileSize) {
+			return fmt.Errorf("fastbit: truncated: section %q [%d,+%d) beyond file size %d: %w",
+				name, sec.offset, sec.size, fileSize, ErrCorrupt)
+		}
+	}
+	if d.hasID && d.idSec.offset+d.idSec.size > uint64(fileSize) {
+		return fmt.Errorf("fastbit: truncated: id section [%d,+%d) beyond file size %d: %w",
+			d.idSec.offset, d.idSec.size, fileSize, ErrCorrupt)
+	}
+	return nil
 }
 
 // ReadStepIndex deserializes a step index eagerly (all sections loaded).
@@ -365,7 +419,11 @@ func ReadStepIndex(r io.Reader) (*StepIndex, error) {
 		if sec.offset+sec.size > uint64(len(data)) {
 			return nil, fmt.Errorf("fastbit: index section %q out of range", name)
 		}
-		ix, err := decodeColumn(name, d.n, data[sec.offset:sec.offset+sec.size])
+		blob := data[sec.offset : sec.offset+sec.size]
+		if err := sec.verify(fmt.Sprintf("%q", name), blob); err != nil {
+			return nil, err
+		}
+		ix, err := decodeColumn(name, d.n, blob)
 		if err != nil {
 			return nil, err
 		}
@@ -375,7 +433,11 @@ func ReadStepIndex(r io.Reader) (*StepIndex, error) {
 		if d.idSec.offset+d.idSec.size > uint64(len(data)) {
 			return nil, fmt.Errorf("fastbit: id index section out of range")
 		}
-		id, err := decodeIDIndex(d.n, data[d.idSec.offset:d.idSec.offset+d.idSec.size])
+		blob := data[d.idSec.offset : d.idSec.offset+d.idSec.size]
+		if err := d.idSec.verify("id", blob); err != nil {
+			return nil, err
+		}
+		id, err := decodeIDIndex(d.n, blob)
 		if err != nil {
 			return nil, err
 		}
@@ -384,17 +446,57 @@ func ReadStepIndex(r io.Reader) (*StepIndex, error) {
 	return si, nil
 }
 
-// WriteFile writes the step index to a file.
+// WriteFile writes the step index to a file atomically: the bytes go to a
+// temp file in the same directory, which is fsynced and then renamed over
+// the destination. A crash at any point leaves either the old file or no
+// file — never a partial index (the corruption the graceful-degradation
+// path in fastquery exists to survive, but better never to create).
 func (si *StepIndex) WriteFile(path string) error {
-	f, err := os.Create(path)
+	return atomicWrite(path, func(w io.Writer) error {
+		_, err := si.WriteTo(w)
+		return err
+	})
+}
+
+// atomicWrite streams content to a temp file next to path, fsyncs it, and
+// renames it into place. The temp file is removed on any failure.
+func atomicWrite(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return fmt.Errorf("fastbit: %w", err)
 	}
-	if _, err := si.WriteTo(f); err != nil {
-		f.Close()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := write(bw); err != nil {
 		return fmt.Errorf("fastbit: write index: %w", err)
 	}
-	return f.Close()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("fastbit: write index: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("fastbit: sync index: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("fastbit: close index: %w", err)
+	}
+	name := tmp.Name()
+	tmp = nil // disarm cleanup: only the rename remains
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("fastbit: rename index: %w", err)
+	}
+	// Persist the rename itself so a crash cannot roll it back.
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() //nolint:errcheck // advisory: rename is already visible
+		d.Close()
+	}
+	return nil
 }
 
 // ReadFile reads a step index from a file eagerly.

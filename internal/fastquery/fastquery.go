@@ -23,8 +23,12 @@
 package fastquery
 
 import (
+	"context"
 	"fmt"
+	"log"
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/colstore"
@@ -58,6 +62,39 @@ func (b Backend) String() string {
 type Source struct {
 	ds     *colstore.Dataset
 	closed atomic.Bool
+
+	mu            sync.Mutex
+	indexFailures map[int]string // timestep -> why its index was rejected
+}
+
+// IndexFailure records one timestep whose sidecar index could not be used.
+type IndexFailure struct {
+	Step   int    `json:"step"`
+	Reason string `json:"reason"`
+}
+
+// IndexFailures reports every timestep whose index was rejected at open
+// time (truncated, CRC mismatch, row-count mismatch) and therefore serves
+// scan-backend queries only, sorted by timestep.
+func (s *Source) IndexFailures() []IndexFailure {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]IndexFailure, 0, len(s.indexFailures))
+	for t, reason := range s.indexFailures {
+		out = append(out, IndexFailure{Step: t, Reason: reason})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Step < out[j].Step })
+	return out
+}
+
+// recordIndexFailure notes a rejected index for the stats endpoint.
+func (s *Source) recordIndexFailure(t int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.indexFailures == nil {
+		s.indexFailures = map[int]string{}
+	}
+	s.indexFailures[t] = err.Error()
 }
 
 // Open opens a dataset directory produced by the preprocessing pipeline.
@@ -92,6 +129,12 @@ func (s *Source) Dataset() *colstore.Dataset { return s.ds }
 // opened for on-demand section loading when present — only the directory
 // is read up front, and each query loads just the column indexes it
 // touches, like FastBit. Without an index only the Scan backend works.
+//
+// A damaged index — truncated file, CRC mismatch, or a row count that
+// disagrees with the data file — does not fail the step: the problem is
+// logged and recorded in IndexFailures, and the step opens with the index
+// disabled so scan-backend queries keep working. FastBit-backend requests
+// on such a step return an "index unavailable" error naming the cause.
 func (s *Source) OpenStep(t int) (*Step, error) {
 	if s.closed.Load() {
 		return nil, Fatalf("fastquery: source closed")
@@ -106,16 +149,18 @@ func (s *Source) OpenStep(t int) (*Step, error) {
 	st := &Step{t: t, file: f}
 	if s.ds.HasIndex(t) {
 		ls, err := fastbit.OpenLazy(s.ds.IndexPath(t))
-		if err != nil {
-			f.Close()
-			return nil, fmt.Errorf("fastquery: step %d index: %w", t, err)
-		}
-		if ls.N() != f.Rows() {
+		if err == nil && ls.N() != f.Rows() {
 			ls.Close()
-			f.Close()
-			return nil, Fatalf("fastquery: step %d: index covers %d rows, data has %d", t, ls.N(), f.Rows())
+			err = fmt.Errorf("index covers %d rows, data has %d", ls.N(), f.Rows())
+			ls = nil
 		}
-		st.index = ls
+		if err != nil {
+			log.Printf("fastquery: step %d: index unusable, falling back to scan backend: %v", t, err)
+			s.recordIndexFailure(t, err)
+			st.indexErr = err
+		} else {
+			st.index = ls
+		}
 	}
 	return st, nil
 }
@@ -126,6 +171,9 @@ type Step struct {
 	t     int
 	file  *colstore.File
 	index *fastbit.LazyStep
+	// indexErr remembers why the sidecar index was rejected at open time;
+	// nil when no index file exists or the index is healthy.
+	indexErr error
 }
 
 // Close releases the underlying files.
@@ -144,6 +192,20 @@ func (st *Step) Rows() uint64 { return st.file.Rows() }
 
 // HasIndex reports whether the FastBit backend is available.
 func (st *Step) HasIndex() bool { return st.index != nil }
+
+// IndexError returns why the sidecar index was rejected at open time, or
+// nil when no index exists or the index is healthy.
+func (st *Step) IndexError() error { return st.indexErr }
+
+// noIndexError explains a FastBit-backend request on a step without a
+// usable index. The error is fatal — every worker sees the same file — so
+// the cluster layer will not waste retries on it.
+func (st *Step) noIndexError() error {
+	if st.indexErr != nil {
+		return Fatalf("fastquery: step %d: index unavailable (%v); use the Scan backend", st.t, st.indexErr)
+	}
+	return fmt.Errorf("fastquery: step %d has no index; use the Scan backend", st.t)
+}
 
 // IOBytes returns cumulative bytes read from the data file (not the
 // index), for the performance model.
@@ -180,7 +242,7 @@ func (r reader) Column(name string) ([]float64, error) {
 // evaluator returns a fastbit evaluator for this step.
 func (st *Step) evaluator() (*fastbit.Evaluator, error) {
 	if st.index == nil {
-		return nil, fmt.Errorf("fastquery: step %d has no index; use the Scan backend", st.t)
+		return nil, st.noIndexError()
 	}
 	return st.index.Evaluator(reader{st.file}), nil
 }
@@ -210,19 +272,26 @@ func (st *Step) loadScanColumns(e query.Expr, extra ...string) (scan.Columns, er
 
 // Select returns the sorted record positions matching e.
 func (st *Step) Select(e query.Expr, b Backend) ([]uint64, error) {
+	return st.SelectCtx(context.Background(), e, b)
+}
+
+// SelectCtx is Select with cooperative cancellation: both backends observe
+// ctx at periodic checkpoints, so a canceled query stops within one
+// checkpoint interval (scan.CheckpointRows rows).
+func (st *Step) SelectCtx(ctx context.Context, e query.Expr, b Backend) ([]uint64, error) {
 	switch b {
 	case FastBit:
 		ev, err := st.evaluator()
 		if err != nil {
 			return nil, err
 		}
-		return ev.Select(e)
+		return ev.SelectCtx(ctx, e)
 	case Scan:
 		cols, err := st.loadScanColumns(e)
 		if err != nil {
 			return nil, err
 		}
-		return scan.Select(cols, e)
+		return scan.SelectCtx(ctx, cols, e)
 	default:
 		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
 	}
@@ -230,7 +299,12 @@ func (st *Step) Select(e query.Expr, b Backend) ([]uint64, error) {
 
 // Count returns the number of records matching e.
 func (st *Step) Count(e query.Expr, b Backend) (uint64, error) {
-	pos, err := st.Select(e, b)
+	return st.CountCtx(context.Background(), e, b)
+}
+
+// CountCtx is Count with cooperative cancellation.
+func (st *Step) CountCtx(ctx context.Context, e query.Expr, b Backend) (uint64, error) {
+	pos, err := st.SelectCtx(ctx, e, b)
 	if err != nil {
 		return 0, err
 	}
@@ -239,7 +313,12 @@ func (st *Step) Count(e query.Expr, b Backend) (uint64, error) {
 
 // SelectIDs returns the identifiers of records matching e.
 func (st *Step) SelectIDs(e query.Expr, b Backend) ([]int64, error) {
-	pos, err := st.Select(e, b)
+	return st.SelectIDsCtx(context.Background(), e, b)
+}
+
+// SelectIDsCtx is SelectIDs with cooperative cancellation.
+func (st *Step) SelectIDsCtx(ctx context.Context, e query.Expr, b Backend) ([]int64, error) {
+	pos, err := st.SelectCtx(ctx, e, b)
 	if err != nil {
 		return nil, err
 	}
@@ -257,10 +336,15 @@ func (st *Step) SelectIDs(e query.Expr, b Backend) ([]int64, error) {
 // FindIDs returns the sorted positions of records whose identifier is in
 // the search set: the particle-tracking primitive (paper Section V-B).
 func (st *Step) FindIDs(ids []int64, b Backend) ([]uint64, error) {
+	return st.FindIDsCtx(context.Background(), ids, b)
+}
+
+// FindIDsCtx is FindIDs with cooperative cancellation.
+func (st *Step) FindIDsCtx(ctx context.Context, ids []int64, b Backend) ([]uint64, error) {
 	switch b {
 	case FastBit:
 		if st.index == nil {
-			return nil, fmt.Errorf("fastquery: step %d has no identifier index", st.t)
+			return nil, st.noIndexError()
 		}
 		pos, err := st.index.IDLookup(ids)
 		if err != nil {
@@ -272,7 +356,7 @@ func (st *Step) FindIDs(ids []int64, b Backend) ([]uint64, error) {
 		if err != nil {
 			return nil, err
 		}
-		return scan.FindIDs(col, ids), nil
+		return scan.FindIDsCtx(ctx, col, ids)
 	default:
 		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
 	}
@@ -280,19 +364,24 @@ func (st *Step) FindIDs(ids []int64, b Backend) ([]uint64, error) {
 
 // Histogram2D computes a 2D histogram; cond may be nil for unconditional.
 func (st *Step) Histogram2D(cond query.Expr, spec histogram.Spec2D, b Backend) (*histogram.Hist2D, error) {
+	return st.Histogram2DCtx(context.Background(), cond, spec, b)
+}
+
+// Histogram2DCtx is Histogram2D with cooperative cancellation.
+func (st *Step) Histogram2DCtx(ctx context.Context, cond query.Expr, spec histogram.Spec2D, b Backend) (*histogram.Hist2D, error) {
 	switch b {
 	case FastBit:
 		ev, err := st.evaluator()
 		if err != nil {
 			return nil, err
 		}
-		return ev.Histogram2D(cond, spec)
+		return ev.Histogram2DCtx(ctx, cond, spec)
 	case Scan:
 		cols, err := st.loadScanColumns(cond, spec.XVar, spec.YVar)
 		if err != nil {
 			return nil, err
 		}
-		return scanHistogram2D(cols, cond, spec)
+		return scanHistogram2D(ctx, cols, cond, spec)
 	default:
 		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
 	}
@@ -300,19 +389,24 @@ func (st *Step) Histogram2D(cond query.Expr, spec histogram.Spec2D, b Backend) (
 
 // Histogram1D computes a 1D histogram; cond may be nil.
 func (st *Step) Histogram1D(cond query.Expr, spec histogram.Spec1D, b Backend) (*histogram.Hist1D, error) {
+	return st.Histogram1DCtx(context.Background(), cond, spec, b)
+}
+
+// Histogram1DCtx is Histogram1D with cooperative cancellation.
+func (st *Step) Histogram1DCtx(ctx context.Context, cond query.Expr, spec histogram.Spec1D, b Backend) (*histogram.Hist1D, error) {
 	switch b {
 	case FastBit:
 		ev, err := st.evaluator()
 		if err != nil {
 			return nil, err
 		}
-		return ev.Histogram1D(cond, spec)
+		return ev.Histogram1DCtx(ctx, cond, spec)
 	case Scan:
 		cols, err := st.loadScanColumns(cond, spec.Var)
 		if err != nil {
 			return nil, err
 		}
-		return scanHistogram1D(cols, cond, spec)
+		return scanHistogram1D(ctx, cols, cond, spec)
 	default:
 		return nil, fmt.Errorf("fastquery: unknown backend %v", b)
 	}
@@ -323,24 +417,30 @@ func (st *Step) Histogram1D(cond query.Expr, spec histogram.Spec1D, b Backend) (
 // merged — scan.ParallelHistogram2D). It always runs on the scan path;
 // the index-accelerated path parallelises across timesteps instead.
 func (st *Step) Histogram2DParallel(cond query.Expr, spec histogram.Spec2D, workers int) (*histogram.Hist2D, error) {
+	return st.Histogram2DParallelCtx(context.Background(), cond, spec, workers)
+}
+
+// Histogram2DParallelCtx is Histogram2DParallel with cooperative
+// cancellation: every shard worker observes ctx independently.
+func (st *Step) Histogram2DParallelCtx(ctx context.Context, cond query.Expr, spec histogram.Spec2D, workers int) (*histogram.Hist2D, error) {
 	cols, err := st.loadScanColumns(cond, spec.XVar, spec.YVar)
 	if err != nil {
 		return nil, err
 	}
-	xe, ye, err := resolveEdges(cols, cond, spec)
+	xe, ye, err := resolveEdges(ctx, cols, cond, spec)
 	if err != nil {
 		return nil, err
 	}
-	return scan.ParallelHistogram2D(cols, spec.XVar, spec.YVar, cond, xe, ye, workers)
+	return scan.ParallelHistogram2DCtx(ctx, cols, spec.XVar, spec.YVar, cond, xe, ye, workers)
 }
 
 // resolveEdges derives the bin edges a spec implies for the given columns
 // and condition (shared by the serial and parallel scan paths).
-func resolveEdges(cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (xe, ye []float64, err error) {
+func resolveEdges(ctx context.Context, cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (xe, ye []float64, err error) {
 	xs, ys := cols[spec.XVar], cols[spec.YVar]
 	selX, selY := xs, ys
 	if cond != nil {
-		pos, err := scan.Select(cols, cond)
+		pos, err := scan.SelectCtx(ctx, cols, cond)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -370,19 +470,19 @@ func resolveEdges(cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (xe
 // scanHistogram2D resolves spec ranges/edges against scan columns. Range
 // derivation and adaptive edges see only the selected values, like the
 // FastBit path, so both backends produce identical histograms.
-func scanHistogram2D(cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (*histogram.Hist2D, error) {
-	xe, ye, err := resolveEdges(cols, cond, spec)
+func scanHistogram2D(ctx context.Context, cols scan.Columns, cond query.Expr, spec histogram.Spec2D) (*histogram.Hist2D, error) {
+	xe, ye, err := resolveEdges(ctx, cols, cond, spec)
 	if err != nil {
 		return nil, err
 	}
-	return scan.ConditionalHistogram2D(cols, spec.XVar, spec.YVar, cond, xe, ye)
+	return scan.ConditionalHistogram2DCtx(ctx, cols, spec.XVar, spec.YVar, cond, xe, ye)
 }
 
-func scanHistogram1D(cols scan.Columns, cond query.Expr, spec histogram.Spec1D) (*histogram.Hist1D, error) {
+func scanHistogram1D(ctx context.Context, cols scan.Columns, cond query.Expr, spec histogram.Spec1D) (*histogram.Hist1D, error) {
 	vs := cols[spec.Var]
 	sel := vs
 	if cond != nil {
-		pos, err := scan.Select(cols, cond)
+		pos, err := scan.SelectCtx(ctx, cols, cond)
 		if err != nil {
 			return nil, err
 		}
@@ -401,7 +501,7 @@ func scanHistogram1D(cols scan.Columns, cond query.Expr, spec histogram.Spec1D) 
 	} else {
 		edges = histogram.UniformEdges(lo, hi, spec.Bins)
 	}
-	return scan.Histogram1D(cols, spec.Var, cond, edges)
+	return scan.Histogram1DCtx(ctx, cols, spec.Var, cond, edges)
 }
 
 func gather(vals []float64, pos []uint64) []float64 {

@@ -9,10 +9,16 @@
 package histogram
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// checkpointRows is the cancellation checkpoint interval of the binning
+// loops: ctx is tested once every checkpointRows values, keeping the
+// per-value overhead to a mask-and-compare.
+const checkpointRows = 64 * 1024
 
 // Binning selects between the two bin-boundary strategies compared in the
 // paper (Section III-A3).
@@ -218,12 +224,24 @@ func (h *Hist1D) Merge(o *Hist1D) error {
 // Compute1D builds a 1D histogram of values over the given edges. Values
 // outside the edge range are ignored.
 func Compute1D(name string, values []float64, edges []float64) (*Hist1D, error) {
+	return Compute1DCtx(context.Background(), name, values, edges)
+}
+
+// Compute1DCtx is Compute1D with cooperative cancellation: the binning
+// loop aborts with ctx.Err() within checkpointRows values of ctx being
+// canceled.
+func Compute1DCtx(ctx context.Context, name string, values []float64, edges []float64) (*Hist1D, error) {
 	loc, err := NewLocator(edges)
 	if err != nil {
 		return nil, err
 	}
 	h := &Hist1D{Var: name, Edges: edges, Counts: make([]uint64, loc.Bins())}
-	for _, v := range values {
+	for row, v := range values {
+		if row&(checkpointRows-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		if i := loc.Bin(v); i >= 0 {
 			h.Counts[i]++
 		}
@@ -348,6 +366,12 @@ func (h *Hist2D) MarginalY() *Hist1D {
 // Compute2D builds a 2D histogram of paired (xs, ys) values over the given
 // edges. Pairs with either coordinate outside its range are ignored.
 func Compute2D(xvar, yvar string, xs, ys []float64, xedges, yedges []float64) (*Hist2D, error) {
+	return Compute2DCtx(context.Background(), xvar, yvar, xs, ys, xedges, yedges)
+}
+
+// Compute2DCtx is Compute2D with cooperative cancellation at
+// checkpointRows intervals.
+func Compute2DCtx(ctx context.Context, xvar, yvar string, xs, ys []float64, xedges, yedges []float64) (*Hist2D, error) {
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("histogram: length mismatch %d vs %d", len(xs), len(ys))
 	}
@@ -366,6 +390,11 @@ func Compute2D(xvar, yvar string, xs, ys []float64, xedges, yedges []float64) (*
 	}
 	nx := lx.Bins()
 	for i := range xs {
+		if i&(checkpointRows-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		ix := lx.Bin(xs[i])
 		if ix < 0 {
 			continue

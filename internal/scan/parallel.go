@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,6 +17,13 @@ import (
 // II-C). Edges must be fixed up front so the partials merge exactly.
 // workers <= 0 selects GOMAXPROCS.
 func ParallelHistogram2D(c Columns, xvar, yvar string, cond query.Expr, xEdges, yEdges []float64, workers int) (*histogram.Hist2D, error) {
+	return ParallelHistogram2DCtx(context.Background(), c, xvar, yvar, cond, xEdges, yEdges, workers)
+}
+
+// ParallelHistogram2DCtx is ParallelHistogram2D with cooperative
+// cancellation: every shard worker observes ctx at its own checkpoint
+// interval, so a canceled histogram releases all cores promptly.
+func ParallelHistogram2DCtx(ctx context.Context, c Columns, xvar, yvar string, cond query.Expr, xEdges, yEdges []float64, workers int) (*histogram.Hist2D, error) {
 	xs, ok := c[xvar]
 	if !ok {
 		return nil, fmt.Errorf("scan: unknown variable %q", xvar)
@@ -39,7 +47,7 @@ func ParallelHistogram2D(c Columns, xvar, yvar string, cond query.Expr, xEdges, 
 		workers = n
 	}
 	if workers <= 1 {
-		return ConditionalHistogram2D(c, xvar, yvar, cond, xEdges, yEdges)
+		return ConditionalHistogram2DCtx(ctx, c, xvar, yvar, cond, xEdges, yEdges)
 	}
 
 	partials := make([]*histogram.Hist2D, workers)
@@ -55,7 +63,7 @@ func ParallelHistogram2D(c Columns, xvar, yvar string, cond query.Expr, xEdges, 
 			for name, col := range c {
 				shard[name] = col[lo:hi]
 			}
-			partials[w], errs[w] = ConditionalHistogram2D(shard, xvar, yvar, cond, xEdges, yEdges)
+			partials[w], errs[w] = ConditionalHistogram2DCtx(ctx, shard, xvar, yvar, cond, xEdges, yEdges)
 		}(w, lo, hi)
 	}
 	wg.Wait()

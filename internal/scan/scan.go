@@ -13,12 +13,27 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/histogram"
 	"repro/internal/query"
 )
+
+// CheckpointRows is the cancellation checkpoint interval: scan loops test
+// the context once every CheckpointRows rows, so a canceled query stops
+// within one interval while the per-row overhead stays unmeasurable.
+const CheckpointRows = 64 * 1024
+
+// checkpoint returns ctx.Err() at every CheckpointRows-th row; other rows
+// cost a single mask-and-compare.
+func checkpoint(ctx context.Context, row int) error {
+	if row&(CheckpointRows-1) == 0 {
+		return ctx.Err()
+	}
+	return nil
+}
 
 // Columns provides named in-memory columns for one timestep.
 type Columns map[string][]float64
@@ -65,6 +80,12 @@ func ValidateVars(c Columns, e query.Expr) error {
 // Select returns the sorted row positions matching the expression, by
 // evaluating it against every record.
 func Select(c Columns, e query.Expr) ([]uint64, error) {
+	return SelectCtx(context.Background(), c, e)
+}
+
+// SelectCtx is Select with cooperative cancellation: the scan aborts with
+// ctx.Err() within CheckpointRows rows of ctx being canceled.
+func SelectCtx(ctx context.Context, c Columns, e query.Expr) ([]uint64, error) {
 	if err := ValidateVars(c, e); err != nil {
 		return nil, err
 	}
@@ -74,6 +95,9 @@ func Select(c Columns, e query.Expr) ([]uint64, error) {
 	}
 	var out []uint64
 	for row := 0; row < n; row++ {
+		if err := checkpoint(ctx, row); err != nil {
+			return nil, err
+		}
 		if e.Eval(c.getter(row)) {
 			out = append(out, uint64(row))
 		}
@@ -83,6 +107,11 @@ func Select(c Columns, e query.Expr) ([]uint64, error) {
 
 // Count returns the number of records matching the expression.
 func Count(c Columns, e query.Expr) (uint64, error) {
+	return CountCtx(context.Background(), c, e)
+}
+
+// CountCtx is Count with cooperative cancellation.
+func CountCtx(ctx context.Context, c Columns, e query.Expr) (uint64, error) {
 	if err := ValidateVars(c, e); err != nil {
 		return 0, err
 	}
@@ -92,6 +121,9 @@ func Count(c Columns, e query.Expr) (uint64, error) {
 	}
 	var cnt uint64
 	for row := 0; row < n; row++ {
+		if err := checkpoint(ctx, row); err != nil {
+			return 0, err
+		}
 		if e.Eval(c.getter(row)) {
 			cnt++
 		}
@@ -109,6 +141,12 @@ func Histogram2D(c Columns, xvar, yvar string, xEdges, yEdges []float64) (*histo
 // ConditionalHistogram2D computes a 2D histogram restricted to records
 // matching cond (pass nil for unconditional). Every record is visited.
 func ConditionalHistogram2D(c Columns, xvar, yvar string, cond query.Expr, xEdges, yEdges []float64) (*histogram.Hist2D, error) {
+	return ConditionalHistogram2DCtx(context.Background(), c, xvar, yvar, cond, xEdges, yEdges)
+}
+
+// ConditionalHistogram2DCtx is ConditionalHistogram2D with cooperative
+// cancellation at CheckpointRows intervals.
+func ConditionalHistogram2DCtx(ctx context.Context, c Columns, xvar, yvar string, cond query.Expr, xEdges, yEdges []float64) (*histogram.Hist2D, error) {
 	xs, ok := c[xvar]
 	if !ok {
 		return nil, fmt.Errorf("scan: unknown variable %q", xvar)
@@ -139,6 +177,9 @@ func ConditionalHistogram2D(c Columns, xvar, yvar string, cond query.Expr, xEdge
 		counts[i] = make([]uint64, lx.Bins())
 	}
 	for row := range xs {
+		if err := checkpoint(ctx, row); err != nil {
+			return nil, err
+		}
 		if cond != nil && !cond.Eval(c.getter(row)) {
 			continue
 		}
@@ -166,6 +207,11 @@ func ConditionalHistogram2D(c Columns, xvar, yvar string, cond query.Expr, xEdge
 // Histogram1D computes a conditional 1D histogram by full scan; cond may
 // be nil.
 func Histogram1D(c Columns, v string, cond query.Expr, edges []float64) (*histogram.Hist1D, error) {
+	return Histogram1DCtx(context.Background(), c, v, cond, edges)
+}
+
+// Histogram1DCtx is Histogram1D with cooperative cancellation.
+func Histogram1DCtx(ctx context.Context, c Columns, v string, cond query.Expr, edges []float64) (*histogram.Hist1D, error) {
 	vs, ok := c[v]
 	if !ok {
 		return nil, fmt.Errorf("scan: unknown variable %q", v)
@@ -181,6 +227,9 @@ func Histogram1D(c Columns, v string, cond query.Expr, edges []float64) (*histog
 	}
 	h := &histogram.Hist1D{Var: v, Edges: edges, Counts: make([]uint64, loc.Bins())}
 	for row := range vs {
+		if err := checkpoint(ctx, row); err != nil {
+			return nil, err
+		}
 		if cond != nil && !cond.Eval(c.getter(row)) {
 			continue
 		}
@@ -212,14 +261,23 @@ func MinMax(values []float64) (lo, hi float64) {
 // searchSet, using the paper's custom algorithm: one pass over all N
 // records, binary-searching each identifier in the sorted set — O(N log S).
 func FindIDs(ids []int64, searchSet []int64) []uint64 {
+	out, _ := FindIDsCtx(context.Background(), ids, searchSet)
+	return out
+}
+
+// FindIDsCtx is FindIDs with cooperative cancellation.
+func FindIDsCtx(ctx context.Context, ids []int64, searchSet []int64) ([]uint64, error) {
 	set := append([]int64(nil), searchSet...)
 	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
 	var out []uint64
 	for row, id := range ids {
+		if err := checkpoint(ctx, row); err != nil {
+			return nil, err
+		}
 		i := sort.Search(len(set), func(k int) bool { return set[k] >= id })
 		if i < len(set) && set[i] == id {
 			out = append(out, uint64(row))
 		}
 	}
-	return out
+	return out, nil
 }

@@ -13,6 +13,8 @@
 //     degrades into explicit 429/503 rejections instead of a pile-up.
 package serve
 
+import "repro/internal/fastquery"
+
 // ErrorBody is the JSON body of every non-2xx response.
 type ErrorBody struct {
 	Error string `json:"error"`
@@ -108,4 +110,13 @@ type StatsBody struct {
 	Cache        CacheStats `json:"cache"`
 	Admission    GateStats  `json:"admission"`
 	BackendCalls uint64     `json:"backend_calls"`
+	// Canceled counts requests abandoned by their client (answered 499);
+	// ExecTimeouts counts requests that exceeded Config.ExecTimeout (504);
+	// Panics counts handler panics converted to 500.
+	Canceled     uint64 `json:"canceled"`
+	ExecTimeouts uint64 `json:"exec_timeouts"`
+	Panics       uint64 `json:"panics"`
+	// IndexFailures lists, per dataset, timesteps whose sidecar index was
+	// rejected (truncated or corrupt) and now serve scan-backend only.
+	IndexFailures map[string][]fastquery.IndexFailure `json:"index_failures,omitempty"`
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -38,6 +39,7 @@ type CacheStats struct {
 	Misses    uint64 `json:"misses"`
 	Evictions uint64 `json:"evictions"`
 	Coalesced uint64 `json:"coalesced"`
+	Abandoned uint64 `json:"abandoned"` // waiters that left before the flight finished
 	Inflight  int    `json:"inflight"`
 	Entries   int    `json:"entries"`
 }
@@ -47,6 +49,13 @@ type CacheStats struct {
 // the compute function and the rest wait for its result. Results are
 // cached only on success; errors propagate to every waiter and leave no
 // entry behind.
+//
+// Flights are detached from their initiating request: fn runs in its own
+// goroutine under a flight-owned context, so one waiter's cancellation
+// never kills a result other coalesced waiters still want. The flight
+// context is canceled only when the last interested waiter has abandoned
+// it — that is what lets a disconnected client release backend capacity
+// without poisoning anyone else.
 type Cache struct {
 	mu         sync.Mutex
 	maxEntries int
@@ -54,7 +63,7 @@ type Cache struct {
 	items      map[string]*list.Element
 	flights    map[string]*flight
 
-	hits, misses, evictions, coalesced uint64
+	hits, misses, evictions, coalesced, abandoned uint64
 }
 
 type cacheEntry struct {
@@ -62,10 +71,16 @@ type cacheEntry struct {
 	val any
 }
 
+// flight is one in-progress computation. waiters counts the requests that
+// still want the result; finished flips once fn has returned (after which
+// cancel must not fire — the result is already being stored).
 type flight struct {
-	done chan struct{}
-	val  any
-	err  error
+	done     chan struct{}
+	cancel   context.CancelFunc
+	waiters  int
+	finished bool
+	val      any
+	err      error
 }
 
 // NewCache creates a cache bounded to maxEntries results. maxEntries <= 0
@@ -80,8 +95,11 @@ func NewCache(maxEntries int) *Cache {
 }
 
 // Do returns the cached result for key, or computes it with fn. Identical
-// concurrent calls are collapsed into one fn invocation.
-func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
+// concurrent calls are collapsed into one fn invocation. fn receives a
+// context owned by the flight, not by any single caller: it is canceled
+// only when every coalesced waiter has gone away. Do itself returns as
+// soon as ctx is done, with ctx's error.
+func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -92,21 +110,30 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 	}
 	if f, ok := c.flights[key]; ok {
 		c.coalesced++
+		f.waiters++
 		c.mu.Unlock()
-		<-f.done
-		return f.val, Coalesced, f.err
+		return c.wait(ctx, f, Coalesced)
 	}
 	c.misses++
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.Background())
+	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.flights[key] = f
 	c.mu.Unlock()
 
-	f.val, f.err = fn()
+	go c.run(key, f, fctx, fn)
+	return c.wait(ctx, f, Computed)
+}
+
+// run executes fn under the flight context and publishes its result.
+func (c *Cache) run(key string, f *flight, fctx context.Context, fn func(ctx context.Context) (any, error)) {
+	val, err := fn(fctx)
 
 	c.mu.Lock()
+	f.finished = true
+	f.val, f.err = val, err
 	delete(c.flights, key)
-	if f.err == nil && c.maxEntries > 0 {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: f.val})
+	if err == nil && c.maxEntries > 0 {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 		for c.ll.Len() > c.maxEntries {
 			oldest := c.ll.Back()
 			c.ll.Remove(oldest)
@@ -116,7 +143,26 @@ func (c *Cache) Do(key string, fn func() (any, error)) (any, Outcome, error) {
 	}
 	c.mu.Unlock()
 	close(f.done)
-	return f.val, Computed, f.err
+	f.cancel() // release the flight context's resources
+}
+
+// wait blocks until the flight finishes or ctx is done. A caller that
+// leaves early decrements the waiter count; the last one to leave cancels
+// the flight so the backend stops working for nobody.
+func (c *Cache) wait(ctx context.Context, f *flight, outcome Outcome) (any, Outcome, error) {
+	select {
+	case <-f.done:
+		return f.val, outcome, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.abandoned++
+		f.waiters--
+		if f.waiters == 0 && !f.finished {
+			f.cancel()
+		}
+		c.mu.Unlock()
+		return nil, outcome, ctx.Err()
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -128,6 +174,7 @@ func (c *Cache) Stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 		Coalesced: c.coalesced,
+		Abandoned: c.abandoned,
 		Inflight:  len(c.flights),
 		Entries:   c.ll.Len(),
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -12,7 +13,7 @@ import (
 func TestCacheHitAndEvict(t *testing.T) {
 	c := NewCache(2)
 	get := func(key string) (any, Outcome) {
-		v, o, err := c.Do(key, func() (any, error) { return "v:" + key, nil })
+		v, o, err := c.Do(context.Background(), key, func(context.Context) (any, error) { return "v:" + key, nil })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -38,7 +39,7 @@ func TestCacheHitAndEvict(t *testing.T) {
 func TestCacheLRUOrder(t *testing.T) {
 	c := NewCache(2)
 	do := func(key string) Outcome {
-		_, o, _ := c.Do(key, func() (any, error) { return key, nil })
+		_, o, _ := c.Do(context.Background(), key, func(context.Context) (any, error) { return key, nil })
 		return o
 	}
 	do("a")
@@ -56,11 +57,11 @@ func TestCacheLRUOrder(t *testing.T) {
 func TestCacheErrorNotStored(t *testing.T) {
 	c := NewCache(4)
 	boom := errors.New("boom")
-	if _, _, err := c.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+	if _, _, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
 	// The failure must not be cached.
-	v, o, err := c.Do("k", func() (any, error) { return 7, nil })
+	v, o, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return 7, nil })
 	if err != nil || o != Computed || v != 7 {
 		t.Fatalf("after error: %v %v %v", v, o, err)
 	}
@@ -85,7 +86,7 @@ func TestCacheSingleflight(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		results[0], outcomes[0], errs[0] = c.Do("key", func() (any, error) {
+		results[0], outcomes[0], errs[0] = c.Do(context.Background(), "key", func(context.Context) (any, error) {
 			calls.Add(1)
 			close(started)
 			<-release
@@ -98,7 +99,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			results[i], outcomes[i], errs[i] = c.Do("key", func() (any, error) {
+			results[i], outcomes[i], errs[i] = c.Do(context.Background(), "key", func(context.Context) (any, error) {
 				calls.Add(1)
 				return "result", nil
 			})
@@ -133,7 +134,7 @@ func TestCacheSingleflight(t *testing.T) {
 func TestCacheStorageDisabled(t *testing.T) {
 	c := NewCache(0)
 	for i := 0; i < 3; i++ {
-		_, o, err := c.Do("k", func() (any, error) { return i, nil })
+		_, o, err := c.Do(context.Background(), "k", func(context.Context) (any, error) { return i, nil })
 		if err != nil || o != Computed {
 			t.Fatalf("call %d: outcome %v, err %v", i, o, err)
 		}
@@ -141,6 +142,105 @@ func TestCacheStorageDisabled(t *testing.T) {
 	st := c.Stats()
 	if st.Hits != 0 || st.Entries != 0 || st.Misses != 3 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCacheAbandonedWaiterDoesNotPoisonFlight: a coalesced waiter that
+// cancels must get its own ctx error immediately, while the flight keeps
+// running for the remaining waiter and delivers (and caches) the result.
+func TestCacheAbandonedWaiterDoesNotPoisonFlight(t *testing.T) {
+	c := NewCache(4)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var flightCanceled atomic.Bool
+
+	type res struct {
+		val any
+		err error
+	}
+	first := make(chan res, 1)
+	go func() {
+		v, _, err := c.Do(context.Background(), "k", func(fctx context.Context) (any, error) {
+			close(started)
+			<-release
+			flightCanceled.Store(fctx.Err() != nil)
+			return "result", nil
+		})
+		first <- res{v, err}
+	}()
+	<-started
+
+	// Second waiter coalesces, then abandons.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	second := make(chan res, 1)
+	go func() {
+		v, o, err := c.Do(ctx2, "k", func(context.Context) (any, error) {
+			t.Error("coalesced waiter ran the compute fn")
+			return nil, nil
+		})
+		if o != Coalesced {
+			t.Errorf("second waiter outcome %v, want Coalesced", o)
+		}
+		second <- res{v, err}
+	}()
+	for c.Stats().Coalesced < 1 {
+		runtime.Gosched()
+	}
+	cancel2()
+	if r := <-second; !errors.Is(r.err, context.Canceled) {
+		t.Fatalf("abandoning waiter: err = %v, want context.Canceled", r.err)
+	}
+
+	// Only now let the flight finish: the first waiter must still win.
+	close(release)
+	if r := <-first; r.err != nil || r.val != "result" {
+		t.Fatalf("surviving waiter: %v, %v", r.val, r.err)
+	}
+	if flightCanceled.Load() {
+		t.Fatal("flight context was canceled while a waiter remained")
+	}
+	// The result must have been stored despite the abandonment.
+	if _, o, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return nil, errors.New("recomputed")
+	}); err != nil || o != Hit {
+		t.Fatalf("post-flight lookup: outcome %v, err %v, want Hit", o, err)
+	}
+	if st := c.Stats(); st.Abandoned != 1 {
+		t.Fatalf("Abandoned = %d, want 1", st.Abandoned)
+	}
+}
+
+// TestCacheLastWaiterCancelsFlight: when every waiter abandons, the flight
+// context must be canceled so the backend stops working for nobody.
+func TestCacheLastWaiterCancelsFlight(t *testing.T) {
+	c := NewCache(4)
+	started := make(chan struct{})
+	fnDone := make(chan error, 1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	callDone := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, "k", func(fctx context.Context) (any, error) {
+			close(started)
+			<-fctx.Done() // the backend observing cancellation
+			fnDone <- fctx.Err()
+			return nil, fctx.Err()
+		})
+		callDone <- err
+	}()
+	<-started
+	cancel()
+	if err := <-callDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do returned %v, want context.Canceled", err)
+	}
+	if err := <-fnDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("flight ctx err = %v, want context.Canceled (backend never released)", err)
+	}
+	// The failed flight must not be cached; the key computes fresh.
+	if v, o, err := c.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return 42, nil
+	}); err != nil || o != Computed || v != 42 {
+		t.Fatalf("after abandoned flight: %v %v %v", v, o, err)
 	}
 }
 
@@ -155,7 +255,7 @@ func TestCacheConcurrentKeys(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 200; i++ {
 				key := fmt.Sprintf("k%d", i%16)
-				if _, _, err := c.Do(key, func() (any, error) { return key, nil }); err != nil {
+				if _, _, err := c.Do(context.Background(), key, func(context.Context) (any, error) { return key, nil }); err != nil {
 					t.Error(err)
 					return
 				}

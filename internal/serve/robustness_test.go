@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// HTTP-facing robustness behaviour: readiness vs liveness, execution
+// deadlines, client-cancellation accounting and panic containment.
+
+func TestReadyzFlipsWhileDraining(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	var body map[string]string
+	if code, _ := get(t, ts, "/readyz", &body); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("readyz before drain: %d %v", code, body)
+	}
+	s.SetDraining(true)
+	if code, _ := get(t, ts, "/readyz", &body); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("readyz while draining: %d %v", code, body)
+	}
+	// Liveness and real work are unaffected by the drain signal: in-flight
+	// and straggler requests still complete while the LB moves traffic.
+	if code, _ := get(t, ts, "/healthz", nil); code != http.StatusOK {
+		t.Fatalf("healthz while draining: %d", code)
+	}
+	if code, _ := get(t, ts, "/v1/query?q=px+%3E+0", nil); code != http.StatusOK {
+		t.Fatalf("query while draining: %d", code)
+	}
+	s.SetDraining(false)
+	if code, _ := get(t, ts, "/readyz", nil); code != http.StatusOK {
+		t.Fatal("readyz did not recover after drain flag cleared")
+	}
+}
+
+func TestExecTimeoutAnswers504(t *testing.T) {
+	// A deadline too short for any backend work: every query must come
+	// back 504 with the counter bumped, never hang or 200.
+	_, ts := testServer(t, Config{ExecTimeout: time.Nanosecond})
+	var e ErrorBody
+	code, _ := get(t, ts, "/v1/query?q=px+%3E+0", &e)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d (%s), want 504", code, e.Error)
+	}
+	var st StatsBody
+	get(t, ts, "/v1/stats", &st)
+	if st.ExecTimeouts == 0 {
+		t.Fatalf("exec_timeouts = 0 after a 504; stats %+v", st)
+	}
+}
+
+func TestWriteExecErrorMapsStatuses(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	for _, tc := range []struct {
+		err  error
+		want int
+	}{
+		{context.Canceled, 499},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{errFake, http.StatusInternalServerError},
+	} {
+		rec := httptest.NewRecorder()
+		s.writeExecError(rec, tc.err)
+		if rec.Code != tc.want {
+			t.Errorf("%v -> %d, want %d", tc.err, rec.Code, tc.want)
+		}
+	}
+	if s.canceled.Load() != 1 || s.execTimeouts.Load() != 1 {
+		t.Fatalf("counters canceled=%d execTimeouts=%d, want 1/1",
+			s.canceled.Load(), s.execTimeouts.Load())
+	}
+}
+
+var errFake = &httpError{status: 500, msg: "backend exploded"}
+
+func TestPanicRecoveryAnswers500(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	s.mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("kaboom")
+	})
+	var e ErrorBody
+	code, _ := get(t, ts, "/boom", &e)
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", code)
+	}
+	var st StatsBody
+	get(t, ts, "/v1/stats", &st)
+	if st.Panics != 1 {
+		t.Fatalf("panics = %d, want 1", st.Panics)
+	}
+	// The server survives: the next request is served normally.
+	if code, _ := get(t, ts, "/v1/datasets", nil); code != http.StatusOK {
+		t.Fatalf("request after panic: %d", code)
+	}
+}
+
+// TestClientDisconnectCountsCanceled drives a real client disconnect: the
+// request context dies with the connection, the handler's work stops, and
+// the canceled counter (the 499 path) increments.
+func TestClientDisconnectCountsCanceled(t *testing.T) {
+	s, ts := testServer(t, Config{})
+	entered := make(chan struct{})
+	s.mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		close(entered)
+		<-ctx.Done() // backend work interrupted by the disconnect
+		s.writeExecError(w, ctx.Err())
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/slow", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := http.DefaultClient.Do(req)
+		errc <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request returned no error")
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.canceled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("canceled counter never incremented after client disconnect")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +45,10 @@ type Config struct {
 	// QueueTimeout bounds how long a queued request waits before 503.
 	// Default 2s.
 	QueueTimeout time.Duration
+	// ExecTimeout bounds backend execution per request; expiry cancels the
+	// in-flight work (cooperatively, at the backends' row checkpoints) and
+	// returns 504. 0 means the default (30s); negative disables the bound.
+	ExecTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +66,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueTimeout == 0 {
 		c.QueueTimeout = 2 * time.Second
+	}
+	switch {
+	case c.ExecTimeout == 0:
+		c.ExecTimeout = 30 * time.Second
+	case c.ExecTimeout < 0:
+		c.ExecTimeout = 0
 	}
 	return c
 }
@@ -113,6 +126,10 @@ type Server struct {
 	order    []string
 
 	backendCalls atomic.Uint64
+	canceled     atomic.Uint64 // requests abandoned by their client (499)
+	execTimeouts atomic.Uint64 // requests that hit ExecTimeout (504)
+	panics       atomic.Uint64 // handler panics converted to 500
+	draining     atomic.Bool   // /readyz reports 503 while set
 }
 
 // New creates a Server with no datasets.
@@ -126,6 +143,7 @@ func New(cfg Config) *Server {
 		datasets: map[string]*dataset{},
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
 	s.mux.HandleFunc("/v1/steps", s.handleSteps)
 	s.mux.HandleFunc("/v1/vars", s.handleVars)
@@ -168,9 +186,54 @@ func (s *Server) Close() {
 // misses), for tests and the stats endpoint.
 func (s *Server) BackendCalls() uint64 { return s.backendCalls.Load() }
 
-// ServeHTTP implements http.Handler.
+// SetDraining switches the readiness signal: while draining, /readyz
+// returns 503 so a load balancer stops routing new work here, while
+// /healthz keeps reporting the process alive. Call with true before
+// http.Server.Shutdown.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// ServeHTTP implements http.Handler. Panics in handlers become 500s with
+// a counter rather than killing the whole process (http.ErrAbortHandler
+// keeps its conventional meaning and is re-panicked).
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and the client sees a truncated response.
+			writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
+		}
+	}()
 	s.mux.ServeHTTP(w, r)
+}
+
+// requestCtx derives the execution context for one request: the client
+// connection (canceled on disconnect) bounded by ExecTimeout.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.ExecTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.cfg.ExecTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// writeExecError maps an execution error to a response: client
+// cancellation to 499 (nginx's convention), deadline expiry to 504, and
+// everything else to 500, with distinct counters for the first two.
+func (s *Server) writeExecError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.canceled.Add(1)
+		writeError(w, 499, "client canceled: %v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.execTimeouts.Add(1)
+		writeError(w, http.StatusGatewayTimeout, "execution timeout: %v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
 }
 
 // admitted wraps a heavy handler with admission control.
@@ -185,6 +248,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable, "%v", err)
 			default: // client went away
+				s.canceled.Add(1)
 				writeError(w, 499, "client canceled: %v", err)
 			}
 			return
@@ -221,12 +285,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// handleReady is the load-balancer signal: 200 while serving, 503 while
+// draining. Liveness (/healthz) stays 200 throughout a drain.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsBody{
+	body := StatsBody{
 		Cache:        s.cache.Stats(),
 		Admission:    s.gate.Stats(),
 		BackendCalls: s.backendCalls.Load(),
-	})
+		Canceled:     s.canceled.Load(),
+		ExecTimeouts: s.execTimeouts.Load(),
+		Panics:       s.panics.Load(),
+	}
+	s.mu.RLock()
+	for _, name := range s.order {
+		if fails := s.datasets[name].src.IndexFailures(); len(fails) > 0 {
+			if body.IndexFailures == nil {
+				body.IndexFailures = map[string][]fastquery.IndexFailure{}
+			}
+			body.IndexFailures[name] = fails
+		}
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
@@ -376,6 +464,11 @@ func (s *Server) parseRequest(r *http.Request, requireQuery bool) (*request, *ht
 			req.backend = fastquery.FastBit
 		} else if b == "" {
 			req.backend = fastquery.Scan
+		} else if ierr := st.IndexError(); ierr != nil {
+			// The index exists but was rejected (truncated/corrupt): say
+			// why, so the client knows this is degradation, not absence.
+			return nil, errf(http.StatusServiceUnavailable,
+				"step %d index unavailable (%v); use backend=scan", t, ierr)
 		} else {
 			return nil, errf(http.StatusBadRequest,
 				"step %d has no index; use backend=scan", t)
@@ -465,13 +558,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	key := req.cacheKey("count")
-	val, outcome, err := s.cache.Do(key, func() (any, error) {
+	val, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (any, error) {
 		s.backendCalls.Add(1)
-		return req.st.Count(req.expr, req.backend)
+		return req.st.CountCtx(ctx, req.expr, req.backend)
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeExecError(w, err)
 		return
 	}
 	matches := val.(uint64)
@@ -506,7 +601,7 @@ func (s *Server) handleHist1D(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
-	s.serveHist1D(w, req, spec, start)
+	s.serveHist1D(w, r, req, spec, start)
 }
 
 // hist1DSpec parses the 1D histogram parameters.
@@ -539,17 +634,19 @@ func hist1DSpec(r *http.Request, d *dataset) (histogram.Spec1D, *httpError) {
 	return spec, nil
 }
 
-func (s *Server) serveHist1D(w http.ResponseWriter, req *request, spec histogram.Spec1D, start time.Time) {
+func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec1D, start time.Time) {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	specKey := strings.Join([]string{
 		"hist1d", spec.Var, strconv.Itoa(spec.Bins), spec.Binning.String(),
 		fmtG(spec.Lo), fmtG(spec.Hi), fmtG(spec.MinDensity),
 	}, "|")
-	val, outcome, err := s.cache.Do(req.cacheKey(specKey), func() (any, error) {
+	val, outcome, err := s.cache.Do(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
 		s.backendCalls.Add(1)
-		return req.st.Histogram1D(req.expr, spec, req.backend)
+		return req.st.Histogram1DCtx(ctx, req.expr, spec, req.backend)
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeExecError(w, err)
 		return
 	}
 	h := val.(*histogram.Hist1D)
@@ -580,7 +677,7 @@ func (s *Server) handleHist2D(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
-	s.serveHist2D(w, req, spec, start)
+	s.serveHist2D(w, r, req, spec, start)
 }
 
 // hist2DSpec parses the 2D histogram parameters.
@@ -620,19 +717,21 @@ func hist2DSpec(r *http.Request, d *dataset) (histogram.Spec2D, *httpError) {
 	return spec, nil
 }
 
-func (s *Server) serveHist2D(w http.ResponseWriter, req *request, spec histogram.Spec2D, start time.Time) {
+func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec2D, start time.Time) {
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	specKey := strings.Join([]string{
 		"hist2d", spec.XVar, spec.YVar,
 		strconv.Itoa(spec.XBins), strconv.Itoa(spec.YBins), spec.Binning.String(),
 		fmtG(spec.XLo), fmtG(spec.XHi), fmtG(spec.YLo), fmtG(spec.YHi),
 		fmtG(spec.MinDensity),
 	}, "|")
-	val, outcome, err := s.cache.Do(req.cacheKey(specKey), func() (any, error) {
+	val, outcome, err := s.cache.Do(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
 		s.backendCalls.Add(1)
-		return req.st.Histogram2D(req.expr, spec, req.backend)
+		return req.st.Histogram2DCtx(ctx, req.expr, spec, req.backend)
 	})
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		s.writeExecError(w, err)
 		return
 	}
 	h := val.(*histogram.Hist2D)
