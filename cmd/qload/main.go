@@ -35,9 +35,11 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -57,6 +59,7 @@ func main() {
 		coarse      = flag.Int("coarse", 32, "coarse hist2d bins per axis")
 		fine        = flag.Int("fine", 256, "fine hist2d bins per axis")
 		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of requests abandoned mid-flight (0..1), exercising server-side cancellation")
+		traceEvery  = flag.Int("trace-sample", 8, "request ?debug=trace on every Nth session for the per-stage breakdown (0 = off)")
 		out         = flag.String("out", "BENCH_serve.json", "benchmark JSON output path (empty = skip)")
 	)
 	flag.Parse()
@@ -72,7 +75,13 @@ func main() {
 		base:       *base,
 		backend:    *backend,
 		cancelFrac: *cancelFrac,
-		client:     &http.Client{Timeout: 30 * time.Second},
+		traceEvery: *traceEvery,
+		// The latency distribution uses the same obs histogram machinery
+		// the server exports, so BENCH buckets line up with /metrics ones.
+		latHist: obs.NewRegistry().Histogram("qload_request_seconds",
+			"Client-observed request latency.", nil),
+		stages: map[string]*stageAgg{},
+		client: &http.Client{Timeout: 30 * time.Second},
 	}
 	if err := lg.setup(*dataset, *step, *xvar, *yvar); err != nil {
 		log.Fatal(err)
@@ -98,6 +107,8 @@ type loadgen struct {
 	base       string
 	backend    string
 	cancelFrac float64
+	traceEvery int
+	latHist    *obs.Histogram
 	client     *http.Client
 
 	dataset  string
@@ -106,6 +117,38 @@ type loadgen struct {
 	xLo, xHi float64
 
 	reqSeq atomic.Uint64 // request counter driving the cancel stride
+
+	stageMu sync.Mutex
+	stages  map[string]*stageAgg // per-span-name totals from sampled traces
+}
+
+// stageAgg accumulates one query stage's time across sampled traces.
+type stageAgg struct {
+	count   uint64
+	totalMS float64
+}
+
+// recordTrace folds one sampled span tree into the per-stage breakdown.
+// The root span (the endpoint) is skipped: request totals are already the
+// latency distribution's job.
+func (lg *loadgen) recordTrace(root *obs.SpanData) {
+	if root == nil {
+		return
+	}
+	lg.stageMu.Lock()
+	defer lg.stageMu.Unlock()
+	root.Walk(func(sd *obs.SpanData) {
+		if sd == root {
+			return
+		}
+		a := lg.stages[sd.Name]
+		if a == nil {
+			a = &stageAgg{}
+			lg.stages[sd.Name] = a
+		}
+		a.count++
+		a.totalMS += sd.DurationMS
+	})
 }
 
 // shouldCancel deterministically marks a cancelFrac share of requests for
@@ -233,12 +276,19 @@ type result struct {
 	P50MS       float64 `json:"p50_ms"`
 	P95MS       float64 `json:"p95_ms"`
 	P99MS       float64 `json:"p99_ms"`
+	MaxMS       float64 `json:"max_ms"`
 	MeanMS      float64 `json:"mean_ms"`
-	Shed429     int     `json:"shed_429"`
-	Shed503     int     `json:"shed_503"`
-	Errors      int     `json:"errors"`
-	HitRate     float64 `json:"cache_hit_rate"`
-	Backend     uint64  `json:"backend_calls"`
+	// LatencyHistogram is the full client-observed latency distribution
+	// in cumulative Prometheus-style buckets.
+	LatencyHistogram []latBucket `json:"latency_histogram,omitempty"`
+	// Stages is the per-query-stage breakdown from ?debug=trace sampling:
+	// span name -> aggregate across sampled requests.
+	Stages  map[string]stageStat `json:"stages,omitempty"`
+	Shed429 int                  `json:"shed_429"`
+	Shed503 int                  `json:"shed_503"`
+	Errors  int                  `json:"errors"`
+	HitRate float64              `json:"cache_hit_rate"`
+	Backend uint64               `json:"backend_calls"`
 	// Cancellation exercise (-cancel-frac): requests this client abandoned
 	// mid-flight, and the server's 499/abandoned-waiter deltas confirming
 	// the backend observed the disconnects.
@@ -248,16 +298,44 @@ type result struct {
 	Abandoned      uint64  `json:"cache_abandoned,omitempty"`
 }
 
+// latBucket is one cumulative latency bucket (upper bound in ms).
+type latBucket struct {
+	LEMS  float64 `json:"le_ms"`
+	Count uint64  `json:"count"`
+}
+
+// stageStat summarizes one traced query stage.
+type stageStat struct {
+	Count   uint64  `json:"count"`
+	TotalMS float64 `json:"total_ms"`
+	MeanMS  float64 `json:"mean_ms"`
+}
+
 func (r *result) print(w io.Writer) {
 	fmt.Fprintf(w, "sessions %d  requests %d  concurrency %d  elapsed %.2fs  %.1f req/s\n",
 		r.Sessions, r.Requests, r.Concurrency, r.ElapsedS, r.RPS)
-	fmt.Fprintf(w, "latency ms  p50 %.2f  p95 %.2f  p99 %.2f  mean %.2f\n",
-		r.P50MS, r.P95MS, r.P99MS, r.MeanMS)
+	fmt.Fprintf(w, "latency ms  p50 %.2f  p95 %.2f  p99 %.2f  max %.2f  mean %.2f\n",
+		r.P50MS, r.P95MS, r.P99MS, r.MaxMS, r.MeanMS)
 	fmt.Fprintf(w, "cache hit rate %.1f%%  backend calls %d  shed 429 %d  shed 503 %d  errors %d\n",
 		100*r.HitRate, r.Backend, r.Shed429, r.Shed503, r.Errors)
 	if r.CancelFrac > 0 {
 		fmt.Fprintf(w, "canceled client-side %d (frac %.2f)  server 499s %d  cache waiters abandoned %d\n",
 			r.Canceled, r.CancelFrac, r.ServerCanceled, r.Abandoned)
+	}
+	if len(r.Stages) > 0 {
+		names := make([]string, 0, len(r.Stages))
+		for name := range r.Stages {
+			names = append(names, name)
+		}
+		sort.Slice(names, func(i, j int) bool {
+			return r.Stages[names[i]].TotalMS > r.Stages[names[j]].TotalMS
+		})
+		fmt.Fprintf(w, "stage breakdown (sampled traces):\n")
+		for _, name := range names {
+			s := r.Stages[name]
+			fmt.Fprintf(w, "  %-20s n=%-5d mean %.3fms  total %.1fms\n",
+				name, s.Count, s.MeanMS, s.TotalMS)
+		}
 	}
 }
 
@@ -331,6 +409,29 @@ func (lg *loadgen) run(sessions, concurrency int, xvar, yvar string, coarse, fin
 	res.P50MS = percentileMS(all, 50)
 	res.P95MS = percentileMS(all, 95)
 	res.P99MS = percentileMS(all, 99)
+	for _, d := range all {
+		if ms := float64(d) / float64(time.Millisecond); ms > res.MaxMS {
+			res.MaxMS = ms
+		}
+		lg.latHist.Observe(d.Seconds())
+	}
+	upper, cum := lg.latHist.Buckets()
+	for i := range upper {
+		res.LatencyHistogram = append(res.LatencyHistogram,
+			latBucket{LEMS: upper[i] * 1000, Count: cum[i]})
+	}
+	lg.stageMu.Lock()
+	if len(lg.stages) > 0 {
+		res.Stages = map[string]stageStat{}
+		for name, a := range lg.stages {
+			res.Stages[name] = stageStat{
+				Count:   a.count,
+				TotalMS: a.totalMS,
+				MeanMS:  a.totalMS / float64(a.count),
+			}
+		}
+	}
+	lg.stageMu.Unlock()
 	hits := after.Cache.Hits - before.Cache.Hits
 	lookups := hits + (after.Cache.Misses - before.Cache.Misses) + (after.Cache.Coalesced - before.Cache.Coalesced)
 	if lookups > 0 {
@@ -358,6 +459,9 @@ func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine 
 		fmt.Sprintf("/v1/hist2d?%s&x=%s&y=%s&xbins=%d&ybins=%d&q=%s",
 			common, url.QueryEscape(xvar), url.QueryEscape(yvar), fine, fine, url.QueryEscape(q2)),
 	}
+	// Sampled sessions ask the server to echo each request's span tree,
+	// feeding the per-stage breakdown.
+	sample := lg.traceEvery > 0 && i%lg.traceEvery == 0
 	var o sessionOutcome
 	for _, p := range paths {
 		if lg.shouldCancel() {
@@ -372,9 +476,18 @@ func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine 
 			// nothing: its latency is contaminated by the cancel race.
 			continue
 		}
+		var out any
+		var tb struct {
+			Trace *obs.SpanData `json:"trace"`
+		}
+		if sample {
+			p += "&debug=trace"
+			out = &tb
+		}
 		start := time.Now()
-		code, err := lg.getJSON(p, nil)
+		code, err := lg.getJSON(p, out)
 		lat := time.Since(start)
+		lg.recordTrace(tb.Trace)
 		switch {
 		case code == http.StatusTooManyRequests:
 			o.shed429++

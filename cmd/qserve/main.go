@@ -8,6 +8,7 @@
 //	lwfagen -out /tmp/lwfa -steps 30 -particles 200000
 //	qserve -data /tmp/lwfa -addr :8080
 //	qserve -data beam=/tmp/lwfa -data run2=/data/run2
+//	qserve -data /tmp/lwfa -admin-addr :9090 -workers host1:7070,host2:7070
 //
 // Endpoints:
 //
@@ -17,9 +18,19 @@
 //	GET /v1/query?q=...&step=T&backend=B      selection summary
 //	GET /v1/hist1d?var=V&bins=N&q=...         conditional 1D histogram
 //	GET /v1/hist2d?x=X&y=Y&xbins=N&ybins=M    conditional 2D histogram
-//	GET /v1/stats                             cache/admission counters
+//	GET /v1/sweep2d?x=X&y=Y&steps=A-B&q=...   per-step histogram sweep
+//	GET /v1/stats                             counters, build info, metrics
+//	GET /metrics                              Prometheus text exposition
+//	GET /v1/debug/slow                        recent over-threshold requests
 //	GET /healthz                              liveness (always 200 while up)
 //	GET /readyz                               readiness (503 once draining)
+//
+// Every request carries an X-Trace-Id header; add ?debug=trace to have
+// the per-stage span tree echoed in the response body.
+//
+// With -admin-addr a second listener serves the operational surface only:
+// /metrics, /v1/debug/slow, and net/http/pprof under /debug/pprof/ —
+// keeping profilers and scrapers off the query port.
 //
 // On SIGTERM/SIGINT the server flips /readyz to 503, drains in-flight
 // requests (deadline covering -exec-timeout), and exits 0.
@@ -29,9 +40,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -39,6 +50,8 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -53,35 +66,48 @@ func (d *dataFlags) Set(v string) error {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("qserve: ")
+	logger := obs.NewLogger(os.Stderr, "qserve")
+	fatal := func(msg string, kv ...any) {
+		logger.Error(msg, kv...)
+		os.Exit(1)
+	}
 
 	var datas dataFlags
 	flag.Var(&datas, "data", "dataset to serve, as dir or name=dir (repeatable)")
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:0 picks a free port)")
+		adminAddr    = flag.String("admin-addr", "", "admin listener for /metrics, pprof and /v1/debug/slow (off when empty)")
 		cacheEntries = flag.Int("cache-entries", 256, "result cache size in entries (0 disables storage)")
 		concurrency  = flag.Int("concurrency", 8, "max requests doing backend work at once")
 		queueDepth   = flag.Int("queue", -1, "admission queue depth (-1 = 2x concurrency, 0 = no queue)")
 		queueWait    = flag.Duration("queue-timeout", 2*time.Second, "max time a request waits for admission")
 		execTimeout  = flag.Duration("exec-timeout", 30*time.Second, "per-request execution deadline, answered 504 (0 = no deadline)")
+		slowThresh   = flag.Duration("slow-threshold", 250*time.Millisecond, "latency beyond which a request enters the slow-query log (0 = off)")
+		workers      = flag.String("workers", "", "comma-separated cluster worker addresses for /v1/sweep2d")
+		obsEnabled   = flag.Bool("obs", true, "enable tracing and latency histograms (counters stay on)")
 	)
 	flag.Parse()
 	if len(datas) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	obs.SetEnabled(*obsEnabled)
 
 	cfg := serve.Config{
-		CacheEntries: *cacheEntries,
-		Concurrency:  *concurrency,
-		QueueTimeout: *queueWait,
-		ExecTimeout:  *execTimeout,
+		CacheEntries:  *cacheEntries,
+		Concurrency:   *concurrency,
+		QueueTimeout:  *queueWait,
+		ExecTimeout:   *execTimeout,
+		SlowThreshold: *slowThresh,
+		Logger:        logger.With("serve"),
 	}
 	// Flag semantics: 0 disables the deadline; Config expresses that as a
 	// negative value (its own zero means "use the default").
 	if *execTimeout <= 0 {
 		cfg.ExecTimeout = -1
+	}
+	if *slowThresh <= 0 {
+		cfg.SlowThreshold = -1
 	}
 	// Flag semantics differ from Config zero-value semantics: translate
 	// "0 = off" into Config's "negative = off".
@@ -104,18 +130,50 @@ func main() {
 			name = filepath.Base(filepath.Clean(dir))
 		}
 		if err := s.AddDataset(name, dir); err != nil {
-			log.Fatal(err)
+			fatal("add dataset", "name", name, "dir", dir, "err", err)
 		}
-		log.Printf("serving dataset %q from %s", name, dir)
+		logger.Info("serving dataset", "name", name, "dir", dir)
+	}
+	if *workers != "" {
+		addrs := strings.Split(*workers, ",")
+		if err := s.SetWorkers(addrs, cluster.DefaultPoolConfig()); err != nil {
+			fatal("connect workers", "workers", *workers, "err", err)
+		}
+		logger.Info("sweep workers connected", "count", len(addrs))
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal("listen", "addr", *addr, "err", err)
 	}
 	// The actual address matters with port 0; print it where scripts and
 	// tests can parse it.
 	fmt.Printf("qserve: listening on %s\n", ln.Addr())
+
+	// The admin surface gets its own mux (and listener): pprof handlers
+	// must never be reachable from the query port, and a scrape storm on
+	// /metrics must not compete with queries for the accept queue.
+	if *adminAddr != "" {
+		adm := http.NewServeMux()
+		adm.Handle("/metrics", obs.Handler(s.Registry(), obs.Default()))
+		adm.Handle("/v1/debug/slow", s.SlowLog().Handler())
+		adm.HandleFunc("/debug/pprof/", pprof.Index)
+		adm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		adm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		adm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		adm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		aln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fatal("admin listen", "addr", *adminAddr, "err", err)
+		}
+		fmt.Printf("qserve: admin on %s\n", aln.Addr())
+		go func() {
+			asrv := &http.Server{Handler: adm, ReadHeaderTimeout: 10 * time.Second}
+			if err := asrv.Serve(aln); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+	}
 
 	// Slow-client protection: a reader that trickles its request header or
 	// never drains its response must not pin a connection (and its handler)
@@ -139,13 +197,13 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		fatal("server exited", "err", err)
 	case <-sig:
 		// Graceful drain: flip /readyz to 503 so load balancers stop
 		// routing here, then let in-flight requests finish. The drain
 		// deadline must exceed the execution deadline so no request is
 		// killed by shutdown that would have completed within its budget.
-		log.Printf("draining")
+		logger.Info("draining")
 		s.SetDraining(true)
 		drain := 10 * time.Second
 		if cfg.ExecTimeout > 0 && cfg.ExecTimeout+5*time.Second > drain {
@@ -154,8 +212,8 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
-		log.Printf("drained, exiting")
+		logger.Info("drained, exiting")
 	}
 }

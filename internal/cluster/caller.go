@@ -7,11 +7,13 @@ import (
 	"math/rand"
 	"net/rpc"
 	"reflect"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fastquery"
+	"repro/internal/obs"
 )
 
 // This file implements Caller, a resilient wrapper around rpc.Client. A
@@ -44,9 +46,10 @@ type CallStats struct {
 
 // Caller is a resilient RPC client for one worker address.
 type Caller struct {
-	addr string
-	cfg  CallerConfig
-	rng  *lockedRand
+	addr       string
+	cfg        CallerConfig
+	rng        *lockedRand
+	rpcSeconds *obs.Histogram // per-worker attempt latency
 
 	mu        sync.Mutex
 	client    *rpc.Client
@@ -63,7 +66,7 @@ func NewCaller(addr string, cfg CallerConfig) *Caller {
 }
 
 func newCaller(addr string, cfg CallerConfig, rng *lockedRand) *Caller {
-	c := &Caller{addr: addr, cfg: cfg, rng: rng}
+	c := &Caller{addr: addr, cfg: cfg, rng: rng, rpcSeconds: rpcSecondsFor(addr)}
 	c.healthy.Store(true)
 	return c
 }
@@ -75,8 +78,17 @@ func (c *Caller) Addr() string { return c.addr }
 func (c *Caller) Healthy() bool { return c.healthy.Load() }
 
 // SetHealthy records the worker's health, e.g. after a failed call or a
-// successful probe.
-func (c *Caller) SetHealthy(v bool) { c.healthy.Store(v) }
+// successful probe. Health transitions move the process-wide
+// cluster_unhealthy_workers gauge.
+func (c *Caller) SetHealthy(v bool) {
+	if old := c.healthy.Swap(v); old != v {
+		if v {
+			metricUnhealthy.Add(-1)
+		} else {
+			metricUnhealthy.Add(1)
+		}
+	}
+}
 
 // Connect dials eagerly, verifying the worker is reachable.
 func (c *Caller) Connect() error {
@@ -126,7 +138,21 @@ func (c *Caller) CallWithStatsCtx(ctx context.Context, method string, args, repl
 			return cs, err
 		}
 		cs.Attempts++
+		// Each attempt is a sibling span under the caller's current span,
+		// so retries show up side by side in the originating trace.
+		_, asp := obs.StartSpan(ctx, "rpc-attempt")
+		if asp != nil {
+			asp.SetAttr("method", method)
+			asp.SetAttr("worker", c.addr)
+			asp.SetAttr("attempt", strconv.Itoa(attempt+1))
+		}
+		start := time.Now()
 		err := c.callOnce(ctx, method, args, reply, c.cfg.Timeout, &cs)
+		c.rpcSeconds.ObserveSince(start)
+		if err != nil {
+			asp.SetAttr("error", err.Error())
+		}
+		asp.End()
 		if err == nil {
 			return cs, nil
 		}

@@ -1,0 +1,35 @@
+package cluster
+
+import (
+	"repro/internal/obs"
+)
+
+// Package-level instruments for the RPC execution mode, registered in the
+// process-wide registry. The pool's own PoolStats counters remain the
+// per-pool view; these series aggregate across every pool and caller in
+// the process, which is what a scrape wants.
+var (
+	metricRPCCalls = obs.Default().Counter("cluster_rpc_calls_total",
+		"RPC attempts made to workers, including retries and failovers.")
+	metricRetries = obs.Default().Counter("cluster_retries_total",
+		"RPC attempts beyond the first against one worker.")
+	metricTimeouts = obs.Default().Counter("cluster_timeouts_total",
+		"RPC attempts abandoned on the per-attempt deadline.")
+	metricReconnects = obs.Default().Counter("cluster_reconnects_total",
+		"Re-dials of previously working worker connections.")
+	metricFailovers = obs.Default().Counter("cluster_failovers_total",
+		"Sweep steps moved to another worker after their home worker failed.")
+	metricProbes = obs.Default().Counter("cluster_probes_total",
+		"Health pings sent to unhealthy workers.")
+	metricRecoveries = obs.Default().Counter("cluster_recoveries_total",
+		"Workers probed back to health.")
+	metricUnhealthy = obs.Default().Gauge("cluster_unhealthy_workers",
+		"Workers currently marked unhealthy, across every pool.")
+)
+
+// rpcSecondsFor returns the per-worker RPC latency histogram. Callers
+// cache the result; registration is idempotent.
+func rpcSecondsFor(addr string) *obs.Histogram {
+	return obs.Default().Histogram("cluster_rpc_seconds",
+		"Wall time of one RPC attempt to a worker.", nil, obs.L("worker", addr))
+}

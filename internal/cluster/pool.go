@@ -3,12 +3,14 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/fastquery"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 )
 
 // This file implements the client side of the RPC execution mode: a pool
@@ -227,9 +229,11 @@ func (p *Pool) probeLoop() {
 					continue
 				}
 				p.ctr.probes.Add(1)
+				metricProbes.Inc()
 				if err := c.Probe(); err == nil {
 					c.SetHealthy(true)
 					p.ctr.recoveries.Add(1)
+					metricRecoveries.Inc()
 				}
 			}
 		}
@@ -268,8 +272,13 @@ func (p *Pool) candidates(primary int) []*Caller {
 
 // callStep runs one step's RPC with failover across candidate workers. A
 // done ctx stops the failover walk early: trying further workers for a
-// result nobody wants is pure waste.
-func (p *Pool) callStep(ctx context.Context, i int, do func(c *Caller) (CallStats, error)) error {
+// result nobody wants is pure waste. Each candidate worker gets its own
+// "rpc-worker" span under the step's span, so failovers appear as
+// siblings in the originating trace.
+func (p *Pool) callStep(ctx context.Context, i, step int, do func(ctx context.Context, c *Caller) (CallStats, error)) error {
+	ctx, ssp := obs.StartSpan(ctx, "sweep-step")
+	ssp.SetAttr("step", strconv.Itoa(step))
+	defer ssp.End()
 	var lastErr error
 	for k, c := range p.candidates(i % len(p.callers)) {
 		if err := ctx.Err(); err != nil {
@@ -278,14 +287,28 @@ func (p *Pool) callStep(ctx context.Context, i int, do func(c *Caller) (CallStat
 			}
 			return err
 		}
+		wctx, wsp := obs.StartSpan(ctx, "rpc-worker")
+		wsp.SetAttr("worker", c.Addr())
 		if k > 0 {
 			p.ctr.failovers.Add(1)
+			metricFailovers.Inc()
+			wsp.SetAttr("failover", "true")
 		}
-		cs, err := do(c)
+		cs, err := do(wctx, c)
 		p.ctr.calls.Add(int64(cs.Attempts))
 		p.ctr.retries.Add(int64(cs.Attempts - 1))
 		p.ctr.timeouts.Add(int64(cs.Timeouts))
 		p.ctr.reconnects.Add(int64(cs.Reconnects))
+		metricRPCCalls.Add(uint64(cs.Attempts))
+		if cs.Attempts > 1 {
+			metricRetries.Add(uint64(cs.Attempts - 1))
+		}
+		metricTimeouts.Add(uint64(cs.Timeouts))
+		metricReconnects.Add(uint64(cs.Reconnects))
+		if err != nil {
+			wsp.SetAttr("error", err.Error())
+		}
+		wsp.End()
 		if err == nil {
 			return nil
 		}
@@ -306,7 +329,7 @@ func (p *Pool) callStep(ctx context.Context, i int, do func(c *Caller) (CallStat
 
 // sweep runs do for every step concurrently and resolves errors per the
 // pool's PartialPolicy.
-func (p *Pool) sweep(ctx context.Context, steps []int, do func(c *Caller, i, step int) (CallStats, error)) error {
+func (p *Pool) sweep(ctx context.Context, steps []int, do func(ctx context.Context, c *Caller, i, step int) (CallStats, error)) error {
 	start := time.Now()
 	before := p.Stats()
 	errs := make([]error, len(steps))
@@ -315,8 +338,8 @@ func (p *Pool) sweep(ctx context.Context, steps []int, do func(c *Caller, i, ste
 		wg.Add(1)
 		go func(i, step int) {
 			defer wg.Done()
-			errs[i] = p.callStep(ctx, i, func(c *Caller) (CallStats, error) {
-				return do(c, i, step)
+			errs[i] = p.callStep(ctx, i, step, func(ctx context.Context, c *Caller) (CallStats, error) {
+				return do(ctx, c, i, step)
 			})
 		}(i, step)
 	}
@@ -365,11 +388,13 @@ func (p *Pool) HistogramSweep(steps []int, cond string, spec histogram.Spec2D, b
 // failovers across every step of the sweep.
 func (p *Pool) HistogramSweepCtx(ctx context.Context, steps []int, cond string, spec histogram.Spec2D, backend fastquery.Backend) ([]*histogram.Hist2D, error) {
 	out := make([]*histogram.Hist2D, len(steps))
-	err := p.sweep(ctx, steps, func(c *Caller, i, step int) (CallStats, error) {
+	err := p.sweep(ctx, steps, func(ctx context.Context, c *Caller, i, step int) (CallStats, error) {
 		var reply HistReply
 		cs, callErr := c.CallWithStatsCtx(ctx, "Worker.Histogram2D", &HistArgs{
 			Step: step, Cond: cond, Spec: spec, Backend: backend,
+			TraceID: obs.SpanFromContext(ctx).TraceID(),
 		}, &reply)
+		obs.SpanFromContext(ctx).AttachRemote(reply.Trace)
 		if callErr == nil {
 			out[i] = reply.Hist
 		}
@@ -395,11 +420,13 @@ func (p *Pool) SelectSweep(steps []int, q string, wantIDs bool, backend fastquer
 // HistogramSweepCtx.
 func (p *Pool) SelectSweepCtx(ctx context.Context, steps []int, q string, wantIDs bool, backend fastquery.Backend) ([]SelectReply, error) {
 	out := make([]SelectReply, len(steps))
-	err := p.sweep(ctx, steps, func(c *Caller, i, step int) (CallStats, error) {
+	err := p.sweep(ctx, steps, func(ctx context.Context, c *Caller, i, step int) (CallStats, error) {
 		var reply SelectReply
 		cs, callErr := c.CallWithStatsCtx(ctx, "Worker.Select", &SelectArgs{
 			Step: step, Query: q, WantIDs: wantIDs, Backend: backend,
+			TraceID: obs.SpanFromContext(ctx).TraceID(),
 		}, &reply)
+		obs.SpanFromContext(ctx).AttachRemote(reply.Trace)
 		if callErr == nil {
 			out[i] = reply
 		}
@@ -425,11 +452,13 @@ func (p *Pool) TrackSweep(steps []int, ids []int64, backend fastquery.Backend) (
 // HistogramSweepCtx.
 func (p *Pool) TrackSweepCtx(ctx context.Context, steps []int, ids []int64, backend fastquery.Backend) ([][]uint64, error) {
 	out := make([][]uint64, len(steps))
-	err := p.sweep(ctx, steps, func(c *Caller, i, step int) (CallStats, error) {
+	err := p.sweep(ctx, steps, func(ctx context.Context, c *Caller, i, step int) (CallStats, error) {
 		var reply FindReply
 		cs, callErr := c.CallWithStatsCtx(ctx, "Worker.FindIDs", &FindArgs{
 			Step: step, IDs: ids, Backend: backend,
+			TraceID: obs.SpanFromContext(ctx).TraceID(),
 		}, &reply)
+		obs.SpanFromContext(ctx).AttachRemote(reply.Trace)
 		if callErr == nil {
 			out[i] = reply.Positions
 		}

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/fastquery"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -73,22 +75,50 @@ func (w *Worker) Ping(args *PingArgs, reply *PingReply) error {
 	return nil
 }
 
+// workerTrace starts a worker-side trace for a propagated trace ID,
+// returning a context carrying its root span. With no trace ID (or obs
+// disabled) the context is plain and the trace nil; finishTrace on a nil
+// trace is a no-op, so handlers call both unconditionally.
+func workerTrace(id, rootName string) (context.Context, *obs.Trace) {
+	if id == "" {
+		return context.Background(), nil
+	}
+	tr := obs.NewTrace(id, rootName)
+	return obs.ContextWithSpan(context.Background(), tr.Root()), tr
+}
+
+// finishTrace closes the worker-side trace and stores its snapshot in the
+// reply slot for the client to attach to the originating request's trace.
+// gob omits nil pointer fields, so an untraced reply costs nothing extra
+// on the wire.
+func finishTrace(tr *obs.Trace, slot **obs.SpanData) {
+	if tr == nil {
+		return
+	}
+	tr.Root().End()
+	*slot = tr.Data()
+}
+
 // HistArgs requests a 2D histogram of one timestep.
 type HistArgs struct {
 	Step    int
 	Cond    string // empty for unconditional
 	Spec    histogram.Spec2D
 	Backend fastquery.Backend
+	TraceID string // originating request's trace ID; "" disables tracing
 }
 
 // HistReply carries the computed histogram and I/O accounting.
 type HistReply struct {
 	Hist      *histogram.Hist2D
 	BytesRead uint64
+	Trace     *obs.SpanData // worker-side span tree when TraceID was set
 }
 
 // Histogram2D computes a histogram for one timestep.
 func (w *Worker) Histogram2D(args *HistArgs, reply *HistReply) error {
+	ctx, tr := workerTrace(args.TraceID, "worker:hist2d")
+	defer finishTrace(tr, &reply.Trace)
 	src, err := w.source()
 	if err != nil {
 		return err
@@ -104,7 +134,7 @@ func (w *Worker) Histogram2D(args *HistArgs, reply *HistReply) error {
 			return fastquery.Fatal(err)
 		}
 	}
-	h, err := st.Histogram2D(cond, args.Spec, args.Backend)
+	h, err := st.Histogram2DCtx(ctx, cond, args.Spec, args.Backend)
 	if err != nil {
 		return err
 	}
@@ -118,16 +148,20 @@ type FindArgs struct {
 	Step    int
 	IDs     []int64
 	Backend fastquery.Backend
+	TraceID string // originating request's trace ID; "" disables tracing
 }
 
 // FindReply carries the matching record positions.
 type FindReply struct {
 	Positions []uint64
 	BytesRead uint64
+	Trace     *obs.SpanData // worker-side span tree when TraceID was set
 }
 
 // FindIDs locates a particle search set in one timestep.
 func (w *Worker) FindIDs(args *FindArgs, reply *FindReply) error {
+	ctx, tr := workerTrace(args.TraceID, "worker:find-ids")
+	defer finishTrace(tr, &reply.Trace)
 	src, err := w.source()
 	if err != nil {
 		return err
@@ -137,7 +171,7 @@ func (w *Worker) FindIDs(args *FindArgs, reply *FindReply) error {
 		return err
 	}
 	defer st.Close()
-	pos, err := st.FindIDs(args.IDs, args.Backend)
+	pos, err := st.FindIDsCtx(ctx, args.IDs, args.Backend)
 	if err != nil {
 		return err
 	}
@@ -152,6 +186,7 @@ type SelectArgs struct {
 	Query   string
 	WantIDs bool
 	Backend fastquery.Backend
+	TraceID string // originating request's trace ID; "" disables tracing
 }
 
 // SelectReply carries the matching positions and (optionally) identifiers.
@@ -159,10 +194,13 @@ type SelectReply struct {
 	Positions []uint64
 	IDs       []int64
 	BytesRead uint64
+	Trace     *obs.SpanData // worker-side span tree when TraceID was set
 }
 
 // Select evaluates a compound range query on one timestep.
 func (w *Worker) Select(args *SelectArgs, reply *SelectReply) error {
+	ctx, tr := workerTrace(args.TraceID, "worker:select")
+	defer finishTrace(tr, &reply.Trace)
 	src, err := w.source()
 	if err != nil {
 		return err
@@ -176,11 +214,11 @@ func (w *Worker) Select(args *SelectArgs, reply *SelectReply) error {
 	if err != nil {
 		return fastquery.Fatal(err)
 	}
-	if reply.Positions, err = st.Select(e, args.Backend); err != nil {
+	if reply.Positions, err = st.SelectCtx(ctx, e, args.Backend); err != nil {
 		return err
 	}
 	if args.WantIDs {
-		if reply.IDs, err = st.SelectIDs(e, args.Backend); err != nil {
+		if reply.IDs, err = st.SelectIDsCtx(ctx, e, args.Backend); err != nil {
 			return err
 		}
 	}

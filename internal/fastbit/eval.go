@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/bitmap"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -104,8 +107,31 @@ func (ev *Evaluator) Eval(e query.Expr) (*bitmap.Vector, error) {
 
 // EvalCtx is Eval with cooperative cancellation: ctx is observed between
 // boolean terms and inside candidate-check loops, so a canceled query
-// stops within one checkpoint interval.
+// stops within one checkpoint interval. Each top-level evaluation records
+// one "bitmap-eval" span and feeds the fastbit_* instruments.
 func (ev *Evaluator) EvalCtx(ctx context.Context, e query.Expr) (*bitmap.Vector, error) {
+	ctx, sp := obs.StartSpan(ctx, "bitmap-eval")
+	start := time.Now()
+	checksBefore := ev.Stats.CandidateChecks
+	v, err := ev.evalCtx(ctx, e)
+	metricEvalSeconds.ObserveSince(start)
+	metricEvals.Inc()
+	metricEvalRows.Add(ev.N)
+	checks := ev.Stats.CandidateChecks - checksBefore
+	metricCandidateChecks.Add(checks)
+	if sp != nil {
+		sp.SetAttr("rows", strconv.FormatUint(ev.N, 10))
+		sp.SetAttr("candidate_checks", strconv.FormatUint(checks, 10))
+		if v != nil {
+			sp.SetAttr("hits", strconv.FormatUint(v.Count(), 10))
+		}
+		sp.End()
+	}
+	return v, err
+}
+
+// evalCtx is the recursive evaluation body behind EvalCtx.
+func (ev *Evaluator) evalCtx(ctx context.Context, e query.Expr) (*bitmap.Vector, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -119,7 +145,7 @@ func (ev *Evaluator) EvalCtx(ctx context.Context, e query.Expr) (*bitmap.Vector,
 	case *query.Or:
 		return ev.evalNary(ctx, t.Terms, func(a, b *bitmap.Vector) *bitmap.Vector { return a.Or(b) })
 	case *query.Not:
-		inner, err := ev.EvalCtx(ctx, t.Term)
+		inner, err := ev.evalCtx(ctx, t.Term)
 		if err != nil {
 			return nil, err
 		}
@@ -138,7 +164,7 @@ func (ev *Evaluator) evalAnd(ctx context.Context, terms []query.Expr) (*bitmap.V
 	}
 	var acc *bitmap.Vector
 	for _, t := range terms {
-		v, err := ev.EvalCtx(ctx, t)
+		v, err := ev.evalCtx(ctx, t)
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +186,7 @@ func (ev *Evaluator) evalAnd(ctx context.Context, terms []query.Expr) (*bitmap.V
 func (ev *Evaluator) evalNary(ctx context.Context, terms []query.Expr, combine func(a, b *bitmap.Vector) *bitmap.Vector) (*bitmap.Vector, error) {
 	var acc *bitmap.Vector
 	for _, t := range terms {
-		v, err := ev.EvalCtx(ctx, t)
+		v, err := ev.evalCtx(ctx, t)
 		if err != nil {
 			return nil, err
 		}
@@ -177,7 +203,10 @@ func (ev *Evaluator) evalNary(ctx context.Context, terms []query.Expr, combine f
 }
 
 func (ev *Evaluator) evalCompare(ctx context.Context, c *query.Compare) (*bitmap.Vector, error) {
+	_, lsp := obs.StartSpan(ctx, "index-load")
+	lsp.SetAttr("var", c.Var)
 	ix, err := ev.index(c.Var)
+	lsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -192,7 +221,13 @@ func (ev *Evaluator) evalCompare(ctx context.Context, c *query.Compare) (*bitmap
 	if !ok {
 		return nil, fmt.Errorf("fastbit: cannot evaluate operator %v", c.Op)
 	}
-	v, st, err := ix.EvaluateCtx(ctx, iv, ev.rawFor(c.Var))
+	cctx, csp := obs.StartSpan(ctx, "candidate-check")
+	csp.SetAttr("var", c.Var)
+	v, st, err := ix.EvaluateCtx(cctx, iv, ev.rawFor(c.Var))
+	if csp != nil {
+		csp.SetAttr("checks", strconv.FormatUint(st.CandidateChecks, 10))
+		csp.End()
+	}
 	ev.accumulate(st)
 	return v, err
 }

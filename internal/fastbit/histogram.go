@@ -3,9 +3,11 @@ package fastbit
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"repro/internal/bitmap"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/scan"
 )
@@ -36,27 +38,39 @@ func (ev *Evaluator) Histogram2DCtx(ctx context.Context, cond query.Expr, spec h
 	}
 	var xs, ys []float64
 	if cond == nil {
+		_, gsp := obs.StartSpan(ctx, "gather-values")
 		var err error
 		if xs, err = ev.Raw.Column(spec.XVar); err != nil {
+			gsp.End()
 			return nil, err
 		}
 		if ys, err = ev.Raw.Column(spec.YVar); err != nil {
+			gsp.End()
 			return nil, err
 		}
+		gsp.End()
 	} else {
 		hits, err := ev.EvalCtx(ctx, cond)
 		if err != nil {
 			return nil, err
 		}
+		_, gsp := obs.StartSpan(ctx, "gather-values")
 		positions := hits.Positions()
+		gsp.SetAttr("hits", strconv.Itoa(len(positions)))
 		if xs, err = ev.Raw.ValuesAt(spec.XVar, positions); err != nil {
+			gsp.End()
 			return nil, err
 		}
 		if ys, err = ev.Raw.ValuesAt(spec.YVar, positions); err != nil {
+			gsp.End()
 			return nil, err
 		}
+		gsp.End()
 	}
-	return binPairs(ctx, xs, ys, spec, ev)
+	bctx, bsp := obs.StartSpan(ctx, "histogram-binning")
+	h, err := binPairs(bctx, xs, ys, spec, ev)
+	bsp.End()
+	return h, err
 }
 
 // indexOrNil resolves an index, returning nil when unavailable; used
@@ -103,9 +117,12 @@ func (ev *Evaluator) Histogram1DCtx(ctx context.Context, cond query.Expr, spec h
 		if err != nil {
 			return nil, err
 		}
+		_, gsp := obs.StartSpan(ctx, "gather-values")
 		if vs, err = ev.Raw.ValuesAt(spec.Var, hits.Positions()); err != nil {
+			gsp.End()
 			return nil, err
 		}
+		gsp.End()
 	}
 	lo, hi := spec.Lo, spec.Hi
 	if !spec.HasRange() {
@@ -121,7 +138,10 @@ func (ev *Evaluator) Histogram1DCtx(ctx context.Context, cond query.Expr, spec h
 	} else {
 		edges = histogram.UniformEdges(lo, hi, spec.Bins)
 	}
-	return histogram.Compute1DCtx(ctx, spec.Var, vs, edges)
+	bctx, bsp := obs.StartSpan(ctx, "histogram-binning")
+	h, err := histogram.Compute1DCtx(bctx, spec.Var, vs, edges)
+	bsp.End()
+	return h, err
 }
 
 // Histogram1DFromBitmaps computes a conditional 1D histogram entirely in

@@ -6,6 +6,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 )
 
 // LazyStep is an index file opened for on-demand section loading: the
@@ -97,6 +98,7 @@ func (ls *LazyStep) Column(name string) (*Index, error) {
 	if !ok {
 		return nil, fmt.Errorf("fastbit: no index for variable %q in %s", name, ls.path)
 	}
+	start := time.Now()
 	blob, err := ls.readSection(sec)
 	if err != nil {
 		return nil, err
@@ -105,6 +107,8 @@ func (ls *LazyStep) Column(name string) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	metricIndexLoads.Inc()
+	metricIndexLoadSeconds.ObserveSince(start)
 	ls.cols[name] = ix
 	return ix, nil
 }
@@ -119,6 +123,7 @@ func (ls *LazyStep) IDIndex() (*IDIndex, error) {
 	if !ls.dir.hasID {
 		return nil, fmt.Errorf("fastbit: %s has no identifier index", ls.path)
 	}
+	start := time.Now()
 	blob, err := ls.readSection(ls.dir.idSec)
 	if err != nil {
 		return nil, err
@@ -127,6 +132,8 @@ func (ls *LazyStep) IDIndex() (*IDIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	metricIndexLoads.Inc()
+	metricIndexLoadSeconds.ObserveSince(start)
 	ls.idIdx = id
 	return id, nil
 }

@@ -28,12 +28,14 @@ import (
 	"log"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/colstore"
 	"repro/internal/fastbit"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/scan"
 )
@@ -248,8 +250,11 @@ func (st *Step) evaluator() (*fastbit.Evaluator, error) {
 }
 
 // loadScanColumns reads the columns needed to scan-evaluate e plus any
-// extra variables.
-func (st *Step) loadScanColumns(e query.Expr, extra ...string) (scan.Columns, error) {
+// extra variables, recording the read as a "read-columns" span on the
+// active trace.
+func (st *Step) loadScanColumns(ctx context.Context, e query.Expr, extra ...string) (scan.Columns, error) {
+	_, sp := obs.StartSpan(ctx, "read-columns")
+	defer sp.End()
 	need := map[string]bool{}
 	if e != nil {
 		for _, v := range query.Vars(e) {
@@ -259,8 +264,14 @@ func (st *Step) loadScanColumns(e query.Expr, extra ...string) (scan.Columns, er
 	for _, v := range extra {
 		need[v] = true
 	}
-	cols := scan.Columns{}
+	names := make([]string, 0, len(need))
 	for v := range need {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	sp.SetAttr("columns", strings.Join(names, ","))
+	cols := scan.Columns{}
+	for _, v := range names {
 		col, err := st.file.ReadAsFloat64(v)
 		if err != nil {
 			return nil, err
@@ -287,7 +298,7 @@ func (st *Step) SelectCtx(ctx context.Context, e query.Expr, b Backend) ([]uint6
 		}
 		return ev.SelectCtx(ctx, e)
 	case Scan:
-		cols, err := st.loadScanColumns(e)
+		cols, err := st.loadScanColumns(ctx, e)
 		if err != nil {
 			return nil, err
 		}
@@ -377,7 +388,7 @@ func (st *Step) Histogram2DCtx(ctx context.Context, cond query.Expr, spec histog
 		}
 		return ev.Histogram2DCtx(ctx, cond, spec)
 	case Scan:
-		cols, err := st.loadScanColumns(cond, spec.XVar, spec.YVar)
+		cols, err := st.loadScanColumns(ctx, cond, spec.XVar, spec.YVar)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +413,7 @@ func (st *Step) Histogram1DCtx(ctx context.Context, cond query.Expr, spec histog
 		}
 		return ev.Histogram1DCtx(ctx, cond, spec)
 	case Scan:
-		cols, err := st.loadScanColumns(cond, spec.Var)
+		cols, err := st.loadScanColumns(ctx, cond, spec.Var)
 		if err != nil {
 			return nil, err
 		}
@@ -423,7 +434,7 @@ func (st *Step) Histogram2DParallel(cond query.Expr, spec histogram.Spec2D, work
 // Histogram2DParallelCtx is Histogram2DParallel with cooperative
 // cancellation: every shard worker observes ctx independently.
 func (st *Step) Histogram2DParallelCtx(ctx context.Context, cond query.Expr, spec histogram.Spec2D, workers int) (*histogram.Hist2D, error) {
-	cols, err := st.loadScanColumns(cond, spec.XVar, spec.YVar)
+	cols, err := st.loadScanColumns(ctx, cond, spec.XVar, spec.YVar)
 	if err != nil {
 		return nil, err
 	}

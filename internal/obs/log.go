@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Logger emits structured JSON-lines log records, one object per line:
+//
+//	{"ts":"2008-11-15T12:00:00Z","level":"info","component":"qserve","msg":"listening","addr":":8080"}
+//
+// It replaces the scattered log.Printf calls in cmd/qserve and
+// internal/serve so operational output is machine-parseable. A nil
+// *Logger discards everything, letting library code log unconditionally.
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	component string
+}
+
+// NewLogger creates a logger writing to w, tagging each record with the
+// component name.
+func NewLogger(w io.Writer, component string) *Logger {
+	return &Logger{w: w, component: component}
+}
+
+// With returns a logger sharing the same writer under a new component
+// name, so subsystems tag their own records.
+func (l *Logger) With(component string) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{w: l.w, component: component}
+}
+
+// Info emits one record at level "info". kv is alternating key, value
+// pairs; values are rendered with %v unless already a string, number, or
+// bool (which JSON-encode natively).
+func (l *Logger) Info(msg string, kv ...any) { l.emit("info", msg, kv) }
+
+// Error emits one record at level "error".
+func (l *Logger) Error(msg string, kv ...any) { l.emit("error", msg, kv) }
+
+func (l *Logger) emit(level, msg string, kv []any) {
+	if l == nil {
+		return
+	}
+	rec := make(map[string]any, 4+len(kv)/2)
+	rec["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	rec["level"] = level
+	rec["component"] = l.component
+	rec["msg"] = msg
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			key = fmt.Sprintf("%v", kv[i])
+		}
+		switch v := kv[i+1].(type) {
+		case string, bool, int, int64, uint64, float64, float32, nil, json.Marshaler:
+			rec[key] = v
+		case error:
+			rec[key] = v.Error()
+		case time.Duration:
+			rec[key] = v.String()
+		default:
+			rec[key] = fmt.Sprintf("%v", v)
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		// A value that defeats json.Marshal should not silence the record.
+		line = []byte(fmt.Sprintf(`{"ts":%q,"level":%q,"component":%q,"msg":%q,"log_error":%q}`,
+			rec["ts"], level, l.component, msg, err.Error()))
+	}
+	l.mu.Lock()
+	l.w.Write(append(line, '\n'))
+	l.mu.Unlock()
+}

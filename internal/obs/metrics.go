@@ -1,0 +1,521 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/histogram"
+)
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The value is a float64
+// stored as bits in one atomic word.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds delta to the gauge (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket latency histogram. Bucket location eats our
+// own dog food: the bin for each observation is found by an
+// internal/histogram Locator over the bucket boundaries, exactly the
+// machinery that bins the physics data.
+type Histogram struct {
+	loc     *histogram.Locator
+	upper   []float64 // bucket upper bounds, ascending
+	bins    []atomic.Uint64
+	over    atomic.Uint64 // observations beyond the last bound (+Inf bucket)
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefLatencyBuckets is the default latency bucket boundary set, in
+// seconds: roughly exponential from 0.5ms to 10s, chosen so interactive
+// drill-down latencies (the paper's sub-second budget) land mid-range.
+var DefLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newHistogram(upper []float64) *Histogram {
+	if len(upper) == 0 {
+		upper = DefLatencyBuckets
+	}
+	edges := make([]float64, 0, len(upper)+1)
+	edges = append(edges, 0)
+	edges = append(edges, upper...)
+	loc, err := histogram.NewLocator(edges)
+	if err != nil {
+		panic(fmt.Sprintf("obs: bad histogram buckets %v: %v", upper, err))
+	}
+	return &Histogram{
+		loc:   loc,
+		upper: append([]float64(nil), upper...),
+		bins:  make([]atomic.Uint64, len(upper)),
+	}
+}
+
+// Observe records one value (typically seconds). No-op while obs is
+// disabled, so a no-op-obs run pays one atomic load here.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if i := h.loc.Bin(v); i >= 0 {
+		h.bins[i].Add(1)
+	} else {
+		h.over.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// ObserveSince records the elapsed time since start, in seconds.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Buckets returns the upper bounds and cumulative counts (Prometheus
+// "le" semantics, excluding +Inf).
+func (h *Histogram) Buckets() (upper []float64, cumulative []uint64) {
+	upper = append([]float64(nil), h.upper...)
+	cumulative = make([]uint64, len(h.bins))
+	var acc uint64
+	for i := range h.bins {
+		acc += h.bins[i].Load()
+		cumulative[i] = acc
+	}
+	return upper, cumulative
+}
+
+// Quantile returns an estimate of the q-quantile (0..1) from the bucket
+// counts, by linear interpolation within the containing bucket.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var acc uint64
+	lo := 0.0
+	for i := range h.bins {
+		n := h.bins[i].Load()
+		if float64(acc)+float64(n) >= rank && n > 0 {
+			frac := (rank - float64(acc)) / float64(n)
+			return lo + frac*(h.upper[i]-lo)
+		}
+		acc += n
+		lo = h.upper[i]
+	}
+	return lo
+}
+
+// Metric is the JSON-friendly snapshot of one metric series.
+type Metric struct {
+	Name    string            `json:"name"`
+	Type    string            `json:"type"` // counter | gauge | histogram
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   float64           `json:"value,omitempty"`
+	Sum     float64           `json:"sum,omitempty"`
+	Count   uint64            `json:"count,omitempty"`
+	Buckets []Bucket          `json:"buckets,omitempty"`
+}
+
+// Bucket is one cumulative histogram bucket in a Metric snapshot. Bounds
+// are finite (the implicit +Inf bucket equals the series count).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// series is one registered metric with a concrete label set.
+type series struct {
+	labels    []Label
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    string
+	series map[string]*series
+	order  []string
+}
+
+// Registry holds named metrics and renders them as Prometheus text
+// exposition or JSON. Registration is idempotent: asking for an existing
+// name+labels returns the existing instrument, so package-level
+// instruments and repeated Server construction in tests coexist.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry used by package-level
+// instruments (fastbit, scan, cluster).
+func Default() *Registry { return defaultRegistry }
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "\x1f" + l.Value
+	}
+	return strings.Join(parts, "\x1e")
+}
+
+func sortLabels(labels []Label) []Label {
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// register resolves (or creates) the series for name+labels, checking
+// type consistency.
+func (r *Registry) register(name, help, typ string, labels []Label) *series {
+	labels = sortLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: map[string]*series{}}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	key := labelKey(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: labels}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter registers (or returns) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, "counter", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.counter == nil && s.counterFn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at export
+// time; fn must be monotonic. Re-registering replaces fn (last wins), so
+// a fresh Server in tests rebinds the callback.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	s := r.register(name, help, "counter", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.counter = nil
+	s.counterFn = fn
+}
+
+// Gauge registers (or returns) a settable gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, "gauge", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.gauge == nil && s.gaugeFn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge read from fn at export time. Re-registering
+// replaces fn (last wins).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, "gauge", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.gauge = nil
+	s.gaugeFn = fn
+}
+
+// Histogram registers (or returns) a histogram with the given bucket
+// upper bounds (nil means DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, "histogram", labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s.hist == nil {
+		s.hist = newHistogram(buckets)
+	}
+	return s.hist
+}
+
+// exportSeries is an immutable view of one series captured under the
+// registry lock, with value callbacks already resolved to instruments or
+// functions safe to call outside it.
+type exportSeries struct {
+	labels    []Label
+	counter   *Counter
+	counterFn func() uint64
+	gauge     *Gauge
+	gaugeFn   func() float64
+	hist      *Histogram
+}
+
+type exportFamily struct {
+	name, help, typ string
+	series          []exportSeries
+}
+
+// export captures families and series in registration order under one
+// lock acquisition, so scrapes never race concurrent registration.
+func (r *Registry) export() []exportFamily {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]exportFamily, 0, len(r.order))
+	for _, name := range r.order {
+		f := r.families[name]
+		ef := exportFamily{name: f.name, help: f.help, typ: f.typ}
+		for _, key := range f.order {
+			s := f.series[key]
+			ef.series = append(ef.series, exportSeries{
+				labels:    s.labels,
+				counter:   s.counter,
+				counterFn: s.counterFn,
+				gauge:     s.gauge,
+				gaugeFn:   s.gaugeFn,
+				hist:      s.hist,
+			})
+		}
+		out = append(out, ef)
+	}
+	return out
+}
+
+func promLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		v := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(l.Value)
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, v)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// WritePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) {
+	for _, f := range r.export() {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch f.typ {
+			case "counter":
+				v := s.counter.Load()
+				if s.counterFn != nil {
+					v = s.counterFn()
+				}
+				fmt.Fprintf(w, "%s%s %d\n", f.name, promLabels(s.labels), v)
+			case "gauge":
+				v := s.gauge.Load()
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				}
+				fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels), promFloat(v))
+			case "histogram":
+				upper, cum := s.hist.Buckets()
+				for i, ub := range upper {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						promLabels(s.labels, L("le", promFloat(ub))), cum[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					promLabels(s.labels, L("le", "+Inf")), s.hist.Count())
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(s.labels), promFloat(s.hist.Sum()))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), s.hist.Count())
+			}
+		}
+	}
+}
+
+// Snapshot returns a JSON-friendly view of every metric series. Histogram
+// +Inf buckets are represented by the total count; bucket LE bounds are
+// finite.
+func (r *Registry) Snapshot() []Metric {
+	var out []Metric
+	for _, f := range r.export() {
+		for _, s := range f.series {
+			m := Metric{Name: f.name, Type: f.typ}
+			if len(s.labels) > 0 {
+				m.Labels = map[string]string{}
+				for _, l := range s.labels {
+					m.Labels[l.Key] = l.Value
+				}
+			}
+			switch f.typ {
+			case "counter":
+				v := s.counter.Load()
+				if s.counterFn != nil {
+					v = s.counterFn()
+				}
+				m.Value = float64(v)
+			case "gauge":
+				v := s.gauge.Load()
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				}
+				m.Value = v
+			case "histogram":
+				upper, cum := s.hist.Buckets()
+				m.Sum = s.hist.Sum()
+				m.Count = s.hist.Count()
+				m.Buckets = make([]Bucket, len(upper))
+				for i := range upper {
+					m.Buckets[i] = Bucket{LE: upper[i], Count: cum[i]}
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Handler serves the given registries concatenated in Prometheus text
+// format — typically the server's own registry plus Default() for the
+// package-level backend instruments.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, reg := range regs {
+			reg.WritePrometheus(w)
+		}
+	})
+}
+
+// SnapshotAll merges the JSON snapshots of several registries.
+func SnapshotAll(regs ...*Registry) []Metric {
+	var out []Metric
+	for _, reg := range regs {
+		out = append(out, reg.Snapshot()...)
+	}
+	return out
+}

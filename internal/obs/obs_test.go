@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Load(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Idempotent registration returns the same instrument.
+	if again := r.Counter("test_total", "a counter"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	g := r.Gauge("test_gauge", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Load(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+	// Nil instruments are safe no-ops.
+	var nc *Counter
+	nc.Inc()
+	var ng *Gauge
+	ng.Set(1)
+}
+
+func TestCounterLabelsSeparateSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("req_total", "requests", L("code", "200"))
+	b := r.Counter("req_total", "requests", L("code", "500"))
+	if a == b {
+		t.Fatal("distinct label sets shared a series")
+	}
+	// Label order must not matter.
+	x := r.Counter("multi_total", "m", L("a", "1"), L("b", "2"))
+	y := r.Counter("multi_total", "m", L("b", "2"), L("a", "1"))
+	if x != y {
+		t.Fatal("label order created distinct series")
+	}
+}
+
+func TestRegisterTypeMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on type mismatch")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "latency", []float64{0.01, 0.1, 1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5) // third bucket
+	}
+	h.Observe(5) // +Inf
+	if got := h.Count(); got != 101 {
+		t.Fatalf("count = %d, want 101", got)
+	}
+	upper, cum := h.Buckets()
+	if len(upper) != 3 || cum[0] != 90 || cum[1] != 90 || cum[2] != 100 {
+		t.Fatalf("buckets = %v %v", upper, cum)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want within first bucket", p50)
+	}
+	wantSum := 90*0.005 + 10*0.5 + 5
+	if math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramDisabledSkipsObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("off_seconds", "x", nil)
+	SetEnabled(false)
+	defer SetEnabled(true)
+	h.Observe(1)
+	if h.Count() != 0 {
+		t.Fatal("observe recorded while disabled")
+	}
+}
+
+// promLineRE matches a Prometheus sample line: name{labels} value.
+var promLineRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.e+-]+|\+Inf|-Inf|NaN)$`)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fmt_total", "counter help", L("kind", "a")).Add(3)
+	r.Gauge("fmt_gauge", "gauge help").Set(1.25)
+	r.Histogram("fmt_seconds", "hist help", []float64{0.1, 1}).Observe(0.05)
+	r.CounterFunc("fmt_fn_total", "fn counter", func() uint64 { return 7 })
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	text := buf.String()
+
+	for _, want := range []string{
+		"# HELP fmt_total counter help",
+		"# TYPE fmt_total counter",
+		`fmt_total{kind="a"} 3`,
+		"fmt_gauge 1.25",
+		`fmt_seconds_bucket{le="0.1"} 1`,
+		`fmt_seconds_bucket{le="+Inf"} 1`,
+		"fmt_seconds_sum 0.05",
+		"fmt_seconds_count 1",
+		"fmt_fn_total 7",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in output:\n%s", want, text)
+		}
+	}
+	// Every non-comment line must match the sample-line grammar.
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLineRE.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "c", L("x", "y")).Add(2)
+	r.Histogram("snap_seconds", "h", []float64{1}).Observe(0.5)
+	ms := r.Snapshot()
+	if len(ms) != 2 {
+		t.Fatalf("snapshot len = %d, want 2", len(ms))
+	}
+	if ms[0].Name != "snap_total" || ms[0].Value != 2 || ms[0].Labels["x"] != "y" {
+		t.Fatalf("counter snapshot = %+v", ms[0])
+	}
+	if ms[1].Count != 1 || len(ms[1].Buckets) != 1 || ms[1].Buckets[0].Count != 1 {
+		t.Fatalf("histogram snapshot = %+v", ms[1])
+	}
+	if _, err := json.Marshal(ms); err != nil {
+		t.Fatalf("snapshot not JSON-marshalable: %v", err)
+	}
+}
+
+func TestHandlerConcatenatesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("ha_total", "a").Inc()
+	b.Counter("hb_total", "b").Inc()
+	rec := httptest.NewRecorder()
+	Handler(a, b).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "ha_total 1") || !strings.Contains(body, "hb_total 1") {
+		t.Fatalf("handler output missing series:\n%s", body)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				r.Counter("conc_total", "c", L("w", fmt.Sprint(i%3))).Inc()
+				r.Histogram("conc_seconds", "h", nil).Observe(0.001)
+				var buf bytes.Buffer
+				r.WritePrometheus(&buf)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("", "request")
+	if tr == nil {
+		t.Fatal("NewTrace returned nil while enabled")
+	}
+	if len(tr.ID) != 16 {
+		t.Fatalf("trace ID = %q, want 16 hex chars", tr.ID)
+	}
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	ctx, s1 := StartSpan(ctx, "stage-one")
+	_, s2 := StartSpan(ctx, "stage-two")
+	s2.SetAttr("rows", "100")
+	s2.End()
+	s1.End()
+	tr.Root().End()
+
+	d := tr.Data()
+	if d.Name != "request" || len(d.Children) != 1 {
+		t.Fatalf("root = %+v", d)
+	}
+	two := d.Find("stage-two")
+	if two == nil || two.Attrs["rows"] != "100" {
+		t.Fatalf("stage-two = %+v", two)
+	}
+	if d.Find("missing") != nil {
+		t.Fatal("Find invented a span")
+	}
+	var names []string
+	d.Walk(func(sd *SpanData) { names = append(names, sd.Name) })
+	if len(names) != 3 {
+		t.Fatalf("walk visited %v", names)
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if tr := NewTrace("", "x"); tr != nil {
+		t.Fatal("NewTrace should return nil while disabled")
+	}
+	// All nil-receiver paths must be safe.
+	var tr *Trace
+	_ = tr.Data()
+	tr.Root().End()
+	ctx, s := StartSpan(context.Background(), "orphan")
+	if s != nil {
+		t.Fatal("StartSpan with no parent should return nil span")
+	}
+	_ = ctx
+}
+
+func TestRemoteSpanAttachment(t *testing.T) {
+	// Simulate a worker-side trace crossing an RPC boundary.
+	wtr := NewTrace("abc123", "worker:hist2d")
+	_, ws := StartSpan(ContextWithSpan(context.Background(), wtr.Root()), "bitmap-eval")
+	ws.End()
+	wtr.Root().End()
+	wire := wtr.Data()
+
+	tr := NewTrace("abc123", "request")
+	ctx := ContextWithSpan(context.Background(), tr.Root())
+	_, rpc := StartSpan(ctx, "rpc-worker")
+	rpc.AttachRemote(wire)
+	rpc.End()
+
+	d := tr.Data()
+	worker := d.Find("worker:hist2d")
+	if worker == nil || !worker.Remote {
+		t.Fatalf("remote worker span missing or unmarked: %+v", worker)
+	}
+	if d.Find("bitmap-eval") == nil {
+		t.Fatal("nested remote child missing")
+	}
+}
+
+func TestCarrySpan(t *testing.T) {
+	tr := NewTrace("", "request")
+	src := ContextWithSpan(context.Background(), tr.Root())
+	dst := CarrySpan(context.Background(), src)
+	if SpanFromContext(dst) != tr.Root() {
+		t.Fatal("CarrySpan did not transplant the span")
+	}
+}
+
+func TestSlowLogRing(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 1; i <= 5; i++ {
+		l.Add(SlowEntry{TraceID: fmt.Sprint(i), DurationMS: float64(i)})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3", l.Len())
+	}
+	snap := l.Snapshot()
+	if snap[0].TraceID != "5" || snap[1].TraceID != "4" || snap[2].TraceID != "3" {
+		t.Fatalf("snapshot order = %+v", snap)
+	}
+	rec := httptest.NewRecorder()
+	l.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/debug/slow", nil))
+	var got []SlowEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("handler JSON: %v", err)
+	}
+	if len(got) != 3 || got[0].TraceID != "5" {
+		t.Fatalf("handler entries = %+v", got)
+	}
+}
+
+func TestLoggerJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	lg := NewLogger(&buf, "test")
+	lg.Info("hello", "addr", ":8080", "n", 3, "err", fmt.Errorf("boom"), "dur", 50*time.Millisecond)
+	lg.Error("bad")
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2", len(lines))
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if rec["level"] != "info" || rec["component"] != "test" || rec["msg"] != "hello" {
+		t.Fatalf("record = %v", rec)
+	}
+	if rec["addr"] != ":8080" || rec["err"] != "boom" || rec["dur"] != "50ms" {
+		t.Fatalf("kv fields = %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil || rec["level"] != "error" {
+		t.Fatalf("line 1: %v %v", err, rec)
+	}
+	// Nil logger discards without panicking.
+	var nl *Logger
+	nl.Info("ignored")
+	nl.With("x").Error("ignored")
+}
+
+func TestSpanDataGobRoundTrip(t *testing.T) {
+	// SpanData crosses net/rpc in gob form; ensure it round-trips JSON too.
+	d := &SpanData{Name: "root", DurationMS: 1.5, Children: []*SpanData{{Name: "child", Attrs: map[string]string{"k": "v"}}}}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back SpanData
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Children[0].Attrs["k"] != "v" {
+		t.Fatalf("round trip lost attrs: %+v", back)
+	}
+}

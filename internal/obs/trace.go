@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Trace is one request's tree of timed stages. A trace is created at the
+// request boundary (or on a worker from a propagated trace ID), carried
+// through the stack on the context, and snapshotted with Data for the
+// ?debug=trace response, the slow-query log, and cross-RPC attachment.
+type Trace struct {
+	ID   string
+	root *Span
+}
+
+// Span is one timed stage. All mutation is serialized on the owning
+// trace's lock; a nil *Span is a valid no-op receiver, which is what
+// keeps instrumented code free of "is tracing on?" conditionals.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	attrs    map[string]string
+	children []*Span
+	remote   []*SpanData
+}
+
+// SpanData is the serializable snapshot of a span subtree. It crosses
+// process boundaries (net/rpc gob and JSON), so durations are
+// self-contained rather than clock-relative.
+type SpanData struct {
+	Name       string            `json:"name"`
+	StartUnixN int64             `json:"start_unix_ns"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Remote     bool              `json:"remote,omitempty"`
+	Children   []*SpanData       `json:"children,omitempty"`
+}
+
+// traceMu guards span trees. One process-wide mutex is deliberate: span
+// operations are O(1) appends on request paths; a per-trace mutex would
+// add a word per span for no measurable win at serving rates.
+var traceMu sync.Mutex
+
+// NewTrace creates a trace with an open root span. id == "" generates a
+// fresh trace ID. Returns nil while obs is disabled; every method on a
+// nil trace or span is a no-op, so callers thread the result through
+// unconditionally.
+func NewTrace(id, rootName string) *Trace {
+	if !enabled.Load() {
+		return nil
+	}
+	if id == "" {
+		id = NewTraceID()
+	}
+	tr := &Trace{ID: id}
+	tr.root = &Span{tr: tr, name: rootName, start: time.Now()}
+	return tr
+}
+
+// Root returns the root span (nil for a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Data snapshots the whole span tree. Spans that have not ended yet
+// report their duration up to now, so an in-flight trace can be embedded
+// in a response body before the request fully completes.
+func (t *Trace) Data() *SpanData {
+	if t == nil {
+		return nil
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	return t.root.dataLocked(time.Now())
+}
+
+func (s *Span) dataLocked(now time.Time) *SpanData {
+	end := s.end
+	if end.IsZero() {
+		end = now
+	}
+	d := &SpanData{
+		Name:       s.name,
+		StartUnixN: s.start.UnixNano(),
+		DurationMS: float64(end.Sub(s.start)) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			d.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		d.Children = append(d.Children, c.dataLocked(now))
+	}
+	for _, rd := range s.remote {
+		rc := *rd
+		rc.Remote = true
+		d.Children = append(d.Children, &rc)
+	}
+	return d
+}
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns ctx carrying the span as the current parent.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// CarrySpan returns dst carrying src's current span. Used where work is
+// detached from its initiating request context (e.g. a coalesced cache
+// flight runs under its own cancellation) but its stages should still
+// attribute to the originating trace.
+func CarrySpan(dst, src context.Context) context.Context {
+	return ContextWithSpan(dst, SpanFromContext(src))
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// context carrying it. With no trace in flight (or obs disabled) it
+// returns (ctx, nil) and costs one context lookup.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || !enabled.Load() {
+		return ctx, nil
+	}
+	s := &Span{tr: parent.tr, name: name, start: time.Now()}
+	traceMu.Lock()
+	parent.children = append(parent.children, s)
+	traceMu.Unlock()
+	return ContextWithSpan(ctx, s), s
+}
+
+// End closes the span. Safe on nil and idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	traceMu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	traceMu.Unlock()
+}
+
+// SetAttr records a key/value annotation on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	traceMu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]string{}
+	}
+	s.attrs[key] = value
+	traceMu.Unlock()
+}
+
+// AttachRemote adds a serialized remote subtree (e.g. a worker-side trace
+// returned over RPC) as a child, marked Remote in snapshots.
+func (s *Span) AttachRemote(d *SpanData) {
+	if s == nil || d == nil {
+		return
+	}
+	traceMu.Lock()
+	s.remote = append(s.remote, d)
+	traceMu.Unlock()
+}
+
+// TraceID returns the owning trace's ID ("" on nil).
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.tr.ID
+}
+
+// Trace returns the owning trace (nil on nil span).
+func (s *Span) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// Duration returns the span's closed duration, or time since start while
+// still open.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	traceMu.Lock()
+	defer traceMu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// Find returns the first span data node with the given name in a
+// depth-first walk, or nil — a convenience for tests and tools reading
+// trace snapshots.
+func (d *SpanData) Find(name string) *SpanData {
+	if d == nil {
+		return nil
+	}
+	if d.Name == name {
+		return d
+	}
+	for _, c := range d.Children {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// Walk visits every node of the snapshot depth-first.
+func (d *SpanData) Walk(fn func(*SpanData)) {
+	if d == nil {
+		return
+	}
+	fn(d)
+	for _, c := range d.Children {
+		c.Walk(fn)
+	}
+}

@@ -1,0 +1,35 @@
+package scan
+
+import (
+	"repro/internal/obs"
+)
+
+// Package-level instruments for the sequential-scan baseline, registered
+// in the process-wide registry alongside the fastbit instruments so the
+// index-vs-scan comparison the paper makes is visible on one scrape.
+var (
+	metricScanRows = obs.Default().Counter("scan_rows_total",
+		"Records visited by sequential-scan operations.")
+	metricScans = obs.Default().Counter("scan_ops_total",
+		"Sequential-scan operations performed.")
+	metricScanSeconds = obs.Default().Histogram("scan_seconds",
+		"Wall time of one sequential-scan operation.", nil)
+)
+
+func init() {
+	// Zero-value gauge so the layer always exposes one of each instrument
+	// kind; set to the most recent operation's rows/sec.
+	obs.Default().Gauge("scan_last_rows_per_second",
+		"Throughput of the most recent sequential-scan operation.")
+}
+
+// observeScan records one completed scan pass over n rows taking sec
+// seconds.
+func observeScan(n int, sec float64) {
+	metricScans.Inc()
+	metricScanRows.Add(uint64(n))
+	metricScanSeconds.Observe(sec)
+	if sec > 0 {
+		obs.Default().Gauge("scan_last_rows_per_second", "").Set(float64(n) / sec)
+	}
+}

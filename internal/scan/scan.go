@@ -16,8 +16,11 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"time"
 
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -93,15 +96,20 @@ func SelectCtx(ctx context.Context, c Columns, e query.Expr) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx, sp := startScanSpan(ctx, "scan-select", n)
+	start := time.Now()
 	var out []uint64
 	for row := 0; row < n; row++ {
 		if err := checkpoint(ctx, row); err != nil {
+			sp.End()
 			return nil, err
 		}
 		if e.Eval(c.getter(row)) {
 			out = append(out, uint64(row))
 		}
 	}
+	observeScan(n, time.Since(start).Seconds())
+	sp.End()
 	return out, nil
 }
 
@@ -119,15 +127,20 @@ func CountCtx(ctx context.Context, c Columns, e query.Expr) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	ctx, sp := startScanSpan(ctx, "scan-count", n)
+	start := time.Now()
 	var cnt uint64
 	for row := 0; row < n; row++ {
 		if err := checkpoint(ctx, row); err != nil {
+			sp.End()
 			return 0, err
 		}
 		if e.Eval(c.getter(row)) {
 			cnt++
 		}
 	}
+	observeScan(n, time.Since(start).Seconds())
+	sp.End()
 	return cnt, nil
 }
 
@@ -171,6 +184,8 @@ func ConditionalHistogram2DCtx(ctx context.Context, c Columns, xvar, yvar string
 	if err != nil {
 		return nil, fmt.Errorf("scan: y edges: %w", err)
 	}
+	ctx, sp := startScanSpan(ctx, "scan-hist2d", len(xs))
+	start := time.Now()
 	// Slice-of-slices bin counts: the custom code's layout.
 	counts := make([][]uint64, ly.Bins())
 	for i := range counts {
@@ -178,6 +193,7 @@ func ConditionalHistogram2DCtx(ctx context.Context, c Columns, xvar, yvar string
 	}
 	for row := range xs {
 		if err := checkpoint(ctx, row); err != nil {
+			sp.End()
 			return nil, err
 		}
 		if cond != nil && !cond.Eval(c.getter(row)) {
@@ -193,6 +209,8 @@ func ConditionalHistogram2DCtx(ctx context.Context, c Columns, xvar, yvar string
 		}
 		counts[iy][ix]++
 	}
+	observeScan(len(xs), time.Since(start).Seconds())
+	sp.End()
 	h := &histogram.Hist2D{
 		XVar: xvar, YVar: yvar,
 		XEdges: xEdges, YEdges: yEdges,
@@ -225,9 +243,12 @@ func Histogram1DCtx(ctx context.Context, c Columns, v string, cond query.Expr, e
 	if err != nil {
 		return nil, err
 	}
+	ctx, sp := startScanSpan(ctx, "scan-hist1d", len(vs))
+	start := time.Now()
 	h := &histogram.Hist1D{Var: v, Edges: edges, Counts: make([]uint64, loc.Bins())}
 	for row := range vs {
 		if err := checkpoint(ctx, row); err != nil {
+			sp.End()
 			return nil, err
 		}
 		if cond != nil && !cond.Eval(c.getter(row)) {
@@ -237,6 +258,8 @@ func Histogram1DCtx(ctx context.Context, c Columns, v string, cond query.Expr, e
 			h.Counts[i]++
 		}
 	}
+	observeScan(len(vs), time.Since(start).Seconds())
+	sp.End()
 	return h, nil
 }
 
@@ -269,9 +292,12 @@ func FindIDs(ids []int64, searchSet []int64) []uint64 {
 func FindIDsCtx(ctx context.Context, ids []int64, searchSet []int64) ([]uint64, error) {
 	set := append([]int64(nil), searchSet...)
 	sort.Slice(set, func(i, j int) bool { return set[i] < set[j] })
+	ctx, sp := startScanSpan(ctx, "scan-find-ids", len(ids))
+	start := time.Now()
 	var out []uint64
 	for row, id := range ids {
 		if err := checkpoint(ctx, row); err != nil {
+			sp.End()
 			return nil, err
 		}
 		i := sort.Search(len(set), func(k int) bool { return set[k] >= id })
@@ -279,5 +305,15 @@ func FindIDsCtx(ctx context.Context, ids []int64, searchSet []int64) ([]uint64, 
 			out = append(out, uint64(row))
 		}
 	}
+	observeScan(len(ids), time.Since(start).Seconds())
+	sp.End()
 	return out, nil
+}
+
+// startScanSpan opens a span for one scan pass, annotated with the row
+// count. The returned context carries the span for nested checkpoints.
+func startScanSpan(ctx context.Context, name string, rows int) (context.Context, *obs.Span) {
+	ctx, sp := obs.StartSpan(ctx, name)
+	sp.SetAttr("rows", strconv.Itoa(rows))
+	return ctx, sp
 }

@@ -13,7 +13,10 @@
 //     degrades into explicit 429/503 rejections instead of a pile-up.
 package serve
 
-import "repro/internal/fastquery"
+import (
+	"repro/internal/fastquery"
+	"repro/internal/obs"
+)
 
 // ErrorBody is the JSON body of every non-2xx response.
 type ErrorBody struct {
@@ -69,43 +72,81 @@ type QueryBody struct {
 	Selectivity float64 `json:"selectivity"`
 	Outcome     string  `json:"outcome"` // computed | hit | coalesced
 	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Trace is the request's span tree, included when ?debug=trace is set.
+	Trace *obs.SpanData `json:"trace,omitempty"`
 }
 
 // Hist1DBody is the /v1/hist1d response.
 type Hist1DBody struct {
-	Dataset   string    `json:"dataset"`
-	Step      int       `json:"step"`
-	Plan      string    `json:"plan,omitempty"`
-	Backend   string    `json:"backend"`
-	Var       string    `json:"var"`
-	Binning   string    `json:"binning"`
-	Edges     []float64 `json:"edges"`
-	Counts    []uint64  `json:"counts"`
-	Total     uint64    `json:"total"`
-	Outcome   string    `json:"outcome"`
-	ElapsedMS float64   `json:"elapsed_ms"`
+	Dataset   string        `json:"dataset"`
+	Step      int           `json:"step"`
+	Plan      string        `json:"plan,omitempty"`
+	Backend   string        `json:"backend"`
+	Var       string        `json:"var"`
+	Binning   string        `json:"binning"`
+	Edges     []float64     `json:"edges"`
+	Counts    []uint64      `json:"counts"`
+	Total     uint64        `json:"total"`
+	Outcome   string        `json:"outcome"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
 }
 
 // Hist2DBody is the /v1/hist2d response. Counts are row-major:
 // Counts[iy*len(XEdges-1) + ix].
 type Hist2DBody struct {
-	Dataset   string    `json:"dataset"`
-	Step      int       `json:"step"`
-	Plan      string    `json:"plan,omitempty"`
-	Backend   string    `json:"backend"`
-	XVar      string    `json:"xvar"`
-	YVar      string    `json:"yvar"`
-	Binning   string    `json:"binning"`
-	XEdges    []float64 `json:"xedges"`
-	YEdges    []float64 `json:"yedges"`
-	Counts    []uint64  `json:"counts"`
-	Total     uint64    `json:"total"`
-	Outcome   string    `json:"outcome"`
-	ElapsedMS float64   `json:"elapsed_ms"`
+	Dataset   string        `json:"dataset"`
+	Step      int           `json:"step"`
+	Plan      string        `json:"plan,omitempty"`
+	Backend   string        `json:"backend"`
+	XVar      string        `json:"xvar"`
+	YVar      string        `json:"yvar"`
+	Binning   string        `json:"binning"`
+	XEdges    []float64     `json:"xedges"`
+	YEdges    []float64     `json:"yedges"`
+	Counts    []uint64      `json:"counts"`
+	Total     uint64        `json:"total"`
+	Outcome   string        `json:"outcome"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+}
+
+// Sweep2DBody is the /v1/sweep2d response: one conditional 2D histogram
+// per requested timestep, summarized by per-step match totals (the full
+// per-step grids would dwarf any client's appetite; drill into a single
+// step with /v1/hist2d).
+type Sweep2DBody struct {
+	Dataset string `json:"dataset"`
+	Steps   []int  `json:"steps"`
+	Plan    string `json:"plan,omitempty"`
+	Backend string `json:"backend"`
+	// Mode is "cluster" when the sweep was strided across RPC workers,
+	// "local" when it ran serially in-process.
+	Mode      string        `json:"mode"`
+	XVar      string        `json:"xvar"`
+	YVar      string        `json:"yvar"`
+	Totals    []uint64      `json:"totals"` // per step, aligned with Steps
+	Total     uint64        `json:"total"`
+	Failed    []int         `json:"failed,omitempty"` // steps with no result (partial sweeps)
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+}
+
+// BuildInfo is the binary/runtime identity block of /v1/stats.
+type BuildInfo struct {
+	Version       string  `json:"version,omitempty"`  // module version (devel in tests)
+	Path          string  `json:"path,omitempty"`     // main module path
+	Revision      string  `json:"revision,omitempty"` // vcs.revision when stamped
+	GoVersion     string  `json:"go_version"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Goroutines    int     `json:"goroutines"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
 }
 
 // StatsBody is the /v1/stats response: cache, admission and backend
-// counters for operations and tests.
+// counters for operations and tests. The legacy top-level counters are
+// read from the same registry instruments that /metrics exports; Metrics
+// is the full registry snapshot (server + process-wide series) in JSON.
 type StatsBody struct {
 	Cache        CacheStats `json:"cache"`
 	Admission    GateStats  `json:"admission"`
@@ -119,4 +160,6 @@ type StatsBody struct {
 	// IndexFailures lists, per dataset, timesteps whose sidecar index was
 	// rejected (truncated or corrupt) and now serve scan-backend only.
 	IndexFailures map[string][]fastquery.IndexFailure `json:"index_failures,omitempty"`
+	Build         BuildInfo                           `json:"build"`
+	Metrics       []obs.Metric                        `json:"metrics"`
 }

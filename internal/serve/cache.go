@@ -4,6 +4,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Outcome describes how a cache lookup was satisfied.
@@ -115,7 +117,10 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 		return c.wait(ctx, f, Coalesced)
 	}
 	c.misses++
-	fctx, cancel := context.WithCancel(context.Background())
+	// The flight context is detached from the initiating request (see the
+	// type comment) but carries its span, so backend work traced under the
+	// flight still lands in the first requester's trace.
+	fctx, cancel := context.WithCancel(obs.CarrySpan(context.Background(), ctx))
 	f := &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.flights[key] = f
 	c.mu.Unlock()

@@ -5,9 +5,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"math"
 	"net/http"
+	"os"
+	"runtime"
 	"runtime/debug"
 	"sort"
 	"strconv"
@@ -16,8 +17,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fastquery"
 	"repro/internal/histogram"
+	"repro/internal/obs"
 	"repro/internal/query"
 )
 
@@ -49,6 +52,16 @@ type Config struct {
 	// in-flight work (cooperatively, at the backends' row checkpoints) and
 	// returns 504. 0 means the default (30s); negative disables the bound.
 	ExecTimeout time.Duration
+	// SlowThreshold is the latency beyond which a request is recorded in
+	// the slow-query log and counted by serve_slow_queries_total. 0 means
+	// the default (250ms); negative disables slow-query capture.
+	SlowThreshold time.Duration
+	// SlowLogEntries bounds the in-memory slow-query ring served at
+	// /v1/debug/slow. 0 means the default (128).
+	SlowLogEntries int
+	// Logger receives the server's structured JSON-lines log output.
+	// Nil means a logger writing to stderr.
+	Logger *obs.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +85,18 @@ func (c Config) withDefaults() Config {
 		c.ExecTimeout = 30 * time.Second
 	case c.ExecTimeout < 0:
 		c.ExecTimeout = 0
+	}
+	switch {
+	case c.SlowThreshold == 0:
+		c.SlowThreshold = 250 * time.Millisecond
+	case c.SlowThreshold < 0:
+		c.SlowThreshold = 0
+	}
+	if c.SlowLogEntries == 0 {
+		c.SlowLogEntries = 128
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NewLogger(os.Stderr, "serve")
 	}
 	return c
 }
@@ -121,37 +146,95 @@ type Server struct {
 	gate  *Gate
 	mux   *http.ServeMux
 
+	reg     *obs.Registry
+	metrics *serverMetrics
+	slowLog *obs.SlowLog
+	logger  *obs.Logger
+	started time.Time
+
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 	order    []string
+	pool     *cluster.Pool // optional worker pool for /v1/sweep2d
 
-	backendCalls atomic.Uint64
-	canceled     atomic.Uint64 // requests abandoned by their client (499)
-	execTimeouts atomic.Uint64 // requests that hit ExecTimeout (504)
-	panics       atomic.Uint64 // handler panics converted to 500
-	draining     atomic.Bool   // /readyz reports 503 while set
+	backendCalls *obs.Counter
+	canceled     *obs.Counter // requests abandoned by their client (499)
+	execTimeouts *obs.Counter // requests that hit ExecTimeout (504)
+	panics       *obs.Counter // handler panics converted to 500
+	draining     atomic.Bool  // /readyz reports 503 while set
 }
 
 // New creates a Server with no datasets.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	reg := obs.NewRegistry()
 	s := &Server{
 		cfg:      cfg,
 		cache:    NewCache(cfg.CacheEntries),
 		gate:     NewGate(cfg.Concurrency, cfg.QueueDepth, cfg.QueueTimeout),
 		mux:      http.NewServeMux(),
+		reg:      reg,
+		slowLog:  obs.NewSlowLog(cfg.SlowLogEntries),
+		logger:   cfg.Logger,
+		started:  time.Now(),
 		datasets: map[string]*dataset{},
 	}
-	s.mux.HandleFunc("/healthz", s.handleHealth)
-	s.mux.HandleFunc("/readyz", s.handleReady)
-	s.mux.HandleFunc("/v1/datasets", s.handleDatasets)
-	s.mux.HandleFunc("/v1/steps", s.handleSteps)
-	s.mux.HandleFunc("/v1/vars", s.handleVars)
-	s.mux.HandleFunc("/v1/query", s.admitted(s.handleQuery))
-	s.mux.HandleFunc("/v1/hist1d", s.admitted(s.handleHist1D))
-	s.mux.HandleFunc("/v1/hist2d", s.admitted(s.handleHist2D))
-	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.metrics = newServerMetrics(reg, s.cache, s.gate)
+	s.backendCalls = reg.Counter("serve_backend_calls_total",
+		"Backend evaluations run (cache misses that executed work).")
+	s.canceled = reg.Counter("serve_canceled_total",
+		"Requests abandoned by their client before completion (499).")
+	s.execTimeouts = reg.Counter("serve_exec_timeouts_total",
+		"Requests that hit the execution timeout (504).")
+	s.panics = reg.Counter("serve_panics_total",
+		"Handler panics converted to 500 responses.")
+	s.mux.HandleFunc("/healthz", s.instrumented("healthz", s.handleHealth))
+	s.mux.HandleFunc("/readyz", s.instrumented("readyz", s.handleReady))
+	s.mux.HandleFunc("/v1/datasets", s.instrumented("datasets", s.handleDatasets))
+	s.mux.HandleFunc("/v1/steps", s.instrumented("steps", s.handleSteps))
+	s.mux.HandleFunc("/v1/vars", s.instrumented("vars", s.handleVars))
+	s.mux.HandleFunc("/v1/query", s.instrumented("query", s.admitted(s.handleQuery)))
+	s.mux.HandleFunc("/v1/hist1d", s.instrumented("hist1d", s.admitted(s.handleHist1D)))
+	s.mux.HandleFunc("/v1/hist2d", s.instrumented("hist2d", s.admitted(s.handleHist2D)))
+	s.mux.HandleFunc("/v1/sweep2d", s.instrumented("sweep2d", s.admitted(s.handleSweep2D)))
+	s.mux.HandleFunc("/v1/stats", s.instrumented("stats", s.handleStats))
+	s.mux.Handle("/metrics", obs.Handler(reg, obs.Default()))
+	s.mux.Handle("/v1/debug/slow", s.slowLog.Handler())
 	return s
+}
+
+// Registry returns the server's metric registry, for embedding its series
+// in an external admin mux alongside obs.Default().
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SlowLog returns the server's slow-query log, for serving on an admin
+// listener.
+func (s *Server) SlowLog() *obs.SlowLog { return s.slowLog }
+
+// SetWorkers connects the server to a pool of cluster workers; once set,
+// /v1/sweep2d strides sweeps across them instead of looping locally.
+// Replaces (and closes) any previous pool. Pass nil cfg fields via
+// cluster.DefaultPoolConfig.
+func (s *Server) SetWorkers(addrs []string, cfg cluster.PoolConfig) error {
+	p, err := cluster.DialConfig(addrs, cfg)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	old := s.pool
+	s.pool = p
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// workerPool returns the configured cluster pool, or nil.
+func (s *Server) workerPool() *cluster.Pool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.pool
 }
 
 // AddDataset opens a dataset directory and serves it under name.
@@ -171,7 +254,7 @@ func (s *Server) AddDataset(name, dir string) error {
 	return nil
 }
 
-// Close releases every open dataset.
+// Close releases every open dataset and the worker pool, if any.
 func (s *Server) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -180,6 +263,10 @@ func (s *Server) Close() {
 	}
 	s.datasets = map[string]*dataset{}
 	s.order = nil
+	if s.pool != nil {
+		s.pool.Close()
+		s.pool = nil
+	}
 }
 
 // BackendCalls returns how many backend evaluations have run (cache
@@ -201,8 +288,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			if rec == http.ErrAbortHandler {
 				panic(rec)
 			}
-			s.panics.Add(1)
-			log.Printf("serve: panic in %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.panics.Inc()
+			s.logger.Error("panic in handler",
+				"method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Best effort: if the handler already wrote headers this is a
 			// no-op and the client sees a truncated response.
 			writeError(w, http.StatusInternalServerError, "internal error: %v", rec)
@@ -226,20 +315,27 @@ func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFun
 func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, context.Canceled):
-		s.canceled.Add(1)
+		s.canceled.Inc()
 		writeError(w, 499, "client canceled: %v", err)
 	case errors.Is(err, context.DeadlineExceeded):
-		s.execTimeouts.Add(1)
+		s.execTimeouts.Inc()
 		writeError(w, http.StatusGatewayTimeout, "execution timeout: %v", err)
 	default:
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
 }
 
-// admitted wraps a heavy handler with admission control.
+// admitted wraps a heavy handler with admission control. The wait for a
+// slot is traced as "admission-wait" so queueing shows up in span trees.
 func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		if err := s.gate.Acquire(r.Context()); err != nil {
+		_, sp := obs.StartSpan(r.Context(), "admission-wait")
+		err := s.gate.Acquire(r.Context())
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+		if err != nil {
 			switch {
 			case errors.Is(err, ErrQueueFull):
 				w.Header().Set("Retry-After", "1")
@@ -248,7 +344,7 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 				w.Header().Set("Retry-After", "1")
 				writeError(w, http.StatusServiceUnavailable, "%v", err)
 			default: // client went away
-				s.canceled.Add(1)
+				s.canceled.Inc()
 				writeError(w, 499, "client canceled: %v", err)
 			}
 			return
@@ -295,6 +391,27 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
+// buildInfo reports the binary's provenance and runtime state — enough to
+// answer "what exactly is running here, and for how long" from /v1/stats.
+func (s *Server) buildInfo() BuildInfo {
+	b := BuildInfo{
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Goroutines:    runtime.NumGoroutine(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		b.Version = bi.Main.Version
+		b.Path = bi.Main.Path
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				b.Revision = kv.Value
+			}
+		}
+	}
+	return b
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	body := StatsBody{
 		Cache:        s.cache.Stats(),
@@ -303,6 +420,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Canceled:     s.canceled.Load(),
 		ExecTimeouts: s.execTimeouts.Load(),
 		Panics:       s.panics.Load(),
+		Build:        s.buildInfo(),
+		Metrics:      obs.SnapshotAll(s.reg, obs.Default()),
 	}
 	s.mu.RLock()
 	for _, name := range s.order {
@@ -448,12 +567,17 @@ func (s *Server) parseRequest(r *http.Request, requireQuery bool) (*request, *ht
 		return nil, errf(http.StatusBadRequest, "missing q parameter")
 	}
 	if req.src != "" {
+		_, sp := obs.StartSpan(r.Context(), "plan-canonicalize")
 		expr, err := query.Parse(req.src)
 		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
 			return nil, errf(http.StatusBadRequest, "%v", err)
 		}
 		req.expr = query.Canonical(expr)
 		req.plan = req.expr.String()
+		sp.SetAttr("plan", req.plan)
+		sp.End()
 		if herr := checkVars(d, query.Vars(req.expr)...); herr != nil {
 			return nil, herr
 		}
@@ -551,6 +675,23 @@ func floatParam(r *http.Request, name string) (float64, *httpError) {
 	return v, nil
 }
 
+// cacheDo runs the cache lookup under a "cache-lookup" span recording how
+// the result was satisfied (computed, hit, coalesced).
+func (s *Server) cacheDo(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, Outcome, error) {
+	ctx, sp := obs.StartSpan(ctx, "cache-lookup")
+	val, outcome, err := s.cache.Do(ctx, key, fn)
+	sp.SetAttr("outcome", outcome.String())
+	sp.End()
+	return val, outcome, err
+}
+
+// writeBody serializes a success response under a "serialize" span.
+func writeBody(r *http.Request, w http.ResponseWriter, body any) {
+	_, sp := obs.StartSpan(r.Context(), "serialize")
+	writeJSON(w, http.StatusOK, body)
+	sp.End()
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	req, herr := s.parseRequest(r, true)
@@ -561,8 +702,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	key := req.cacheKey("count")
-	val, outcome, err := s.cache.Do(ctx, key, func(ctx context.Context) (any, error) {
-		s.backendCalls.Add(1)
+	val, outcome, err := s.cacheDo(ctx, key, func(ctx context.Context) (any, error) {
+		s.backendCalls.Inc()
 		return req.st.CountCtx(ctx, req.expr, req.backend)
 	})
 	if err != nil {
@@ -575,7 +716,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if rows > 0 {
 		sel = float64(matches) / float64(rows)
 	}
-	writeJSON(w, http.StatusOK, QueryBody{
+	writeBody(r, w, QueryBody{
 		Dataset:     req.d.name,
 		Step:        req.t,
 		Query:       req.src,
@@ -586,6 +727,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Selectivity: sel,
 		Outcome:     outcome.String(),
 		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		Trace:       traceEcho(r),
 	})
 }
 
@@ -641,8 +783,8 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 		"hist1d", spec.Var, strconv.Itoa(spec.Bins), spec.Binning.String(),
 		fmtG(spec.Lo), fmtG(spec.Hi), fmtG(spec.MinDensity),
 	}, "|")
-	val, outcome, err := s.cache.Do(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
-		s.backendCalls.Add(1)
+	val, outcome, err := s.cacheDo(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
+		s.backendCalls.Inc()
 		return req.st.Histogram1DCtx(ctx, req.expr, spec, req.backend)
 	})
 	if err != nil {
@@ -650,7 +792,7 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 		return
 	}
 	h := val.(*histogram.Hist1D)
-	writeJSON(w, http.StatusOK, Hist1DBody{
+	writeBody(r, w, Hist1DBody{
 		Dataset:   req.d.name,
 		Step:      req.t,
 		Plan:      req.plan,
@@ -662,6 +804,7 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 		Total:     h.Total(),
 		Outcome:   outcome.String(),
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Trace:     traceEcho(r),
 	})
 }
 
@@ -726,8 +869,8 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 		fmtG(spec.XLo), fmtG(spec.XHi), fmtG(spec.YLo), fmtG(spec.YHi),
 		fmtG(spec.MinDensity),
 	}, "|")
-	val, outcome, err := s.cache.Do(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
-		s.backendCalls.Add(1)
+	val, outcome, err := s.cacheDo(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
+		s.backendCalls.Inc()
 		return req.st.Histogram2DCtx(ctx, req.expr, spec, req.backend)
 	})
 	if err != nil {
@@ -735,7 +878,7 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 		return
 	}
 	h := val.(*histogram.Hist2D)
-	writeJSON(w, http.StatusOK, Hist2DBody{
+	writeBody(r, w, Hist2DBody{
 		Dataset:   req.d.name,
 		Step:      req.t,
 		Plan:      req.plan,
@@ -749,5 +892,140 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 		Total:     h.Total(),
 		Outcome:   outcome.String(),
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Trace:     traceEcho(r),
 	})
+}
+
+// stepsParam parses the steps parameter for sweeps: "" (all steps),
+// "a-b" (inclusive range), or a comma-separated list.
+func stepsParam(r *http.Request, d *dataset) ([]int, *httpError) {
+	n := d.src.Steps()
+	raw := r.FormValue("steps")
+	if raw == "" {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	check := func(t int) *httpError {
+		if t < 0 || t >= n {
+			return errf(http.StatusNotFound, "step %d out of range [0,%d)", t, n)
+		}
+		return nil
+	}
+	if lo, hi, ok := strings.Cut(raw, "-"); ok {
+		a, err1 := strconv.Atoi(lo)
+		b, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil || a > b {
+			return nil, errf(http.StatusBadRequest, "bad steps range %q", raw)
+		}
+		if herr := check(a); herr != nil {
+			return nil, herr
+		}
+		if herr := check(b); herr != nil {
+			return nil, herr
+		}
+		out := make([]int, 0, b-a+1)
+		for t := a; t <= b; t++ {
+			out = append(out, t)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, f := range strings.Split(raw, ",") {
+		t, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "bad steps %q", raw)
+		}
+		if herr := check(t); herr != nil {
+			return nil, herr
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// handleSweep2D computes one conditional 2D histogram per timestep — the
+// paper's temporal-evolution view. With a worker pool configured the
+// steps are strided across cluster nodes (and their trace subtrees appear
+// in this request's trace); otherwise each step runs locally in turn.
+func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, herr := s.parseRequest(r, false)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	spec, herr := hist2DSpec(r, req.d)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	steps, herr := stepsParam(r, req.d)
+	if herr != nil {
+		writeError(w, herr.status, "%s", herr.msg)
+		return
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+
+	var hists []*histogram.Hist2D
+	var err error
+	mode := "local"
+	if p := s.workerPool(); p != nil {
+		mode = "cluster"
+		hists, err = p.HistogramSweepCtx(ctx, steps, req.src, spec, req.backend)
+	} else {
+		hists, err = s.localSweep(ctx, req, steps, spec)
+	}
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	body := Sweep2DBody{
+		Dataset:   req.d.name,
+		Steps:     steps,
+		Plan:      req.plan,
+		Backend:   req.backend.String(),
+		Mode:      mode,
+		XVar:      spec.XVar,
+		YVar:      spec.YVar,
+		Totals:    make([]uint64, len(hists)),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+		Trace:     traceEcho(r),
+	}
+	for i, h := range hists {
+		if h == nil { // partial sweep result
+			body.Failed = append(body.Failed, steps[i])
+			continue
+		}
+		body.Totals[i] = h.Total()
+		body.Total += h.Total()
+	}
+	writeBody(r, w, body)
+}
+
+// localSweep runs the per-step histograms serially in-process, each under
+// its own sweep-step span to mirror the cluster path's trace shape.
+func (s *Server) localSweep(ctx context.Context, req *request, steps []int, spec histogram.Spec2D) ([]*histogram.Hist2D, error) {
+	out := make([]*histogram.Hist2D, len(steps))
+	for i, t := range steps {
+		st, err := req.d.step(t)
+		if err != nil {
+			return nil, err
+		}
+		sctx, sp := obs.StartSpan(ctx, "sweep-step")
+		sp.SetAttr("step", strconv.Itoa(t))
+		s.backendCalls.Inc()
+		h, err := st.Histogram2DCtx(sctx, req.expr, spec, req.backend)
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
+			return nil, err
+		}
+		sp.End()
+		out[i] = h
+	}
+	return out, nil
 }

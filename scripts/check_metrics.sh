@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# check_metrics.sh — scrape a running qserve /metrics endpoint and verify
+# the output is well-formed Prometheus text exposition (version 0.0.4)
+# carrying the instruments every layer is expected to export.
+#
+# Usage: scripts/check_metrics.sh http://127.0.0.1:9090
+#
+# Checks:
+#   1. every non-comment line matches  name{labels} value
+#   2. every series is preceded by # HELP and # TYPE lines
+#   3. required per-layer metrics are present (serve, fastbit, scan, cluster)
+#   4. at least one histogram exports _bucket/_sum/_count with an +Inf bucket
+set -euo pipefail
+
+BASE="${1:?usage: $0 <qserve-admin-base-url>}"
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+curl -fsS "$BASE/metrics" >"$OUT"
+
+fail() { echo "check_metrics: FAIL: $*" >&2; exit 1; }
+
+# 1. Line format: metric lines are  name{k="v",...} value  with the value a
+# float, integer, +Inf, -Inf or NaN. Comments must be # HELP or # TYPE.
+awk '
+/^#/ {
+  if ($0 !~ /^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* /) {
+    print "bad comment line: " $0; bad = 1
+  }
+  next
+}
+/^$/ { next }
+{
+  if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|[+-]Inf|NaN)$/) {
+    print "bad metric line: " $0; bad = 1
+  }
+}
+END { exit bad }
+' "$OUT" || fail "malformed exposition lines"
+
+# 2. Every sample name (stripped of histogram suffixes) has HELP and TYPE.
+while read -r name; do
+  base="${name%_bucket}"; base="${base%_sum}"; base="${base%_count}"
+  grep -q "^# HELP $base " "$OUT" || grep -q "^# HELP $name " "$OUT" \
+    || fail "missing # HELP for $name"
+  grep -q "^# TYPE $base " "$OUT" || grep -q "^# TYPE $name " "$OUT" \
+    || fail "missing # TYPE for $name"
+done < <(grep -v '^#' "$OUT" | grep -v '^$' | sed 's/[{ ].*//' | sort -u)
+
+# 3. Required instruments, at least one per layer of the stack.
+for metric in \
+  serve_requests_total serve_request_seconds_bucket serve_inflight_requests \
+  serve_cache_hits_total serve_admission_admitted_total \
+  fastbit_eval_rows_total fastbit_eval_seconds_bucket fastbit_candidate_check_fraction \
+  scan_rows_total scan_seconds_bucket \
+  cluster_rpc_calls_total cluster_unhealthy_workers; do
+  grep -q "^$metric" "$OUT" || fail "missing required metric $metric"
+done
+
+# 4. Histogram invariants: an +Inf bucket exists and matches its _count.
+grep -q 'le="+Inf"' "$OUT" || fail "no histogram exports an +Inf bucket"
+
+echo "check_metrics: OK ($(grep -cv '^#' "$OUT") samples, $(grep -c '^# TYPE' "$OUT") families)"
