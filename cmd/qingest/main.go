@@ -1,0 +1,206 @@
+// Command qingest streams simulation timesteps into a running qserve
+// instance over POST /v1/ingest — the paper's in-transit workflow: data
+// is queryable the moment each step commits (scan backend) and upgrades
+// to FastBit as the server's background builder publishes each sidecar
+// index, all without restarting the service.
+//
+// The generator is the same deterministic synthetic LWFA run lwfagen
+// writes, and ingestion continues from the server's current step count:
+// pointing qingest at a dataset seeded with `lwfagen -steps 2` (served
+// live) and asking for -steps 5 appends exactly steps 2, 3 and 4 with the
+// data the full 5-step run would have produced — provided -seed and the
+// shape flags match the original run.
+//
+// Usage:
+//
+//	lwfagen -out /tmp/lwfa -steps 2 -particles 50000
+//	qserve -data /tmp/lwfa -live -addr :8080 &
+//	qingest -url http://127.0.0.1:8080 -steps 5
+//	qingest -url http://127.0.0.1:8080 -steps 38 -interval 2s -wait-indexed
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qingest: ")
+
+	var (
+		base        = flag.String("url", "", "qserve base URL (required)")
+		dataset     = flag.String("dataset", "", "dataset name (default: the only served one)")
+		steps       = flag.Int("steps", 38, "total timesteps of the run; ingestion continues from the server's current count up to this")
+		dim         = flag.Int("dim", 2, "spatial dimensionality (2 or 3; must match the seed run)")
+		particles   = flag.Int("particles", 50000, "approximate background particles per timestep (must match the seed run)")
+		beam        = flag.Int("beam", 600, "particles per trapped beam (must match the seed run)")
+		seed        = flag.Uint64("seed", 0x5eed, "deterministic seed (must match the seed run)")
+		interval    = flag.Duration("interval", 0, "pause between steps, simulating the producing simulation's cadence")
+		waitIndexed = flag.Bool("wait-indexed", false, "after the last step, block until the server reports every step indexed")
+		quiet       = flag.Bool("q", false, "suppress per-step output")
+	)
+	flag.Parse()
+	if *base == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Steps = *steps
+	cfg.Dim = *dim
+	cfg.BackgroundPerStep = *particles
+	cfg.BeamParticles = *beam
+	cfg.Seed = *seed
+	run, err := sim.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cl := &client{base: *base, http: &http.Client{Timeout: 5 * time.Minute}}
+	name, have, err := cl.discover(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if have >= *steps {
+		log.Fatalf("dataset %q already has %d steps (target %d); nothing to ingest", name, have, *steps)
+	}
+	log.Printf("dataset %q at step %d, ingesting through step %d", name, have, *steps-1)
+
+	for t := have; t < *steps; t++ {
+		ps, err := run.Step(t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		body := serve.IngestBody{Dataset: name}
+		cols := ps.Columns()
+		for _, v := range sim.Variables {
+			body.Columns = append(body.Columns, serve.IngestColumn{Name: v, Float: cols[v]})
+		}
+		body.Columns = append(body.Columns, serve.IngestColumn{Name: sim.IDVar, Int: ps.ID})
+		start := time.Now()
+		ack, err := cl.ingest(body)
+		if err != nil {
+			log.Fatalf("step %d: %v", t, err)
+		}
+		if ack.Step != t {
+			log.Fatalf("server committed step %d, expected %d (was the dataset written concurrently?)", ack.Step, t)
+		}
+		if !*quiet {
+			log.Printf("step %d committed: %d rows, %d bytes, gen %d (%.0fms)",
+				ack.Step, ack.Rows, ack.Bytes, ack.Generation,
+				float64(time.Since(start))/float64(time.Millisecond))
+		}
+		if *interval > 0 && t+1 < *steps {
+			time.Sleep(*interval)
+		}
+	}
+
+	if *waitIndexed {
+		start := time.Now()
+		for {
+			n, indexed, err := cl.indexedSteps(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if indexed == n {
+				log.Printf("all %d steps indexed (%.1fs after last commit)", n, time.Since(start).Seconds())
+				return
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+	}
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	buf, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, buf)
+	}
+	return json.Unmarshal(buf, out)
+}
+
+// discover resolves the target dataset and its current step count, and
+// checks it is live.
+func (c *client) discover(dataset string) (string, int, error) {
+	var dss []serve.DatasetInfo
+	if err := c.getJSON("/v1/datasets", &dss); err != nil {
+		return "", 0, err
+	}
+	name := dataset
+	if name == "" {
+		if len(dss) != 1 {
+			return "", 0, fmt.Errorf("server has %d datasets; pick one with -dataset", len(dss))
+		}
+		name = dss[0].Name
+	}
+	var steps serve.StepsBody
+	if err := c.getJSON("/v1/steps?dataset="+url.QueryEscape(name), &steps); err != nil {
+		return "", 0, err
+	}
+	if !steps.Live {
+		return "", 0, fmt.Errorf("dataset %q is not live — start qserve with -live", name)
+	}
+	return name, steps.Steps, nil
+}
+
+func (c *client) ingest(body serve.IngestBody) (*serve.IngestResponse, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/v1/ingest", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /v1/ingest: %d: %s", resp.StatusCode, out)
+	}
+	var ack serve.IngestResponse
+	if err := json.Unmarshal(out, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+func (c *client) indexedSteps(name string) (steps, indexed int, err error) {
+	var body serve.StepsBody
+	if err := c.getJSON("/v1/steps?detail=1&dataset="+url.QueryEscape(name), &body); err != nil {
+		return 0, 0, err
+	}
+	for _, d := range body.Detail {
+		if d.IndexState == "indexed" {
+			indexed++
+		}
+	}
+	return body.Steps, indexed, nil
+}

@@ -1,0 +1,260 @@
+// Read-while-ingest benchmark mode (-ingest-steps > 0): measures how much
+// a live ingestion stream perturbs interactive read latency, and how far
+// index availability trails data availability.
+//
+// Two phases over the same session template:
+//
+//  1. baseline — the standard drill-down replay against the quiet server;
+//  2. with_ingest — the same replay while this process concurrently
+//     streams new timesteps into POST /v1/ingest, with a monitor sampling
+//     /v1/steps to timestamp each step's scan→fastbit upgrade.
+//
+// The report (BENCH_ingest.json) carries both phases' full latency
+// distributions plus the per-step index-upgrade lag (commit → indexed).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/sim"
+)
+
+// ingestOptions collects the -ingest-* flags.
+type ingestOptions struct {
+	steps     int           // timesteps to append during the measured phase
+	interval  time.Duration // pause between appends
+	particles int           // sim shape: must match the served dataset's run
+	beam      int
+	dim       int
+	seed      uint64
+}
+
+// stepLag is one ingested step's timeline relative to its commit ack.
+type stepLag struct {
+	Step      int     `json:"step"`
+	Rows      uint64  `json:"rows"`
+	CommitMS  float64 `json:"commit_ms"`        // POST round-trip (durable commit)
+	UpgradeMS float64 `json:"index_upgrade_ms"` // commit ack → observed indexed
+	Upgraded  bool    `json:"upgraded"`         // false if never observed indexed
+}
+
+// ingestResult is the BENCH_ingest.json shape.
+type ingestResult struct {
+	Dataset     string  `json:"dataset"`
+	StepsBefore int     `json:"steps_before"`
+	StepsAfter  int     `json:"steps_after"`
+	IngestSteps int     `json:"ingest_steps"`
+	Baseline    *result `json:"baseline"`
+	WithIngest  *result `json:"with_ingest"`
+	// P95DeltaMS is the read-latency cost of concurrent ingestion:
+	// with_ingest.p95 − baseline.p95.
+	P95DeltaMS float64 `json:"p95_delta_ms"`
+	// Upgrade lag: how long each step served scan-only before its index.
+	UpgradeLags     []stepLag `json:"upgrade_lags"`
+	UpgradeMeanMS   float64   `json:"upgrade_mean_ms"`
+	UpgradeMaxMS    float64   `json:"upgrade_max_ms"`
+	IngestElapsedS  float64   `json:"ingest_elapsed_s"`
+	IngestRowsTotal uint64    `json:"ingest_rows_total"`
+}
+
+func (r *ingestResult) print(w io.Writer) {
+	fmt.Fprintf(w, "read-while-ingest: dataset %q grew %d -> %d steps\n",
+		r.Dataset, r.StepsBefore, r.StepsAfter)
+	fmt.Fprintf(w, "baseline     p50 %.2fms  p95 %.2fms  p99 %.2fms  (%.1f req/s)\n",
+		r.Baseline.P50MS, r.Baseline.P95MS, r.Baseline.P99MS, r.Baseline.RPS)
+	fmt.Fprintf(w, "with ingest  p50 %.2fms  p95 %.2fms  p99 %.2fms  (%.1f req/s)  p95 delta %+.2fms\n",
+		r.WithIngest.P50MS, r.WithIngest.P95MS, r.WithIngest.P99MS, r.WithIngest.RPS, r.P95DeltaMS)
+	fmt.Fprintf(w, "ingested %d steps (%d rows) in %.2fs; index upgrade lag mean %.0fms max %.0fms\n",
+		r.IngestSteps, r.IngestRowsTotal, r.IngestElapsedS, r.UpgradeMeanMS, r.UpgradeMaxMS)
+}
+
+// postIngest appends one timestep and returns the server's ack.
+func (lg *loadgen) postIngest(body serve.IngestBody) (*serve.IngestResponse, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := lg.client.Post(lg.base+"/v1/ingest", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("POST /v1/ingest: %d: %s", resp.StatusCode, out)
+	}
+	var ack serve.IngestResponse
+	if err := json.Unmarshal(out, &ack); err != nil {
+		return nil, err
+	}
+	return &ack, nil
+}
+
+// stepsDetail fetches /v1/steps?detail=1 for the bench dataset.
+func (lg *loadgen) stepsDetail() (serve.StepsBody, error) {
+	var sb serve.StepsBody
+	_, err := lg.getJSON("/v1/steps?detail=1&dataset="+url.QueryEscape(lg.dataset), &sb)
+	return sb, err
+}
+
+// runIngestBench drives both phases and assembles the report.
+func (lg *loadgen) runIngestBench(opt ingestOptions, sessions, concurrency int, xvar, yvar string, coarse, fine int) (*ingestResult, error) {
+	before, err := lg.stepsDetail()
+	if err != nil {
+		return nil, err
+	}
+	if !before.Live {
+		return nil, fmt.Errorf("dataset %q is not live — start qserve with -live", lg.dataset)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Steps = before.Steps + opt.steps
+	cfg.Dim = opt.dim
+	cfg.BackgroundPerStep = opt.particles
+	cfg.BeamParticles = opt.beam
+	cfg.Seed = opt.seed
+	run, err := sim.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &ingestResult{
+		Dataset:     lg.dataset,
+		StepsBefore: before.Steps,
+		IngestSteps: opt.steps,
+	}
+	if res.Baseline, err = lg.run(sessions, concurrency, xvar, yvar, coarse, fine); err != nil {
+		return nil, err
+	}
+
+	// Concurrent phase: writer + upgrade monitor alongside the replay.
+	type commitMark struct {
+		at   time.Time
+		rows uint64
+		ms   float64
+	}
+	var (
+		mu      sync.Mutex
+		commits = map[int]commitMark{}    // step -> commit ack time
+		indexed = map[int]time.Duration{} // step -> lag from commit to observed indexed
+		werr    error
+	)
+	writerDone := make(chan struct{})
+	monitorDone := make(chan struct{})
+	ingestStart := time.Now()
+	go func() {
+		defer close(writerDone)
+		for t := before.Steps; t < before.Steps+opt.steps; t++ {
+			ps, err := run.Step(t)
+			if err != nil {
+				werr = err
+				return
+			}
+			body := serve.IngestBody{Dataset: lg.dataset}
+			cols := ps.Columns()
+			for _, v := range sim.Variables {
+				body.Columns = append(body.Columns, serve.IngestColumn{Name: v, Float: cols[v]})
+			}
+			body.Columns = append(body.Columns, serve.IngestColumn{Name: sim.IDVar, Int: ps.ID})
+			start := time.Now()
+			ack, err := lg.postIngest(body)
+			if err != nil {
+				werr = err
+				return
+			}
+			mu.Lock()
+			commits[ack.Step] = commitMark{at: time.Now(), rows: ack.Rows,
+				ms: float64(time.Since(start)) / float64(time.Millisecond)}
+			mu.Unlock()
+			res.IngestRowsTotal += ack.Rows
+			if opt.interval > 0 {
+				time.Sleep(opt.interval)
+			}
+		}
+	}()
+	go func() {
+		// Sample index states until every ingested step upgraded or the
+		// deadline passes; commit-to-observed-indexed is the upgrade lag
+		// (quantized by the 20ms sampling period).
+		defer close(monitorDone)
+		deadline := time.Now().Add(5 * time.Minute)
+		for time.Now().Before(deadline) {
+			sb, err := lg.stepsDetail()
+			if err == nil {
+				now := time.Now()
+				mu.Lock()
+				for _, d := range sb.Detail {
+					c, committed := commits[d.Step]
+					if committed && d.IndexState == "indexed" {
+						if _, seen := indexed[d.Step]; !seen {
+							indexed[d.Step] = now.Sub(c.at)
+						}
+					}
+				}
+				allDone := len(indexed) == opt.steps
+				mu.Unlock()
+				if allDone {
+					select {
+					case <-writerDone:
+						return
+					default:
+					}
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	if res.WithIngest, err = lg.run(sessions, concurrency, xvar, yvar, coarse, fine); err != nil {
+		return nil, err
+	}
+	<-writerDone
+	if werr != nil {
+		return nil, werr
+	}
+	<-monitorDone
+	res.IngestElapsedS = time.Since(ingestStart).Seconds()
+	res.P95DeltaMS = res.WithIngest.P95MS - res.Baseline.P95MS
+
+	after, err := lg.stepsDetail()
+	if err != nil {
+		return nil, err
+	}
+	res.StepsAfter = after.Steps
+
+	mu.Lock()
+	defer mu.Unlock()
+	steps := make([]int, 0, len(commits))
+	for t := range commits {
+		steps = append(steps, t)
+	}
+	sort.Ints(steps)
+	for _, t := range steps {
+		c := commits[t]
+		l := stepLag{Step: t, Rows: c.rows, CommitMS: c.ms}
+		if lag, ok := indexed[t]; ok {
+			l.Upgraded = true
+			l.UpgradeMS = float64(lag) / float64(time.Millisecond)
+			res.UpgradeMeanMS += l.UpgradeMS
+			if l.UpgradeMS > res.UpgradeMaxMS {
+				res.UpgradeMaxMS = l.UpgradeMS
+			}
+		}
+		res.UpgradeLags = append(res.UpgradeLags, l)
+	}
+	if len(indexed) > 0 {
+		res.UpgradeMeanMS /= float64(len(indexed))
+	}
+	return res, nil
+}

@@ -60,7 +60,17 @@ func main() {
 		fine        = flag.Int("fine", 256, "fine hist2d bins per axis")
 		cancelFrac  = flag.Float64("cancel-frac", 0, "fraction of requests abandoned mid-flight (0..1), exercising server-side cancellation")
 		traceEvery  = flag.Int("trace-sample", 8, "request ?debug=trace on every Nth session for the per-stage breakdown (0 = off)")
-		out         = flag.String("out", "BENCH_serve.json", "benchmark JSON output path (empty = skip)")
+		out         = flag.String("out", "", "benchmark JSON output path (default BENCH_serve.json, or BENCH_ingest.json with -ingest-steps; \"-\" = skip)")
+
+		// Read-while-ingest mode: replay the same sessions twice — once
+		// quiet, once while streaming new timesteps into POST /v1/ingest —
+		// and report the latency delta plus the index-upgrade lag.
+		ingSteps     = flag.Int("ingest-steps", 0, "timesteps to ingest during the measured phase (0 = ingest mode off)")
+		ingInterval  = flag.Duration("ingest-interval", 200*time.Millisecond, "pause between ingested steps")
+		ingParticles = flag.Int("ingest-particles", 50000, "sim background particles per step (must match the served run)")
+		ingBeam      = flag.Int("ingest-beam", 600, "sim particles per beam (must match the served run)")
+		ingDim       = flag.Int("ingest-dim", 2, "sim dimensionality (must match the served run)")
+		ingSeed      = flag.Uint64("ingest-seed", 0x5eed, "sim seed (must match the served run)")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -86,13 +96,38 @@ func main() {
 	if err := lg.setup(*dataset, *step, *xvar, *yvar); err != nil {
 		log.Fatal(err)
 	}
-	res, err := lg.run(*sessions, *concurrency, *xvar, *yvar, *coarse, *fine)
-	if err != nil {
-		log.Fatal(err)
+	var report interface {
+		print(io.Writer)
 	}
-	res.print(os.Stdout)
-	if *out != "" {
-		buf, err := json.MarshalIndent(res, "", "  ")
+	if *ingSteps > 0 {
+		ires, err := lg.runIngestBench(ingestOptions{
+			steps:     *ingSteps,
+			interval:  *ingInterval,
+			particles: *ingParticles,
+			beam:      *ingBeam,
+			dim:       *ingDim,
+			seed:      *ingSeed,
+		}, *sessions, *concurrency, *xvar, *yvar, *coarse, *fine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = ires
+		if *out == "" {
+			*out = "BENCH_ingest.json"
+		}
+	} else {
+		res, err := lg.run(*sessions, *concurrency, *xvar, *yvar, *coarse, *fine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report = res
+		if *out == "" {
+			*out = "BENCH_serve.json"
+		}
+	}
+	report.print(os.Stdout)
+	if *out != "-" {
+		buf, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}

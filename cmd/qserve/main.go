@@ -9,6 +9,7 @@
 //	qserve -data /tmp/lwfa -addr :8080
 //	qserve -data beam=/tmp/lwfa -data run2=/data/run2
 //	qserve -data /tmp/lwfa -admin-addr :9090 -workers host1:7070,host2:7070
+//	qserve -data /tmp/lwfa -live -ingest-workers 2
 //
 // Endpoints:
 //
@@ -19,6 +20,7 @@
 //	GET /v1/hist1d?var=V&bins=N&q=...         conditional 1D histogram
 //	GET /v1/hist2d?x=X&y=Y&xbins=N&ybins=M    conditional 2D histogram
 //	GET /v1/sweep2d?x=X&y=Y&steps=A-B&q=...   per-step histogram sweep
+//	POST /v1/ingest                           append one timestep (-live only)
 //	GET /v1/stats                             counters, build info, metrics
 //	GET /metrics                              Prometheus text exposition
 //	GET /v1/debug/slow                        recent over-threshold requests
@@ -51,6 +53,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fastbit"
 	"repro/internal/obs"
 	"repro/internal/serve"
 )
@@ -85,6 +88,10 @@ func main() {
 		slowThresh   = flag.Duration("slow-threshold", 250*time.Millisecond, "latency beyond which a request enters the slow-query log (0 = off)")
 		workers      = flag.String("workers", "", "comma-separated cluster worker addresses for /v1/sweep2d")
 		obsEnabled   = flag.Bool("obs", true, "enable tracing and latency histograms (counters stay on)")
+		live         = flag.Bool("live", false, "serve datasets live: accept POST /v1/ingest and build indexes in the background")
+		ingWorkers   = flag.Int("ingest-workers", 1, "background index-builder pool size per live dataset")
+		catalogPoll  = flag.Duration("catalog-poll", 500*time.Millisecond, "how often a live dataset re-reads its catalog for external commits (0 disables)")
+		indexBins    = flag.Int("index-bins", 256, "bitmap index bins per variable for live-built indexes")
 	)
 	flag.Parse()
 	if len(datas) == 0 {
@@ -128,6 +135,21 @@ func main() {
 			name, dir = spec[:i], spec[i+1:]
 		} else {
 			name = filepath.Base(filepath.Clean(dir))
+		}
+		if *live {
+			lc := serve.LiveConfig{
+				IngestWorkers: *ingWorkers,
+				CatalogPoll:   *catalogPoll,
+				Index:         fastbit.IndexOptions{Bins: *indexBins},
+			}
+			if *catalogPoll <= 0 {
+				lc.CatalogPoll = -1
+			}
+			if err := s.AddLiveDataset(name, dir, lc); err != nil {
+				fatal("add live dataset", "name", name, "dir", dir, "err", err)
+			}
+			logger.Info("serving dataset live", "name", name, "dir", dir)
+			continue
 		}
 		if err := s.AddDataset(name, dir); err != nil {
 			fatal("add dataset", "name", name, "dir", dir, "err", err)

@@ -23,6 +23,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
 )
@@ -72,14 +73,23 @@ type ColumnInfo struct {
 
 // Writer builds a colstore file. Columns are added one at a time; Close
 // writes the directory and trailer.
+//
+// The bytes go to a temp file in the destination directory; Close fsyncs
+// it and atomically renames it into place, so a crash — or an error on
+// any Add call — can never leave a truncated or column-incomplete step
+// file at the published path for Open to trip over. A Writer whose Add
+// failed refuses to publish: Close removes the temp file and returns the
+// first error instead.
 type Writer struct {
 	f         *os.File
+	path      string // final destination, temp renamed here on Close
 	w         *countingWriter
 	rows      uint64
 	chunkRows int
 	cols      []ColumnInfo
 	names     map[string]bool
 	closed    bool
+	err       error // first write/Add failure; poisons Close
 }
 
 type countingWriter struct {
@@ -94,24 +104,46 @@ func (cw *countingWriter) Write(p []byte) (int, error) {
 }
 
 // NewWriter creates a colstore file at path for rows records per column.
-// chunkRows <= 0 selects DefaultChunkRows.
+// chunkRows <= 0 selects DefaultChunkRows. The file appears at path only
+// when Close succeeds.
 func NewWriter(path string, rows uint64, chunkRows int) (*Writer, error) {
 	if chunkRows <= 0 {
 		chunkRows = DefaultChunkRows
 	}
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return nil, fmt.Errorf("colstore: %w", err)
 	}
-	w := &Writer{f: f, w: &countingWriter{w: f}, rows: rows, chunkRows: chunkRows, names: map[string]bool{}}
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, fmt.Errorf("colstore: %w", err)
+	}
+	w := &Writer{f: f, path: path, w: &countingWriter{w: f}, rows: rows, chunkRows: chunkRows, names: map[string]bool{}}
 	hdr := make([]byte, 8)
 	copy(hdr, magic[:])
 	binary.LittleEndian.PutUint32(hdr[4:], version)
 	if _, err := w.w.Write(hdr); err != nil {
-		f.Close()
+		w.discard()
 		return nil, fmt.Errorf("colstore: write header: %w", err)
 	}
 	return w, nil
+}
+
+// discard closes and removes the temp file without publishing.
+func (w *Writer) discard() {
+	w.f.Close()
+	os.Remove(w.f.Name())
+}
+
+// Discard abandons the file: the temp file is removed and nothing appears
+// at the destination path. Safe after Close (then a no-op).
+func (w *Writer) Discard() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.discard()
 }
 
 // AddFloat64 appends a float64 column. The value count must equal the
@@ -133,14 +165,23 @@ func (w *Writer) addColumn(name string, t ColumnType, n int, word func(i int) ui
 	if w.closed {
 		return fmt.Errorf("colstore: writer closed")
 	}
+	if w.err != nil {
+		return w.err
+	}
+	// Any rejected Add poisons the writer: Close must never publish a file
+	// whose column set differs from what the caller intended to write.
+	fail := func(err error) error {
+		w.err = err
+		return err
+	}
 	if uint64(n) != w.rows {
-		return fmt.Errorf("colstore: column %q has %d rows, file has %d", name, n, w.rows)
+		return fail(fmt.Errorf("colstore: column %q has %d rows, file has %d", name, n, w.rows))
 	}
 	if w.names[name] {
-		return fmt.Errorf("colstore: duplicate column %q", name)
+		return fail(fmt.Errorf("colstore: duplicate column %q", name))
 	}
 	if len(name) == 0 || len(name) > 1<<15 {
-		return fmt.Errorf("colstore: bad column name length %d", len(name))
+		return fail(fmt.Errorf("colstore: bad column name length %d", len(name)))
 	}
 	w.names[name] = true
 	ci := ColumnInfo{Name: name, Type: t, Rows: w.rows}
@@ -161,7 +202,8 @@ func (w *Writer) addColumn(name string, t ColumnType, n int, word func(i int) ui
 			crc:    crc32.ChecksumIEEE(chunk),
 		})
 		if _, err := w.w.Write(chunk); err != nil {
-			return fmt.Errorf("colstore: write column %q: %w", name, err)
+			w.err = fmt.Errorf("colstore: write column %q: %w", name, err)
+			return w.err
 		}
 		if n == 0 {
 			break
@@ -171,12 +213,19 @@ func (w *Writer) addColumn(name string, t ColumnType, n int, word func(i int) ui
 	return nil
 }
 
-// Close writes the directory and trailer and closes the file.
+// Close writes the directory and trailer, fsyncs the temp file, and
+// atomically renames it to the destination path. If any earlier Add
+// failed, Close removes the temp file and returns that error — nothing
+// appears at the destination. Close is idempotent.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	if w.err != nil {
+		w.discard()
+		return w.err
+	}
 	dirOffset := w.w.n
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint64(buf, w.rows)
@@ -195,14 +244,28 @@ func (w *Writer) Close() error {
 	buf = binary.LittleEndian.AppendUint64(buf, dirOffset)
 	buf = append(buf, magic[:]...)
 	if _, err := w.w.Write(buf); err != nil {
-		w.f.Close()
+		w.discard()
 		return fmt.Errorf("colstore: write directory: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
-		w.f.Close()
+		w.discard()
 		return fmt.Errorf("colstore: sync: %w", err)
 	}
-	return w.f.Close()
+	tmpName := w.f.Name()
+	if err := w.f.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("colstore: close: %w", err)
+	}
+	if err := os.Rename(tmpName, w.path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("colstore: publish: %w", err)
+	}
+	// Persist the rename itself so a crash cannot roll it back.
+	if d, err := os.Open(filepath.Dir(w.path)); err == nil {
+		d.Sync() //nolint:errcheck // advisory: rename is already visible
+		d.Close()
+	}
+	return nil
 }
 
 // File is an open colstore file.

@@ -130,21 +130,39 @@ func TestEmptyColumn(t *testing.T) {
 
 func TestWriterValidation(t *testing.T) {
 	dir := t.TempDir()
-	w, err := NewWriter(filepath.Join(dir, "v.col"), 3, 2)
-	if err != nil {
-		t.Fatal(err)
+	// Each rejected Add poisons its writer (Close must never publish a
+	// partial column set), so every case gets a fresh one.
+	newW := func() *Writer {
+		t.Helper()
+		w, err := NewWriter(filepath.Join(dir, "v.col"), 3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w
 	}
+	w := newW()
 	if err := w.AddFloat64("x", []float64{1, 2}); err == nil {
 		t.Fatal("row count mismatch accepted")
 	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close succeeded after rejected Add")
+	}
+	w = newW()
 	if err := w.AddFloat64("x", []float64{1, 2, 3}); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.AddFloat64("x", []float64{4, 5, 6}); err == nil {
 		t.Fatal("duplicate column accepted")
 	}
+	w.Discard()
+	w = newW()
 	if err := w.AddFloat64("", []float64{1, 2, 3}); err == nil {
 		t.Fatal("empty name accepted")
+	}
+	w.Discard()
+	w = newW()
+	if err := w.AddFloat64("x", []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)

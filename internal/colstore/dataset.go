@@ -40,16 +40,17 @@ func CreateDataset(dir string, meta DatasetMeta) (*Dataset, error) {
 	if err != nil {
 		return nil, fmt.Errorf("colstore: encode meta: %w", err)
 	}
-	if err := atomicWriteFile(filepath.Join(dir, metaFileName), buf, 0o644); err != nil {
+	if err := AtomicWriteFile(filepath.Join(dir, metaFileName), buf, 0o644); err != nil {
 		return nil, fmt.Errorf("colstore: write meta: %w", err)
 	}
 	return &Dataset{Dir: dir, Meta: meta}, nil
 }
 
-// atomicWriteFile writes data to a temp file in path's directory, fsyncs
+// AtomicWriteFile writes data to a temp file in path's directory, fsyncs
 // it, and renames it into place, so a crash mid-write can never leave a
-// partial metadata file for OpenDataset to choke on.
-func atomicWriteFile(path string, data []byte, perm os.FileMode) error {
+// partial metadata file for a reader to choke on. Shared by the dataset
+// metadata here and the ingest catalog's manifest.
+func AtomicWriteFile(path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {

@@ -60,9 +60,13 @@ func (b Backend) String() string {
 	}
 }
 
-// Source is an open multi-timestep dataset.
+// Source is an open multi-timestep dataset. A Source can track a growing
+// dataset: Reload re-reads the on-disk metadata and atomically swaps in
+// the new step count, so a live ingestion pipeline appends timesteps to a
+// dataset that is being served without a restart.
 type Source struct {
-	ds     *colstore.Dataset
+	dir    string
+	ds     atomic.Pointer[colstore.Dataset]
 	closed atomic.Bool
 
 	mu            sync.Mutex
@@ -105,7 +109,29 @@ func Open(dir string) (*Source, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Source{ds: ds}, nil
+	s := &Source{dir: dir}
+	s.ds.Store(ds)
+	return s, nil
+}
+
+// dataset returns the current metadata snapshot.
+func (s *Source) dataset() *colstore.Dataset { return s.ds.Load() }
+
+// Reload re-reads the dataset metadata from disk and swaps it in,
+// returning the (possibly grown) step count. Steps opened before the
+// reload stay valid — they own their files — and concurrent queries are
+// unaffected: the swap is atomic and the old snapshot remains readable
+// by requests that already hold it.
+func (s *Source) Reload() (int, error) {
+	if s.closed.Load() {
+		return 0, Fatalf("fastquery: source closed")
+	}
+	ds, err := colstore.OpenDataset(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	s.ds.Store(ds)
+	return ds.Meta.Steps, nil
 }
 
 // Close marks the source closed; subsequent OpenStep calls fail. Steps
@@ -117,15 +143,16 @@ func (s *Source) Close() error {
 }
 
 // Steps returns the number of timesteps.
-func (s *Source) Steps() int { return s.ds.Meta.Steps }
+func (s *Source) Steps() int { return s.dataset().Meta.Steps }
 
 // Variables returns the dataset's declared variables.
 func (s *Source) Variables() []string {
-	return append([]string(nil), s.ds.Meta.Variables...)
+	return append([]string(nil), s.dataset().Meta.Variables...)
 }
 
-// Dataset exposes the underlying storage handle.
-func (s *Source) Dataset() *colstore.Dataset { return s.ds }
+// Dataset exposes the underlying storage handle (the current snapshot;
+// a concurrent Reload may supersede it).
+func (s *Source) Dataset() *colstore.Dataset { return s.dataset() }
 
 // OpenStep opens one timestep for querying. The sidecar index file is
 // opened for on-demand section loading when present — only the directory
@@ -141,16 +168,17 @@ func (s *Source) OpenStep(t int) (*Step, error) {
 	if s.closed.Load() {
 		return nil, Fatalf("fastquery: source closed")
 	}
-	if t < 0 || t >= s.ds.Meta.Steps {
-		return nil, Fatalf("fastquery: timestep %d out of range [0,%d)", t, s.ds.Meta.Steps)
+	ds := s.dataset()
+	if t < 0 || t >= ds.Meta.Steps {
+		return nil, Fatalf("fastquery: timestep %d out of range [0,%d)", t, ds.Meta.Steps)
 	}
-	f, err := s.ds.OpenStep(t)
+	f, err := ds.OpenStep(t)
 	if err != nil {
 		return nil, err
 	}
 	st := &Step{t: t, file: f}
-	if s.ds.HasIndex(t) {
-		ls, err := fastbit.OpenLazy(s.ds.IndexPath(t))
+	if ds.HasIndex(t) {
+		ls, err := fastbit.OpenLazy(ds.IndexPath(t))
 		if err == nil && ls.N() != f.Rows() {
 			ls.Close()
 			err = fmt.Errorf("index covers %d rows, data has %d", ls.N(), f.Rows())

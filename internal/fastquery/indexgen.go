@@ -37,13 +37,13 @@ func BuildIndexes(dir string, opt IndexOptions) error {
 		idVar = "id"
 	}
 	for t := 0; t < src.Steps(); t++ {
-		if src.ds.HasIndex(t) && !opt.Force {
+		if src.dataset().HasIndex(t) && !opt.Force {
 			if opt.Progress != nil {
 				opt.Progress(t, src.Steps(), -1)
 			}
 			continue
 		}
-		f, err := src.ds.OpenStep(t)
+		f, err := src.dataset().OpenStep(t)
 		if err != nil {
 			return err
 		}
@@ -76,7 +76,7 @@ func BuildIndexes(dir string, opt IndexOptions) error {
 		if err != nil {
 			return fmt.Errorf("fastquery: step %d: %w", t, err)
 		}
-		if err := si.WriteFile(src.ds.IndexPath(t)); err != nil {
+		if err := si.WriteFile(src.dataset().IndexPath(t)); err != nil {
 			return err
 		}
 		if opt.Progress != nil {

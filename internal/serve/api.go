@@ -35,13 +35,21 @@ type StepInfo struct {
 	Step    int    `json:"step"`
 	Indexed bool   `json:"indexed"`
 	Rows    uint64 `json:"rows,omitempty"` // populated with ?detail=1
+	// IndexState is "indexed", "pending" (live step awaiting its
+	// background build), "failed" (permanent build failure, scan-only), or
+	// "none" (static dataset without a sidecar).
+	IndexState string `json:"index_state,omitempty"`
 }
 
 // StepsBody is the /v1/steps response.
 type StepsBody struct {
-	Dataset string     `json:"dataset"`
-	Steps   int        `json:"steps"`
-	Detail  []StepInfo `json:"detail,omitempty"`
+	Dataset string `json:"dataset"`
+	Steps   int    `json:"steps"`
+	// Live marks a dataset accepting POST /v1/ingest; Generation is its
+	// catalog generation, bumped on every commit and index publish.
+	Live       bool       `json:"live,omitempty"`
+	Generation uint64     `json:"generation,omitempty"`
+	Detail     []StepInfo `json:"detail,omitempty"`
 }
 
 // VarInfo is one variable's metadata at a timestep. Min/Max come from the
@@ -160,6 +168,51 @@ type StatsBody struct {
 	// IndexFailures lists, per dataset, timesteps whose sidecar index was
 	// rejected (truncated or corrupt) and now serve scan-backend only.
 	IndexFailures map[string][]fastquery.IndexFailure `json:"index_failures,omitempty"`
-	Build         BuildInfo                           `json:"build"`
-	Metrics       []obs.Metric                        `json:"metrics"`
+	// Ingest reports, per live dataset, the ingestion pipeline's state:
+	// catalog generation, committed vs indexed step counts and their lag,
+	// and the background builder's counters.
+	Ingest  map[string]IngestStats `json:"ingest,omitempty"`
+	Build   BuildInfo              `json:"build"`
+	Metrics []obs.Metric           `json:"metrics"`
+}
+
+// IngestStats is one live dataset's entry in StatsBody.Ingest.
+type IngestStats struct {
+	Generation uint64 `json:"generation"`
+	Committed  int    `json:"committed"`
+	Indexed    int    `json:"indexed"`
+	// Lag is committed − indexed: how far index building trails ingestion.
+	Lag int `json:"lag"`
+	// Backlog counts steps queued for or currently at a build worker.
+	Backlog       int    `json:"backlog"`
+	IndexesBuilt  uint64 `json:"indexes_built"`
+	IndexRetries  uint64 `json:"index_retries"`
+	IndexFailures uint64 `json:"index_failures"`
+}
+
+// IngestColumn is one column of a timestep in an IngestBody; exactly one
+// of Float or Int must be set.
+type IngestColumn struct {
+	Name  string    `json:"name"`
+	Float []float64 `json:"float,omitempty"`
+	Int   []int64   `json:"int,omitempty"`
+}
+
+// IngestBody is the POST /v1/ingest request: one complete timestep. Every
+// declared dataset variable must appear exactly once, all columns the same
+// length.
+type IngestBody struct {
+	// Dataset may instead be given as a ?dataset= query parameter.
+	Dataset string         `json:"dataset,omitempty"`
+	Columns []IngestColumn `json:"columns"`
+}
+
+// IngestResponse acknowledges a durably committed timestep.
+type IngestResponse struct {
+	Dataset    string `json:"dataset"`
+	Step       int    `json:"step"`
+	Rows       uint64 `json:"rows"`
+	Bytes      int64  `json:"bytes"`
+	Generation uint64 `json:"generation"`
+	Steps      int    `json:"steps"` // total committed steps after this one
 }

@@ -103,38 +103,81 @@ func (c Config) withDefaults() Config {
 
 // dataset is one served dataset: the open source plus a registry of open
 // timesteps shared by all requests (Source and Step are safe for
-// concurrent readers).
+// concurrent readers). A live dataset additionally carries the ingestion
+// state (catalog, writer, builder, watcher) in live.
 type dataset struct {
 	name string
 	src  *fastquery.Source
+	live *liveState // nil for a static (read-only) dataset
 
 	mu    sync.Mutex
-	steps map[int]*fastquery.Step
+	steps map[int]*stepHandle
+	// retired holds step handles replaced by a hot upgrade (scan → fastbit
+	// after the sidecar index landed). They may still be referenced by
+	// in-flight queries, so they are closed only when the dataset closes.
+	// Bounded: each step upgrades at most once per index publish.
+	retired []*fastquery.Step
+}
+
+// stepHandle pairs an open step with the catalog generation it was opened
+// at, so an index publish (which bumps the step's generation) triggers a
+// reopen on the next access.
+type stepHandle struct {
+	st  *fastquery.Step
+	gen uint64
+}
+
+// stepGen returns timestep t's current catalog generation — the value at
+// its last state change (commit or index publish). Static datasets have
+// no catalog; every step is generation 0 forever.
+func (d *dataset) stepGen(t int) uint64 {
+	if d.live == nil {
+		return 0
+	}
+	man := d.live.man.Load()
+	if man == nil || t < 0 || t >= len(man.Steps) {
+		return 0
+	}
+	return man.Steps[t].Gen
 }
 
 // step returns the shared open handle for timestep t, opening it on first
-// use.
+// use. When the step's catalog generation has moved past the handle's (its
+// index was published after the handle was opened), the handle is reopened
+// so the fastbit backend becomes available; the old handle is retired, not
+// closed, because concurrent requests may still be reading through it.
 func (d *dataset) step(t int) (*fastquery.Step, error) {
+	gen := d.stepGen(t)
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if st, ok := d.steps[t]; ok {
-		return st, nil
+	if h, ok := d.steps[t]; ok && h.gen >= gen {
+		return h.st, nil
 	}
 	st, err := d.src.OpenStep(t)
 	if err != nil {
 		return nil, err
 	}
-	d.steps[t] = st
+	if h, ok := d.steps[t]; ok {
+		d.retired = append(d.retired, h.st)
+	}
+	d.steps[t] = &stepHandle{st: st, gen: gen}
 	return st, nil
 }
 
 func (d *dataset) close() {
+	if d.live != nil {
+		d.live.stopAll()
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for _, st := range d.steps {
+	for _, h := range d.steps {
+		h.st.Close() //nolint:errcheck // read-only handles
+	}
+	for _, st := range d.retired {
 		st.Close() //nolint:errcheck // read-only handles
 	}
-	d.steps = map[int]*fastquery.Step{}
+	d.steps = map[int]*stepHandle{}
+	d.retired = nil
 	d.src.Close() //nolint:errcheck // idempotent
 }
 
@@ -197,6 +240,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/hist1d", s.instrumented("hist1d", s.admitted(s.handleHist1D)))
 	s.mux.HandleFunc("/v1/hist2d", s.instrumented("hist2d", s.admitted(s.handleHist2D)))
 	s.mux.HandleFunc("/v1/sweep2d", s.instrumented("sweep2d", s.admitted(s.handleSweep2D)))
+	s.mux.HandleFunc("/v1/ingest", s.instrumented("ingest", s.handleIngest))
 	s.mux.HandleFunc("/v1/stats", s.instrumented("stats", s.handleStats))
 	s.mux.Handle("/metrics", obs.Handler(reg, obs.Default()))
 	s.mux.Handle("/v1/debug/slow", s.slowLog.Handler())
@@ -249,7 +293,7 @@ func (s *Server) AddDataset(name, dir string) error {
 		src.Close() //nolint:errcheck // idempotent
 		return fmt.Errorf("serve: duplicate dataset %q", name)
 	}
-	s.datasets[name] = &dataset{name: name, src: src, steps: map[int]*fastquery.Step{}}
+	s.datasets[name] = &dataset{name: name, src: src, steps: map[int]*stepHandle{}}
 	s.order = append(s.order, name)
 	return nil
 }
@@ -425,11 +469,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RLock()
 	for _, name := range s.order {
-		if fails := s.datasets[name].src.IndexFailures(); len(fails) > 0 {
+		d := s.datasets[name]
+		if fails := d.src.IndexFailures(); len(fails) > 0 {
 			if body.IndexFailures == nil {
 				body.IndexFailures = map[string][]fastquery.IndexFailure{}
 			}
 			body.IndexFailures[name] = fails
+		}
+		if d.live != nil {
+			if body.Ingest == nil {
+				body.Ingest = map[string]IngestStats{}
+			}
+			body.Ingest[name] = d.live.stats()
 		}
 	}
 	s.mu.RUnlock()
@@ -491,7 +542,10 @@ func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
-	body := StepsBody{Dataset: d.name, Steps: d.src.Steps()}
+	body := StepsBody{Dataset: d.name, Steps: d.src.Steps(), Live: d.live != nil}
+	if d.live != nil {
+		body.Generation = d.live.man.Load().Generation
+	}
 	if r.FormValue("detail") != "" {
 		for t := 0; t < d.src.Steps(); t++ {
 			st, err := d.step(t)
@@ -499,7 +553,9 @@ func (s *Server) handleSteps(w http.ResponseWriter, r *http.Request) {
 				writeError(w, http.StatusInternalServerError, "step %d: %v", t, err)
 				return
 			}
-			body.Detail = append(body.Detail, StepInfo{Step: t, Indexed: st.HasIndex(), Rows: st.Rows()})
+			info := StepInfo{Step: t, Indexed: st.HasIndex(), Rows: st.Rows(),
+				IndexState: d.indexState(t, st)}
+			body.Detail = append(body.Detail, info)
 		}
 	}
 	writeJSON(w, http.StatusOK, body)
@@ -540,6 +596,7 @@ type request struct {
 	d       *dataset
 	st      *fastquery.Step
 	t       int
+	gen     uint64     // step's catalog generation (0 for static datasets)
 	expr    query.Expr // nil when no condition was given
 	src     string     // query text as received
 	plan    string     // canonical rendering, "" when expr == nil
@@ -562,7 +619,7 @@ func (s *Server) parseRequest(r *http.Request, requireQuery bool) (*request, *ht
 	if err != nil {
 		return nil, errf(http.StatusInternalServerError, "%v", err)
 	}
-	req := &request{d: d, st: st, t: t, src: r.FormValue("q")}
+	req := &request{d: d, st: st, t: t, gen: d.stepGen(t), src: r.FormValue("q")}
 	if req.src == "" && requireQuery {
 		return nil, errf(http.StatusBadRequest, "missing q parameter")
 	}
@@ -624,11 +681,15 @@ func checkVars(d *dataset, names ...string) *httpError {
 	return nil
 }
 
-// cacheKey builds the deterministic result-cache key: dataset, step,
-// backend, canonical plan, and the operation-specific spec.
+// cacheKey builds the deterministic result-cache key: dataset, step, the
+// step's catalog generation, backend, canonical plan, and the
+// operation-specific spec. The generation makes live-ingest invalidation
+// precise: an index publish bumps only that step's generation, so exactly
+// its entries stop matching while every other step's stay hot.
 func (req *request) cacheKey(spec string) string {
 	return strings.Join([]string{
-		req.d.name, strconv.Itoa(req.t), req.backend.String(), req.plan, spec,
+		req.d.name, strconv.Itoa(req.t), strconv.FormatUint(req.gen, 10),
+		req.backend.String(), req.plan, spec,
 	}, "\x1f")
 }
 
