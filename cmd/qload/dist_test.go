@@ -1,0 +1,98 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("probe=0.3, drill=0.6,sweep=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.kinds) != 3 || !m.has(kindProbe) || !m.has(kindDrill) || !m.has(kindSweep) {
+		t.Fatalf("mix %+v", m)
+	}
+	if m.has(kindIngest) {
+		t.Fatal("phantom ingest kind")
+	}
+	// Picks follow the weights within sampling noise.
+	rng := rand.New(rand.NewSource(7))
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[m.pick(rng)]++
+	}
+	if f := float64(counts[kindDrill]) / n; math.Abs(f-0.6) > 0.03 {
+		t.Fatalf("drill frequency %.3f, want ~0.6", f)
+	}
+	if f := float64(counts[kindProbe]) / n; math.Abs(f-0.3) > 0.03 {
+		t.Fatalf("probe frequency %.3f, want ~0.3", f)
+	}
+
+	for _, bad := range []string{"", "zz=1", "drill", "drill=-1", "drill=x", "drill=0.5,drill=0.5", "drill=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArrivalGapMeans(t *testing.T) {
+	const mean = 10 * time.Millisecond
+	for _, proc := range []string{"poisson", "uniform", "fixed"} {
+		rng := rand.New(rand.NewSource(11))
+		var sum time.Duration
+		const n = 50000
+		for i := 0; i < n; i++ {
+			g, err := arrivalGap(rng, proc, mean)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g < 0 {
+				t.Fatalf("%s: negative gap", proc)
+			}
+			sum += g
+		}
+		got := float64(sum) / float64(n) / float64(mean)
+		if math.Abs(got-1) > 0.05 {
+			t.Errorf("%s: mean gap %.3f× target", proc, got)
+		}
+	}
+	if _, err := arrivalGap(rand.New(rand.NewSource(1)), "zipf", mean); err == nil {
+		t.Error("unknown arrival process accepted")
+	}
+}
+
+// TestCorrectedPercentileCountsScheduleDelay demonstrates the omission
+// correction downstream code relies on: latency measured from scheduled
+// arrival includes send delay that service latency hides.
+func TestCorrectedPercentileCountsScheduleDelay(t *testing.T) {
+	// 100 requests scheduled 1ms apart against a server that takes 10ms
+	// serially: the k-th completes at (k+1)*10ms, so its corrected latency
+	// grows linearly while its service latency is a constant 10ms.
+	var corrected, service []time.Duration
+	for k := 0; k < 100; k++ {
+		scheduled := time.Duration(k) * time.Millisecond
+		completion := time.Duration(k+1) * 10 * time.Millisecond
+		corrected = append(corrected, completion-scheduled)
+		service = append(service, 10*time.Millisecond)
+	}
+	if p := percentileMS(service, 99); p != 10 {
+		t.Fatalf("service p99 = %.1fms, want 10", p)
+	}
+	if p := percentileMS(corrected, 99); p < 800 {
+		t.Fatalf("corrected p99 = %.1fms — queueing delay was omitted", p)
+	}
+}
+
+func TestOpenResultBadFrac(t *testing.T) {
+	r := &openResult{Sent: 100, OK: 90, Shed429: 6, Shed503: 2, Errors: 2}
+	if got := r.badFrac(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("badFrac = %v, want 0.1", got)
+	}
+	if got := (&openResult{}).badFrac(); got != 0 {
+		t.Fatalf("empty badFrac = %v", got)
+	}
+}

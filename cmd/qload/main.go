@@ -71,6 +71,25 @@ func main() {
 		ingBeam      = flag.Int("ingest-beam", 600, "sim particles per beam (must match the served run)")
 		ingDim       = flag.Int("ingest-dim", 2, "sim dimensionality (must match the served run)")
 		ingSeed      = flag.Uint64("ingest-seed", 0x5eed, "sim seed (must match the served run)")
+
+		// Open-loop mode (-rate > 0) and the found-capacity sweep
+		// (-capacity): arrivals fire on a schedule independent of response
+		// times, and percentiles are coordinated-omission corrected.
+		rate        = flag.Float64("rate", 0, "open-loop offered arrivals/sec (0 = closed-loop session replay)")
+		duration    = flag.Duration("duration", 30*time.Second, "open-loop measurement duration")
+		arrival     = flag.String("arrival", "poisson", "inter-arrival process: poisson | uniform | fixed")
+		mixFlag     = flag.String("mix", "probe=0.3,drill=0.6,sweep=0.1", "open-loop request mix, kind=weight,... (probe | drill | sweep | ingest)")
+		seed        = flag.Int64("seed", 1, "open-loop RNG seed")
+		maxOut      = flag.Int("max-outstanding", 256, "max in-flight open-loop requests; a full window delays sends and the delay lands in corrected latency")
+		slo         = flag.Duration("slo", 250*time.Millisecond, "corrected-p99 target defining sustainable capacity")
+		capacity    = flag.Bool("capacity", false, "run the found-capacity sweep and write BENCH_capacity.json")
+		capStart    = flag.Float64("cap-start", 5, "capacity sweep starting rate (qps)")
+		capGrowth   = flag.Float64("cap-growth", 1.5, "capacity sweep geometric ramp factor")
+		capPhase    = flag.Duration("cap-phase", 10*time.Second, "capacity sweep per-rate phase duration")
+		capMax      = flag.Float64("cap-max", 2000, "capacity sweep rate ceiling (qps)")
+		capShed     = flag.Float64("cap-shed-frac", 0.02, "tolerated non-200 fraction while a rate counts as sustained")
+		baselineURL = flag.String("baseline-url", "", "second qserve (conventionally a fixed gate) to sweep for comparison")
+		capEnforce  = flag.Bool("cap-enforce", false, "exit non-zero when adaptive found capacity < baseline found capacity")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -93,13 +112,99 @@ func main() {
 		stages: map[string]*stageAgg{},
 		client: &http.Client{Timeout: 30 * time.Second},
 	}
+	if *capacity || *rate > 0 {
+		// Open-loop transports must not serialize on a handful of pooled
+		// connections, or pool exhaustion would masquerade as server latency.
+		lg.client = &http.Client{
+			Timeout: 60 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        *maxOut + 16,
+				MaxIdleConnsPerHost: *maxOut + 16,
+			},
+		}
+	}
 	if err := lg.setup(*dataset, *step, *xvar, *yvar); err != nil {
 		log.Fatal(err)
 	}
 	var report interface {
 		print(io.Writer)
 	}
-	if *ingSteps > 0 {
+	var exitErr string // deferred fatal: the report is written first
+	switch {
+	case *capacity, *rate > 0:
+		mix, err := parseMix(*mixFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		open := openLoopOptions{
+			rate:           *rate,
+			duration:       *duration,
+			arrival:        *arrival,
+			mix:            mix,
+			maxOutstanding: *maxOut,
+			seed:           *seed,
+		}
+		ingOpt := ingestOptions{particles: *ingParticles, beam: *ingBeam, dim: *ingDim, seed: *ingSeed}
+		paths, feeder, err := lg.openLoopSetup(mix, ingOpt, *xvar, *yvar, *fine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *capacity {
+			copt := capacityOptions{
+				start:    *capStart,
+				growth:   *capGrowth,
+				phase:    *capPhase,
+				max:      *capMax,
+				shedFrac: *capShed,
+				slo:      *slo,
+				open:     open,
+			}
+			rep := &capacityReport{
+				SLOMS:    float64(*slo) / float64(time.Millisecond),
+				ShedFrac: *capShed,
+				Arrival:  *arrival,
+				Mix:      mix.String(),
+				PhaseS:   capPhase.Seconds(),
+			}
+			if rep.Adaptive, err = lg.findCapacity(copt, paths, feeder); err != nil {
+				log.Fatal(err)
+			}
+			if *baselineURL != "" {
+				blg := &loadgen{base: *baselineURL, backend: *backend, client: lg.client,
+					latHist: lg.latHist, stages: map[string]*stageAgg{}}
+				if err := blg.setup(*dataset, *step, *xvar, *yvar); err != nil {
+					log.Fatal(err)
+				}
+				bpaths, bfeeder, err := blg.openLoopSetup(mix, ingOpt, *xvar, *yvar, *fine)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if rep.Baseline, err = blg.findCapacity(copt, bpaths, bfeeder); err != nil {
+					log.Fatal(err)
+				}
+				if rep.Baseline.FoundQPS > 0 {
+					rep.Speedup = rep.Adaptive.FoundQPS / rep.Baseline.FoundQPS
+				}
+				if *capEnforce && rep.Adaptive.FoundQPS < rep.Baseline.FoundQPS {
+					exitErr = fmt.Sprintf("capacity regression: adaptive %.1f qps < baseline %.1f qps",
+						rep.Adaptive.FoundQPS, rep.Baseline.FoundQPS)
+				}
+			}
+			report = rep
+			if *out == "" {
+				*out = "BENCH_capacity.json"
+			}
+		} else {
+			res, err := lg.runOpenLoop(open, paths, feeder)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report = res
+			if *out == "" {
+				*out = "BENCH_openloop.json"
+			}
+		}
+	case *ingSteps > 0:
 		ires, err := lg.runIngestBench(ingestOptions{
 			steps:     *ingSteps,
 			interval:  *ingInterval,
@@ -115,7 +220,7 @@ func main() {
 		if *out == "" {
 			*out = "BENCH_ingest.json"
 		}
-	} else {
+	default:
 		res, err := lg.run(*sessions, *concurrency, *xvar, *yvar, *coarse, *fine)
 		if err != nil {
 			log.Fatal(err)
@@ -136,6 +241,27 @@ func main() {
 		}
 		log.Printf("wrote %s", *out)
 	}
+	if exitErr != "" {
+		log.Fatal(exitErr)
+	}
+}
+
+// openLoopSetup builds the request templates and, when the mix streams
+// appends, the ingest feeder (requiring a live target dataset).
+func (lg *loadgen) openLoopSetup(mix *reqMix, ingOpt ingestOptions, xvar, yvar string, fine int) (openLoopPaths, *ingestFeeder, error) {
+	paths := lg.buildPaths(xvar, yvar, fine)
+	if !mix.has(kindIngest) {
+		return paths, nil, nil
+	}
+	sb, err := lg.stepsDetail()
+	if err != nil {
+		return paths, nil, err
+	}
+	if !sb.Live {
+		return paths, nil, fmt.Errorf("mix includes ingest but dataset %q is not live — start qserve with -live", lg.dataset)
+	}
+	feeder, err := newIngestFeeder(sb.Steps, ingOpt)
+	return paths, feeder, err
 }
 
 type loadgen struct {

@@ -86,6 +86,10 @@ func main() {
 		queueWait    = flag.Duration("queue-timeout", 2*time.Second, "max time a request waits for admission")
 		execTimeout  = flag.Duration("exec-timeout", 30*time.Second, "per-request execution deadline, answered 504 (0 = no deadline)")
 		slowThresh   = flag.Duration("slow-threshold", 250*time.Millisecond, "latency beyond which a request enters the slow-query log (0 = off)")
+		limitMode    = flag.String("limit-mode", "aimd", "admission limiter: fixed | aimd | gradient")
+		slo          = flag.Duration("slo", 250*time.Millisecond, "latency SLO the adaptive limiter steers p95 toward")
+		maxConc      = flag.Int("max-concurrency", 0, "cap on adaptive limit growth (0 = 8x concurrency)")
+		brownout     = flag.Bool("brownout", true, "answer eligible histograms from a degraded path under sustained overload")
 		workers      = flag.String("workers", "", "comma-separated cluster worker addresses for /v1/sweep2d")
 		obsEnabled   = flag.Bool("obs", true, "enable tracing and latency histograms (counters stay on)")
 		live         = flag.Bool("live", false, "serve datasets live: accept POST /v1/ingest and build indexes in the background")
@@ -99,14 +103,21 @@ func main() {
 		os.Exit(2)
 	}
 	obs.SetEnabled(*obsEnabled)
+	if _, err := serve.ParseLimitMode(*limitMode); err != nil {
+		fatal("bad -limit-mode", "mode", *limitMode, "err", err)
+	}
 
 	cfg := serve.Config{
-		CacheEntries:  *cacheEntries,
-		Concurrency:   *concurrency,
-		QueueTimeout:  *queueWait,
-		ExecTimeout:   *execTimeout,
-		SlowThreshold: *slowThresh,
-		Logger:        logger.With("serve"),
+		CacheEntries:   *cacheEntries,
+		Concurrency:    *concurrency,
+		QueueTimeout:   *queueWait,
+		ExecTimeout:    *execTimeout,
+		SlowThreshold:  *slowThresh,
+		Logger:         logger.With("serve"),
+		LimitMode:      *limitMode,
+		SLO:            *slo,
+		MaxConcurrency: *maxConc,
+		Brownout:       *brownout,
 	}
 	// Flag semantics: 0 disables the deadline; Config expresses that as a
 	// negative value (its own zero means "use the default").

@@ -71,6 +71,12 @@ type Evaluator struct {
 	LookupID func() (*IDIndex, error)
 	Raw      RawReader
 
+	// Approx switches evaluation to the index-only approximate path:
+	// boundary bins are admitted wholesale instead of candidate-checked,
+	// yielding a superset bitmap without touching raw data. Set before the
+	// first Eval call; Stats.ApproxRows reports the unchecked admissions.
+	Approx bool
+
 	// Stats accumulates candidate-check work across Eval calls.
 	Stats EvalStats
 }
@@ -223,7 +229,15 @@ func (ev *Evaluator) evalCompare(ctx context.Context, c *query.Compare) (*bitmap
 	}
 	cctx, csp := obs.StartSpan(ctx, "candidate-check")
 	csp.SetAttr("var", c.Var)
-	v, st, err := ix.EvaluateCtx(cctx, iv, ev.rawFor(c.Var))
+	var (
+		v  *bitmap.Vector
+		st EvalStats
+	)
+	if ev.Approx {
+		v, st, err = ix.EvaluateApproxCtx(cctx, iv)
+	} else {
+		v, st, err = ix.EvaluateCtx(cctx, iv, ev.rawFor(c.Var))
+	}
 	if csp != nil {
 		csp.SetAttr("checks", strconv.FormatUint(st.CandidateChecks, 10))
 		csp.End()
@@ -280,6 +294,16 @@ func (ev *Evaluator) evalIn(ctx context.Context, in *query.In) (*bitmap.Vector, 
 	for b := range binsWanted {
 		cand = append(cand, ix.Bitmaps[b])
 	}
+	if ev.Approx {
+		// Index-only: every record in a candidate bin is admitted wholesale.
+		v := bitmap.OrAll(cand)
+		if v.Len() == 0 {
+			v = bitmap.New(ev.N)
+			v.AppendRun(false, ev.N)
+		}
+		ev.Stats.ApproxRows += v.Count()
+		return v, nil
+	}
 	positions := bitmap.OrAll(cand).Positions()
 	ev.Stats.CandidateChecks += uint64(len(positions))
 	values, err := ev.rawFor(in.Var)(positions)
@@ -313,6 +337,7 @@ func (ev *Evaluator) accumulate(st EvalStats) {
 	ev.Stats.FullBins += st.FullBins
 	ev.Stats.BoundaryBins += st.BoundaryBins
 	ev.Stats.CandidateChecks += st.CandidateChecks
+	ev.Stats.ApproxRows += st.ApproxRows
 }
 
 // Count returns the number of records matching e.

@@ -124,6 +124,10 @@ type EvalStats struct {
 	FullBins        int
 	BoundaryBins    int
 	CandidateChecks uint64
+	// ApproxRows counts records admitted wholesale from boundary bins by
+	// the approximate (index-only) evaluation path instead of being
+	// candidate-checked; nonzero means the result is a superset.
+	ApproxRows uint64
 }
 
 // Evaluate returns the bitmap of records whose value lies in iv. raw is
@@ -217,6 +221,65 @@ func (ix *Index) EvaluateCtx(ctx context.Context, iv query.Interval, raw RawValu
 		return nil, st, fmt.Errorf("fastbit: %q: %w", ix.Name, err)
 	}
 	return result.Or(exact), st, nil
+}
+
+// EvaluateApproxCtx is EvaluateCtx without candidate checks: boundary
+// bins are included wholesale, so the returned bitmap is a superset of
+// the exact answer and never touches the raw data. This is the server's
+// brownout path — under overload a slightly-too-inclusive histogram now
+// beats an exact one after the user has given up. st.ApproxRows reports
+// how many records were admitted without being checked (0 means the
+// result happens to be exact).
+func (ix *Index) EvaluateApproxCtx(ctx context.Context, iv query.Interval) (*bitmap.Vector, EvalStats, error) {
+	var st EvalStats
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
+	nb := ix.Bins()
+	min, max := ix.Min(), ix.Max()
+
+	// The two trivial cases are exact even here.
+	if iv.Hi < min || (iv.Hi == min && iv.HiOpen) || iv.Lo > max || (iv.Lo == max && iv.LoOpen) {
+		v := bitmap.New(ix.N)
+		v.AppendRun(false, ix.N)
+		return v, st, nil
+	}
+	if iv.Contains(min) && iv.Contains(max) {
+		v := bitmap.New(ix.N)
+		v.AppendRun(true, ix.N)
+		st.FullBins = nb
+		return v, st, nil
+	}
+
+	var full []*bitmap.Vector
+	for b := 0; b < nb; b++ {
+		blo, bhi := ix.Bounds[b], ix.Bounds[b+1]
+		last := b == nb-1
+		if !binOverlaps(iv, blo, bhi, last) {
+			continue
+		}
+		switch {
+		case binInside(iv, blo, bhi, last):
+			full = append(full, ix.Bitmaps[b])
+			st.FullBins++
+		case ix.binResolvedByGranule(iv, b):
+			if iv.Contains(ix.BinMin[b]) {
+				full = append(full, ix.Bitmaps[b])
+				st.FullBins++
+			}
+		default:
+			// Boundary bin: take it wholesale instead of checking raw values.
+			full = append(full, ix.Bitmaps[b])
+			st.BoundaryBins++
+			st.ApproxRows += ix.Bitmaps[b].Count()
+		}
+	}
+	result := bitmap.OrAll(full)
+	if result.Len() == 0 {
+		result = bitmap.New(ix.N)
+		result.AppendRun(false, ix.N)
+	}
+	return result, st, nil
 }
 
 // binResolvedByGranule reports whether bin b's actual min/max values

@@ -451,6 +451,34 @@ func (st *Step) Histogram1DCtx(ctx context.Context, cond query.Expr, spec histog
 	}
 }
 
+// Histogram1DIndexOnlyCtx computes an approximate conditional 1D
+// histogram entirely in index space: the condition is evaluated with
+// boundary bins admitted wholesale (no candidate checks, no raw reads)
+// and the histogram is binned at the index's own resolution via bitmap
+// AND-counts. It requires a usable index; the result's totals are an
+// upper bound on the exact answer. This is the serve layer's brownout
+// path under sustained overload.
+func (st *Step) Histogram1DIndexOnlyCtx(ctx context.Context, cond query.Expr, name string) (*histogram.Hist1D, error) {
+	ev, err := st.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	ev.Approx = true
+	return ev.Histogram1DFromBitmapsCtx(ctx, cond, name)
+}
+
+// Histogram2DIndexOnlyCtx is the 2D analogue of Histogram1DIndexOnlyCtx:
+// an approximate conditional 2D histogram at the two indexes' native
+// resolutions, computed from bitmaps alone.
+func (st *Step) Histogram2DIndexOnlyCtx(ctx context.Context, cond query.Expr, xvar, yvar string) (*histogram.Hist2D, error) {
+	ev, err := st.evaluator()
+	if err != nil {
+		return nil, err
+	}
+	ev.Approx = true
+	return ev.Histogram2DFromBitmapsCtx(ctx, cond, xvar, yvar)
+}
+
 // Histogram2DParallel computes a conditional 2D histogram with the SMP
 // data-parallel algorithm (rows sharded across workers, partial histograms
 // merged — scan.ParallelHistogram2D). It always runs on the scan path;

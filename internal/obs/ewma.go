@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// EWMA is a thread-safe exponentially weighted moving average. The first
+// observation seeds the average; each later one folds in with weight
+// alpha. Control loops use it where a full histogram is overkill — e.g.
+// the admission gate's release-interval estimate behind Retry-After.
+type EWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	val   float64
+	n     uint64
+}
+
+// NewEWMA creates an average with the given smoothing factor in (0, 1];
+// out-of-range values are clamped. Larger alpha follows recent samples
+// more closely.
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 || math.IsNaN(alpha) {
+		alpha = 0.2
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds one sample into the average. NaN samples are dropped.
+func (e *EWMA) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.val = x
+	} else {
+		e.val = e.alpha*x + (1-e.alpha)*e.val
+	}
+	e.n++
+}
+
+// Value returns the current average, 0 before any observation.
+func (e *EWMA) Value() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.val
+}
+
+// Count returns how many samples have been observed.
+func (e *EWMA) Count() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}
+
+// Window is a thread-safe fixed-capacity ring of recent observations with
+// exact quantiles over its contents. It is the rolling-latency view a
+// control loop steers on: cheap to feed from the hot path, queried once
+// per adjustment interval.
+type Window struct {
+	mu   sync.Mutex
+	buf  []float64
+	n    int // total observations ever; buf holds the most recent min(n, cap)
+	next int // ring write cursor
+}
+
+// NewWindow creates a window over the last capacity observations
+// (capacity < 1 is clamped to 1).
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Observe records one sample, displacing the oldest once full. NaN
+// samples are dropped.
+func (w *Window) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+	w.n++
+}
+
+// Len returns how many samples the window currently holds.
+func (w *Window) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lenLocked()
+}
+
+func (w *Window) lenLocked() int {
+	if w.n < len(w.buf) {
+		return w.n
+	}
+	return len(w.buf)
+}
+
+// Quantile returns the q-quantile (q in [0, 1]) of the samples currently
+// held, by sorting a copy; 0 when the window is empty. Nearest-rank, so
+// Quantile(1) is the maximum and Quantile(0) the minimum.
+func (w *Window) Quantile(q float64) float64 {
+	w.mu.Lock()
+	n := w.lenLocked()
+	if n == 0 {
+		w.mu.Unlock()
+		return 0
+	}
+	s := append([]float64(nil), w.buf[:n]...)
+	w.mu.Unlock()
+	sort.Float64s(s)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	idx := int(math.Ceil(q*float64(n))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return s[idx]
+}
+
+// Reset empties the window.
+func (w *Window) Reset() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n = 0
+	w.next = 0
+}

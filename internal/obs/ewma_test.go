@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEWMASeedAndSmooth(t *testing.T) {
+	e := NewEWMA(0.5)
+	if v := e.Value(); v != 0 {
+		t.Fatalf("empty value = %v, want 0", v)
+	}
+	e.Observe(10)
+	if v := e.Value(); v != 10 {
+		t.Fatalf("seed value = %v, want 10", v)
+	}
+	e.Observe(20) // 0.5*20 + 0.5*10
+	if v := e.Value(); v != 15 {
+		t.Fatalf("after second obs = %v, want 15", v)
+	}
+	e.Observe(math.NaN())
+	if v := e.Value(); v != 15 {
+		t.Fatalf("NaN must be dropped, value = %v", v)
+	}
+	if n := e.Count(); n != 2 {
+		t.Fatalf("count = %d, want 2", n)
+	}
+}
+
+func TestEWMAAlphaClamp(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5, math.NaN()} {
+		e := NewEWMA(alpha)
+		e.Observe(1)
+		e.Observe(2)
+		v := e.Value()
+		if v <= 1 || v >= 2 {
+			t.Fatalf("alpha %v: value %v outside (1,2)", alpha, v)
+		}
+	}
+}
+
+func TestWindowQuantile(t *testing.T) {
+	w := NewWindow(100)
+	if q := w.Quantile(0.95); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := w.Quantile(c.q); got != c.want {
+			t.Fatalf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if n := w.Len(); n != 100 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestWindowEvictsOldest(t *testing.T) {
+	w := NewWindow(4)
+	for i := 1; i <= 8; i++ { // leaves 5,6,7,8
+		w.Observe(float64(i))
+	}
+	if got := w.Quantile(0); got != 5 {
+		t.Fatalf("min after wrap = %v, want 5", got)
+	}
+	if got := w.Quantile(1); got != 8 {
+		t.Fatalf("max after wrap = %v, want 8", got)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Quantile(0.5) != 0 {
+		t.Fatal("reset did not empty the window")
+	}
+	w.Observe(42)
+	if got := w.Quantile(1); got != 42 {
+		t.Fatalf("post-reset observe = %v", got)
+	}
+}

@@ -9,8 +9,12 @@
 //     queries to one deterministic cache key,
 //   - a result cache with request coalescing (Cache), so repeated and
 //     concurrent identical drill-downs cost one backend evaluation,
-//   - admission control (Gate), so a burst of heavy histogram requests
-//     degrades into explicit 429/503 rejections instead of a pile-up.
+//   - adaptive admission control (Gate), a self-tuning concurrency
+//     limiter with priority-class shedding: under a burst, ingest and
+//     cold sweeps shed first (429/503 with a measured Retry-After),
+//     cached-key probes bypass the gate entirely, and under sustained
+//     pressure eligible histograms are answered from a degraded path
+//     (brownout) instead of being rejected.
 package serve
 
 import (
@@ -86,37 +90,47 @@ type QueryBody struct {
 
 // Hist1DBody is the /v1/hist1d response.
 type Hist1DBody struct {
-	Dataset   string        `json:"dataset"`
-	Step      int           `json:"step"`
-	Plan      string        `json:"plan,omitempty"`
-	Backend   string        `json:"backend"`
-	Var       string        `json:"var"`
-	Binning   string        `json:"binning"`
-	Edges     []float64     `json:"edges"`
-	Counts    []uint64      `json:"counts"`
-	Total     uint64        `json:"total"`
-	Outcome   string        `json:"outcome"`
-	ElapsedMS float64       `json:"elapsed_ms"`
-	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+	Dataset string    `json:"dataset"`
+	Step    int       `json:"step"`
+	Plan    string    `json:"plan,omitempty"`
+	Backend string    `json:"backend"`
+	Var     string    `json:"var"`
+	Binning string    `json:"binning"`
+	Edges   []float64 `json:"edges"`
+	Counts  []uint64  `json:"counts"`
+	Total   uint64    `json:"total"`
+	Outcome string    `json:"outcome"`
+	// Degraded marks a brownout answer: the server was overloaded and
+	// responded from DegradedMode ("coarse-cache": a cached coarser
+	// resolution of the same request; "index-only": an approximate
+	// histogram computed from bitmaps alone, counts an upper bound). The
+	// X-Degraded response header carries the same mode.
+	Degraded     bool          `json:"degraded,omitempty"`
+	DegradedMode string        `json:"degraded_mode,omitempty"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
+	Trace        *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
 }
 
 // Hist2DBody is the /v1/hist2d response. Counts are row-major:
 // Counts[iy*len(XEdges-1) + ix].
 type Hist2DBody struct {
-	Dataset   string        `json:"dataset"`
-	Step      int           `json:"step"`
-	Plan      string        `json:"plan,omitempty"`
-	Backend   string        `json:"backend"`
-	XVar      string        `json:"xvar"`
-	YVar      string        `json:"yvar"`
-	Binning   string        `json:"binning"`
-	XEdges    []float64     `json:"xedges"`
-	YEdges    []float64     `json:"yedges"`
-	Counts    []uint64      `json:"counts"`
-	Total     uint64        `json:"total"`
-	Outcome   string        `json:"outcome"`
-	ElapsedMS float64       `json:"elapsed_ms"`
-	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+	Dataset string    `json:"dataset"`
+	Step    int       `json:"step"`
+	Plan    string    `json:"plan,omitempty"`
+	Backend string    `json:"backend"`
+	XVar    string    `json:"xvar"`
+	YVar    string    `json:"yvar"`
+	Binning string    `json:"binning"`
+	XEdges  []float64 `json:"xedges"`
+	YEdges  []float64 `json:"yedges"`
+	Counts  []uint64  `json:"counts"`
+	Total   uint64    `json:"total"`
+	Outcome string    `json:"outcome"`
+	// Degraded and DegradedMode mark a brownout answer; see Hist1DBody.
+	Degraded     bool          `json:"degraded,omitempty"`
+	DegradedMode string        `json:"degraded_mode,omitempty"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
+	Trace        *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
 }
 
 // Sweep2DBody is the /v1/sweep2d response: one conditional 2D histogram

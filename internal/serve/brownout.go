@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+)
+
+// Brownout: under sustained overload, an eligible histogram request that
+// would otherwise be shed is answered from a degraded path instead — the
+// Hillview trade, where a coarse answer now beats an exact answer after
+// the user has given up. The ladder has two rungs, tried in order:
+//
+//  1. coarse-cache — a cached result of the same request at a coarser
+//     resolution (bins repeatedly halved, down to brownoutMinBins). Costs
+//     one map lookup per rung, no backend work at all.
+//  2. index-only — recompute entirely in index space: the condition is
+//     evaluated with boundary bins admitted wholesale (no candidate
+//     checks, no raw reads) and the histogram binned at the index's own
+//     resolution from bitmap AND-counts. Concurrency is bounded by
+//     brownoutWorkers so the rescue path cannot itself become the
+//     overload.
+//
+// Degraded responses are 200s marked three ways: Degraded/DegradedMode in
+// the body, an X-Degraded header, and serve_degraded_total{mode=...}.
+// Clients opt out with ?exact=1 and take the 429 instead.
+const (
+	// brownoutWorkers bounds concurrent index-only rescues.
+	brownoutWorkers = 2
+	// brownoutMinBins is the coarsest resolution rung 1 will probe for.
+	brownoutMinBins = 8
+)
+
+// Degraded-mode labels.
+const (
+	degradedCoarse    = "coarse-cache"
+	degradedIndexOnly = "index-only"
+)
+
+// brownoutEligible reports whether a shed histogram request may be
+// rescued: brownout enabled and armed (sustained pressure), the client
+// did not insist on exactness, and the binning is uniform (adaptive
+// binning changes edges with the data, so a coarser cached entry is not
+// a resolution ladder of the same histogram).
+func (s *Server) brownoutEligible(r *http.Request, binning histogram.Binning) bool {
+	return s.cfg.Brownout &&
+		r.FormValue("exact") != "1" &&
+		binning == histogram.Uniform &&
+		s.gate.BrownoutActive()
+}
+
+// brownoutRescue runs the index-only rung under the worker bound; it
+// returns false (declining the rescue) when all brownout workers are
+// busy or the computation fails — the caller sheds as usual.
+func (s *Server) brownoutRescue(r *http.Request, key string, fn func(ctx context.Context) (any, error)) (any, Outcome, bool) {
+	select {
+	case s.brownoutSem <- struct{}{}:
+	default:
+		return nil, Computed, false
+	}
+	defer func() { <-s.brownoutSem }()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	val, outcome, err := s.cacheDo(ctx, key, fn)
+	if err != nil {
+		return nil, outcome, false
+	}
+	return val, outcome, true
+}
+
+// tryBrownoutHist1D attempts a degraded answer for a shed 1D histogram
+// request; it reports whether a response was written.
+func (s *Server) tryBrownoutHist1D(r *http.Request, req *request, spec histogram.Spec1D, respond func(val any, outcome Outcome, degraded string)) bool {
+	if !s.brownoutEligible(r, spec.Binning) {
+		return false
+	}
+	for bins := spec.Bins / 2; bins >= brownoutMinBins; bins /= 2 {
+		coarse := spec
+		coarse.Bins = bins
+		if val, ok := s.cache.Peek(req.cacheKey(hist1DSpecKey(coarse))); ok {
+			s.metrics.degraded(degradedCoarse).Inc()
+			respond(val, Hit, degradedCoarse)
+			return true
+		}
+	}
+	if req.backend != fastquery.FastBit {
+		return false
+	}
+	key := req.cacheKey(strings.Join([]string{"hist1d-approx", spec.Var}, "|"))
+	val, outcome, ok := s.brownoutRescue(r, key, func(ctx context.Context) (any, error) {
+		s.backendCalls.Inc()
+		return req.st.Histogram1DIndexOnlyCtx(ctx, req.expr, spec.Var)
+	})
+	if !ok {
+		return false
+	}
+	s.metrics.degraded(degradedIndexOnly).Inc()
+	respond(val, outcome, degradedIndexOnly)
+	return true
+}
+
+// tryBrownoutHist2D is tryBrownoutHist1D for 2D histograms: the coarse
+// rung halves both axes in lockstep before falling back to the bitmap
+// AND-count grid at the two indexes' native resolutions.
+func (s *Server) tryBrownoutHist2D(r *http.Request, req *request, spec histogram.Spec2D, respond func(val any, outcome Outcome, degraded string)) bool {
+	if !s.brownoutEligible(r, spec.Binning) {
+		return false
+	}
+	for xb, yb := spec.XBins/2, spec.YBins/2; xb >= brownoutMinBins && yb >= brownoutMinBins; xb, yb = xb/2, yb/2 {
+		coarse := spec
+		coarse.XBins, coarse.YBins = xb, yb
+		if val, ok := s.cache.Peek(req.cacheKey(hist2DSpecKey(coarse))); ok {
+			s.metrics.degraded(degradedCoarse).Inc()
+			respond(val, Hit, degradedCoarse)
+			return true
+		}
+	}
+	if req.backend != fastquery.FastBit {
+		return false
+	}
+	key := req.cacheKey(strings.Join([]string{"hist2d-approx", spec.XVar, spec.YVar}, "|"))
+	val, outcome, ok := s.brownoutRescue(r, key, func(ctx context.Context) (any, error) {
+		s.backendCalls.Inc()
+		return req.st.Histogram2DIndexOnlyCtx(ctx, req.expr, spec.XVar, spec.YVar)
+	})
+	if !ok {
+		return false
+	}
+	s.metrics.degraded(degradedIndexOnly).Inc()
+	respond(val, outcome, degradedIndexOnly)
+	return true
+}

@@ -129,6 +129,23 @@ func (c *Cache) Do(ctx context.Context, key string, fn func(ctx context.Context)
 	return c.wait(ctx, f, Computed)
 }
 
+// Peek returns the cached value for key without computing or coalescing:
+// a pure lookup that costs one mutex hold. Hits count and refresh recency
+// like Do hits. The admission layer uses it to let cached-key probes
+// bypass the gate, and the brownout ladder to find a coarser resolution
+// already resident.
+func (c *Cache) Peek(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
 // run executes fn under the flight context and publishes its result.
 func (c *Cache) run(key string, f *flight, fctx context.Context, fn func(ctx context.Context) (any, error)) {
 	val, err := fn(fctx)

@@ -231,6 +231,15 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	// Ingest is the lowest admission class: producers buffer and retry, so
+	// under pressure appends shed (with a Retry-After sized to the drain
+	// rate) before any read traffic does.
+	release, aerr := s.admit(r, ClassIngest)
+	if aerr != nil {
+		s.writeShed(w, ClassIngest, aerr)
+		return
+	}
+	defer release()
 	var body IngestBody
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxIngestBody))
 	if err := dec.Decode(&body); err != nil {

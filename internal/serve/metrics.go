@@ -72,7 +72,44 @@ func newServerMetrics(reg *obs.Registry, cache *Cache, gate *Gate) *serverMetric
 	reg.GaugeFunc("serve_admission_limit",
 		"Configured concurrency limit.",
 		func() float64 { return float64(gate.Stats().Limit) })
+
+	// Adaptive overload-control instruments. serve_limit is the live
+	// (possibly self-tuned) concurrency limit; per-class shed counters and
+	// the degraded-answer counters are pre-registered at zero so dashboards
+	// and scrapers see the full series set before the first overload.
+	reg.GaugeFunc("serve_limit",
+		"Current admission concurrency limit (self-tuned in adaptive modes).",
+		func() float64 { return float64(gate.Limit()) })
+	reg.GaugeFunc("serve_brownout_active",
+		"1 while sustained pressure has armed degraded histogram answers.",
+		func() float64 {
+			if gate.BrownoutActive() {
+				return 1
+			}
+			return 0
+		})
+	for _, c := range Classes() {
+		c := c
+		reg.CounterFunc("serve_shed_total",
+			"Requests shed by admission control, by priority class.",
+			func() uint64 { return gate.ShedCount(c) },
+			obs.L("class", c.String()))
+		reg.CounterFunc("serve_admitted_total",
+			"Requests admitted past the gate, by priority class.",
+			func() uint64 { return gate.AdmittedCount(c) },
+			obs.L("class", c.String()))
+	}
+	for _, mode := range []string{degradedCoarse, degradedIndexOnly} {
+		m.degraded(mode) // pre-register both label values at zero
+	}
 	return m
+}
+
+// degraded returns the serve_degraded_total series for one brownout mode.
+func (m *serverMetrics) degraded(mode string) *obs.Counter {
+	return m.reg.Counter("serve_degraded_total",
+		"Histogram requests answered from a degraded (brownout) path.",
+		obs.L("mode", mode))
 }
 
 // requests returns the serve_requests_total series for one endpoint and

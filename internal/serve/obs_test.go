@@ -86,22 +86,79 @@ func TestRequestCounterPerResponseClass(t *testing.T) {
 			name: "queue full -> 429",
 			cfg:  Config{Concurrency: 1, QueueDepth: -1},
 			setup: func(t *testing.T, s *Server) func() {
-				if err := s.gate.Acquire(context.Background()); err != nil {
+				if err := s.gate.Acquire(context.Background(), ClassDrill); err != nil {
 					t.Fatal(err)
 				}
-				return s.gate.Release
+				return func() { s.gate.Release(0) }
 			},
 			path: "/v1/query?q=" + q,
 			want: "query/429",
+			extra: func(t *testing.T, s *Server) {
+				if got := s.gate.ShedCount(ClassDrill); got != 1 {
+					t.Errorf("drill shed count = %d, want 1", got)
+				}
+				if ra := s.gate.RetryAfter(ClassDrill); ra < 1 || ra > 30 {
+					t.Errorf("Retry-After out of range: %d", ra)
+				}
+			},
+		},
+		{
+			// Sweeps get half the queue share: with the queue disabled their
+			// share is zero, so a held slot sheds them immediately.
+			name: "sweep shed -> 429",
+			cfg:  Config{Concurrency: 1, QueueDepth: -1},
+			setup: func(t *testing.T, s *Server) func() {
+				if err := s.gate.Acquire(context.Background(), ClassDrill); err != nil {
+					t.Fatal(err)
+				}
+				return func() { s.gate.Release(0) }
+			},
+			path: "/v1/sweep2d?x=x&y=px&xbins=8&ybins=8",
+			want: "sweep2d/429",
+			extra: func(t *testing.T, s *Server) {
+				if got := s.gate.ShedCount(ClassSweep); got != 1 {
+					t.Errorf("sweep shed count = %d, want 1", got)
+				}
+			},
+		},
+		{
+			// Ingest is the lowest class; admission runs before the dataset
+			// lookup, so a saturated gate sheds the append with 429 even on a
+			// server with no live dataset.
+			name: "ingest shed -> 429",
+			cfg:  Config{Concurrency: 1, QueueDepth: -1},
+			setup: func(t *testing.T, s *Server) func() {
+				if err := s.gate.Acquire(context.Background(), ClassDrill); err != nil {
+					t.Fatal(err)
+				}
+				return func() { s.gate.Release(0) }
+			},
+			do: func(t *testing.T, ts *httptest.Server, path string) {
+				resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{}"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("shed ingest missing Retry-After header")
+				}
+				resp.Body.Close()
+			},
+			path: "/v1/ingest?dataset=beam",
+			want: "ingest/429",
+			extra: func(t *testing.T, s *Server) {
+				if got := s.gate.ShedCount(ClassIngest); got != 1 {
+					t.Errorf("ingest shed count = %d, want 1", got)
+				}
+			},
 		},
 		{
 			name: "queue deadline -> 503",
 			cfg:  Config{Concurrency: 1, QueueDepth: 1, QueueTimeout: 10 * time.Millisecond},
 			setup: func(t *testing.T, s *Server) func() {
-				if err := s.gate.Acquire(context.Background()); err != nil {
+				if err := s.gate.Acquire(context.Background(), ClassDrill); err != nil {
 					t.Fatal(err)
 				}
-				return s.gate.Release
+				return func() { s.gate.Release(0) }
 			},
 			path: "/v1/query?q=" + q,
 			want: "query/503",
@@ -110,10 +167,10 @@ func TestRequestCounterPerResponseClass(t *testing.T) {
 			name: "client gone in queue -> 499",
 			cfg:  Config{Concurrency: 1, QueueDepth: 1},
 			setup: func(t *testing.T, s *Server) func() {
-				if err := s.gate.Acquire(context.Background()); err != nil {
+				if err := s.gate.Acquire(context.Background(), ClassDrill); err != nil {
 					t.Fatal(err)
 				}
-				return s.gate.Release
+				return func() { s.gate.Release(0) }
 			},
 			do: func(t *testing.T, ts *httptest.Server, path string) {
 				// The client abandons the request while it waits in the

@@ -1,0 +1,48 @@
+package serve
+
+// Class is a request priority class for admission control. Lower values
+// are more important and are shed last. The ordering mirrors how the
+// paper's exploration loop spends its latency budget: a probe of an
+// already-computed result must stay instant, an interactive drill-down is
+// the product, a cold multi-step sweep is batch-shaped, and ingest can
+// always retry.
+type Class int
+
+const (
+	// ClassProbe is a request whose canonical cache key is already
+	// resident: answering it costs one map lookup, so it bypasses the gate
+	// entirely and is only ever shed when even the bypass path saturates.
+	ClassProbe Class = iota
+	// ClassDrill is an interactive query or histogram drill-down that
+	// misses the cache and needs backend work.
+	ClassDrill
+	// ClassSweep is a multi-timestep sweep: the heaviest read shape, first
+	// of the read classes to shed.
+	ClassSweep
+	// ClassIngest is a timestep append. Producers buffer and retry, so
+	// under pressure ingest is shed before any read traffic.
+	ClassIngest
+
+	numClasses = 4
+)
+
+// String returns the label used in metrics and response headers.
+func (c Class) String() string {
+	switch c {
+	case ClassProbe:
+		return "probe"
+	case ClassDrill:
+		return "drill"
+	case ClassSweep:
+		return "sweep"
+	case ClassIngest:
+		return "ingest"
+	default:
+		return "unknown"
+	}
+}
+
+// Classes lists all priority classes in shed order (last shed first).
+func Classes() []Class {
+	return []Class{ClassProbe, ClassDrill, ClassSweep, ClassIngest}
+}

@@ -296,10 +296,10 @@ func TestOverload(t *testing.T) {
 	s, ts := testServer(t, Config{Concurrency: 1, QueueDepth: 1, QueueTimeout: 30 * time.Millisecond})
 
 	// Occupy the only slot directly.
-	if err := s.gate.Acquire(context.Background()); err != nil {
+	if err := s.gate.Acquire(context.Background(), ClassDrill); err != nil {
 		t.Fatal(err)
 	}
-	defer s.gate.Release()
+	defer s.gate.Release(0)
 
 	// First arrival queues and should 503 after the deadline.
 	done := make(chan struct{})

@@ -62,6 +62,22 @@ type Config struct {
 	// Logger receives the server's structured JSON-lines log output.
 	// Nil means a logger writing to stderr.
 	Logger *obs.Logger
+
+	// LimitMode selects the admission limiter: "fixed" (default, the
+	// static gate), "aimd", or "gradient" (self-tuning against SLO).
+	LimitMode string
+	// SLO is the latency target the adaptive limiter steers the windowed
+	// p95 toward. 0 means the gate default (250ms).
+	SLO time.Duration
+	// MaxConcurrency caps adaptive limit growth. 0 means 8× Concurrency.
+	MaxConcurrency int
+	// AdjustEvery is the limiter's minimum adjustment interval. 0 means
+	// the gate default (250ms).
+	AdjustEvery time.Duration
+	// Brownout enables degraded histogram answers (coarser cached
+	// resolution, or index-only approximation) under sustained pressure,
+	// instead of shedding.
+	Brownout bool
 }
 
 func (c Config) withDefaults() Config {
@@ -204,23 +220,38 @@ type Server struct {
 	canceled     *obs.Counter // requests abandoned by their client (499)
 	execTimeouts *obs.Counter // requests that hit ExecTimeout (504)
 	panics       *obs.Counter // handler panics converted to 500
+	probeBypass  *obs.Counter // cached-key probes answered without a gate slot
 	draining     atomic.Bool  // /readyz reports 503 while set
+
+	// brownoutSem bounds concurrent index-only brownout rescues so the
+	// degraded path cannot itself become the overload.
+	brownoutSem chan struct{}
 }
 
 // New creates a Server with no datasets.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	reg := obs.NewRegistry()
+	mode, _ := ParseLimitMode(cfg.LimitMode) // unknown modes fall back to fixed
 	s := &Server{
-		cfg:      cfg,
-		cache:    NewCache(cfg.CacheEntries),
-		gate:     NewGate(cfg.Concurrency, cfg.QueueDepth, cfg.QueueTimeout),
-		mux:      http.NewServeMux(),
-		reg:      reg,
-		slowLog:  obs.NewSlowLog(cfg.SlowLogEntries),
-		logger:   cfg.Logger,
-		started:  time.Now(),
-		datasets: map[string]*dataset{},
+		cfg:   cfg,
+		cache: NewCache(cfg.CacheEntries),
+		gate: NewGate(GateConfig{
+			Limit:        cfg.Concurrency,
+			MaxLimit:     cfg.MaxConcurrency,
+			QueueDepth:   cfg.QueueDepth,
+			QueueTimeout: cfg.QueueTimeout,
+			Mode:         mode,
+			SLO:          cfg.SLO,
+			AdjustEvery:  cfg.AdjustEvery,
+		}),
+		mux:         http.NewServeMux(),
+		reg:         reg,
+		slowLog:     obs.NewSlowLog(cfg.SlowLogEntries),
+		logger:      cfg.Logger,
+		started:     time.Now(),
+		datasets:    map[string]*dataset{},
+		brownoutSem: make(chan struct{}, brownoutWorkers),
 	}
 	s.metrics = newServerMetrics(reg, s.cache, s.gate)
 	s.backendCalls = reg.Counter("serve_backend_calls_total",
@@ -231,15 +262,17 @@ func New(cfg Config) *Server {
 		"Requests that hit the execution timeout (504).")
 	s.panics = reg.Counter("serve_panics_total",
 		"Handler panics converted to 500 responses.")
+	s.probeBypass = reg.Counter("serve_probe_bypass_total",
+		"Cached-key probes answered without consuming a gate slot.")
 	s.mux.HandleFunc("/healthz", s.instrumented("healthz", s.handleHealth))
 	s.mux.HandleFunc("/readyz", s.instrumented("readyz", s.handleReady))
 	s.mux.HandleFunc("/v1/datasets", s.instrumented("datasets", s.handleDatasets))
 	s.mux.HandleFunc("/v1/steps", s.instrumented("steps", s.handleSteps))
 	s.mux.HandleFunc("/v1/vars", s.instrumented("vars", s.handleVars))
-	s.mux.HandleFunc("/v1/query", s.instrumented("query", s.admitted(s.handleQuery)))
-	s.mux.HandleFunc("/v1/hist1d", s.instrumented("hist1d", s.admitted(s.handleHist1D)))
-	s.mux.HandleFunc("/v1/hist2d", s.instrumented("hist2d", s.admitted(s.handleHist2D)))
-	s.mux.HandleFunc("/v1/sweep2d", s.instrumented("sweep2d", s.admitted(s.handleSweep2D)))
+	s.mux.HandleFunc("/v1/query", s.instrumented("query", s.handleQuery))
+	s.mux.HandleFunc("/v1/hist1d", s.instrumented("hist1d", s.handleHist1D))
+	s.mux.HandleFunc("/v1/hist2d", s.instrumented("hist2d", s.handleHist2D))
+	s.mux.HandleFunc("/v1/sweep2d", s.instrumented("sweep2d", s.handleSweep2D))
 	s.mux.HandleFunc("/v1/ingest", s.instrumented("ingest", s.handleIngest))
 	s.mux.HandleFunc("/v1/stats", s.instrumented("stats", s.handleStats))
 	s.mux.Handle("/metrics", obs.Handler(reg, obs.Default()))
@@ -369,33 +402,65 @@ func (s *Server) writeExecError(w http.ResponseWriter, err error) {
 	}
 }
 
-// admitted wraps a heavy handler with admission control. The wait for a
-// slot is traced as "admission-wait" so queueing shows up in span trees.
-func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		_, sp := obs.StartSpan(r.Context(), "admission-wait")
-		err := s.gate.Acquire(r.Context())
-		if err != nil {
-			sp.SetAttr("error", err.Error())
-		}
-		sp.End()
-		if err != nil {
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusTooManyRequests, "%v", err)
-			case errors.Is(err, ErrQueueTimeout):
-				w.Header().Set("Retry-After", "1")
-				writeError(w, http.StatusServiceUnavailable, "%v", err)
-			default: // client went away
-				s.canceled.Inc()
-				writeError(w, 499, "client canceled: %v", err)
-			}
-			return
-		}
-		defer s.gate.Release()
-		h(w, r)
+// admit acquires a gate slot for a heavy request under its priority
+// class, tracing the wait as "admission-wait" so queueing shows up in
+// span trees. On success it returns an idempotent release closure that
+// reports the slot's hold time back to the limiter.
+func (s *Server) admit(r *http.Request, class Class) (release func(), err error) {
+	_, sp := obs.StartSpan(r.Context(), "admission-wait")
+	sp.SetAttr("class", class.String())
+	err = s.gate.Acquire(r.Context(), class)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
 	}
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	held := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() { s.gate.Release(time.Since(held)) })
+	}, nil
+}
+
+// writeShed maps an admission failure to a response: immediate shed to
+// 429, queue-deadline expiry to 503 — both carrying a Retry-After derived
+// from the gate's measured drain rate — and client disconnect to 499.
+func (s *Server) writeShed(w http.ResponseWriter, class Class, err error) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter(class)))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrQueueTimeout):
+		w.Header().Set("Retry-After", strconv.Itoa(s.gate.RetryAfter(class)))
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default: // client went away
+		s.canceled.Inc()
+		writeError(w, 499, "client canceled: %v", err)
+	}
+}
+
+// shedErr reports whether an admission error is load shedding (as opposed
+// to the client going away) — the only failures brownout may rescue.
+func shedErr(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrQueueTimeout)
+}
+
+// peekBypass answers a request whose exact cache key is already resident
+// without consuming a gate slot: the cached-key probe class. One map
+// lookup cannot meaningfully load the server, so probes stay instant even
+// when every slot is busy — the property that keeps an exploration
+// client's redraws responsive under overload.
+func (s *Server) peekBypass(r *http.Request, key string) (any, bool) {
+	_, sp := obs.StartSpan(r.Context(), "cache-peek")
+	val, ok := s.cache.Peek(key)
+	sp.SetAttr("hit", strconv.FormatBool(ok))
+	sp.End()
+	if ok {
+		s.probeBypass.Inc()
+	}
+	return val, ok
 }
 
 func writeJSON(w http.ResponseWriter, status int, body any) {
@@ -760,9 +825,40 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
+	key := req.cacheKey("count")
+	respond := func(val any, outcome Outcome) {
+		matches := val.(uint64)
+		rows := req.st.Rows()
+		sel := 0.0
+		if rows > 0 {
+			sel = float64(matches) / float64(rows)
+		}
+		writeBody(r, w, QueryBody{
+			Dataset:     req.d.name,
+			Step:        req.t,
+			Query:       req.src,
+			Plan:        req.plan,
+			Backend:     req.backend.String(),
+			Rows:        rows,
+			Matches:     matches,
+			Selectivity: sel,
+			Outcome:     outcome.String(),
+			ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
+			Trace:       traceEcho(r),
+		})
+	}
+	if val, ok := s.peekBypass(r, key); ok {
+		respond(val, Hit)
+		return
+	}
+	release, aerr := s.admit(r, ClassDrill)
+	if aerr != nil {
+		s.writeShed(w, ClassDrill, aerr)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
-	key := req.cacheKey("count")
 	val, outcome, err := s.cacheDo(ctx, key, func(ctx context.Context) (any, error) {
 		s.backendCalls.Inc()
 		return req.st.CountCtx(ctx, req.expr, req.backend)
@@ -771,25 +867,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeExecError(w, err)
 		return
 	}
-	matches := val.(uint64)
-	rows := req.st.Rows()
-	sel := 0.0
-	if rows > 0 {
-		sel = float64(matches) / float64(rows)
-	}
-	writeBody(r, w, QueryBody{
-		Dataset:     req.d.name,
-		Step:        req.t,
-		Query:       req.src,
-		Plan:        req.plan,
-		Backend:     req.backend.String(),
-		Rows:        rows,
-		Matches:     matches,
-		Selectivity: sel,
-		Outcome:     outcome.String(),
-		ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
-		Trace:       traceEcho(r),
-	})
+	respond(val, outcome)
 }
 
 func (s *Server) handleHist1D(w http.ResponseWriter, r *http.Request) {
@@ -837,14 +915,55 @@ func hist1DSpec(r *http.Request, d *dataset) (histogram.Spec1D, *httpError) {
 	return spec, nil
 }
 
-func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec1D, start time.Time) {
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	specKey := strings.Join([]string{
+// hist1DSpecKey renders the operation-specific part of a 1D histogram's
+// cache key; the brownout ladder reuses it to probe coarser resolutions.
+func hist1DSpecKey(spec histogram.Spec1D) string {
+	return strings.Join([]string{
 		"hist1d", spec.Var, strconv.Itoa(spec.Bins), spec.Binning.String(),
 		fmtG(spec.Lo), fmtG(spec.Hi), fmtG(spec.MinDensity),
 	}, "|")
-	val, outcome, err := s.cacheDo(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
+}
+
+func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec1D, start time.Time) {
+	respond := func(val any, outcome Outcome, degraded string) {
+		h := val.(*histogram.Hist1D)
+		body := Hist1DBody{
+			Dataset:      req.d.name,
+			Step:         req.t,
+			Plan:         req.plan,
+			Backend:      req.backend.String(),
+			Var:          spec.Var,
+			Binning:      spec.Binning.String(),
+			Edges:        h.Edges,
+			Counts:       h.Counts,
+			Total:        h.Total(),
+			Outcome:      outcome.String(),
+			Degraded:     degraded != "",
+			DegradedMode: degraded,
+			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+			Trace:        traceEcho(r),
+		}
+		if degraded != "" {
+			w.Header().Set("X-Degraded", degraded)
+		}
+		writeBody(r, w, body)
+	}
+	if val, ok := s.peekBypass(r, req.cacheKey(hist1DSpecKey(spec))); ok {
+		respond(val, Hit, "")
+		return
+	}
+	release, aerr := s.admit(r, ClassDrill)
+	if aerr != nil {
+		if shedErr(aerr) && s.tryBrownoutHist1D(r, req, spec, respond) {
+			return
+		}
+		s.writeShed(w, ClassDrill, aerr)
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	val, outcome, err := s.cacheDo(ctx, req.cacheKey(hist1DSpecKey(spec)), func(ctx context.Context) (any, error) {
 		s.backendCalls.Inc()
 		return req.st.Histogram1DCtx(ctx, req.expr, spec, req.backend)
 	})
@@ -852,21 +971,7 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 		s.writeExecError(w, err)
 		return
 	}
-	h := val.(*histogram.Hist1D)
-	writeBody(r, w, Hist1DBody{
-		Dataset:   req.d.name,
-		Step:      req.t,
-		Plan:      req.plan,
-		Backend:   req.backend.String(),
-		Var:       spec.Var,
-		Binning:   spec.Binning.String(),
-		Edges:     h.Edges,
-		Counts:    h.Counts,
-		Total:     h.Total(),
-		Outcome:   outcome.String(),
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-		Trace:     traceEcho(r),
-	})
+	respond(val, outcome, "")
 }
 
 func (s *Server) handleHist2D(w http.ResponseWriter, r *http.Request) {
@@ -921,16 +1026,59 @@ func hist2DSpec(r *http.Request, d *dataset) (histogram.Spec2D, *httpError) {
 	return spec, nil
 }
 
-func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec2D, start time.Time) {
-	ctx, cancel := s.requestCtx(r)
-	defer cancel()
-	specKey := strings.Join([]string{
+// hist2DSpecKey renders the operation-specific part of a 2D histogram's
+// cache key; the brownout ladder reuses it to probe coarser resolutions.
+func hist2DSpecKey(spec histogram.Spec2D) string {
+	return strings.Join([]string{
 		"hist2d", spec.XVar, spec.YVar,
 		strconv.Itoa(spec.XBins), strconv.Itoa(spec.YBins), spec.Binning.String(),
 		fmtG(spec.XLo), fmtG(spec.XHi), fmtG(spec.YLo), fmtG(spec.YHi),
 		fmtG(spec.MinDensity),
 	}, "|")
-	val, outcome, err := s.cacheDo(ctx, req.cacheKey(specKey), func(ctx context.Context) (any, error) {
+}
+
+func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec2D, start time.Time) {
+	respond := func(val any, outcome Outcome, degraded string) {
+		h := val.(*histogram.Hist2D)
+		body := Hist2DBody{
+			Dataset:      req.d.name,
+			Step:         req.t,
+			Plan:         req.plan,
+			Backend:      req.backend.String(),
+			XVar:         spec.XVar,
+			YVar:         spec.YVar,
+			Binning:      spec.Binning.String(),
+			XEdges:       h.XEdges,
+			YEdges:       h.YEdges,
+			Counts:       h.Counts,
+			Total:        h.Total(),
+			Outcome:      outcome.String(),
+			Degraded:     degraded != "",
+			DegradedMode: degraded,
+			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+			Trace:        traceEcho(r),
+		}
+		if degraded != "" {
+			w.Header().Set("X-Degraded", degraded)
+		}
+		writeBody(r, w, body)
+	}
+	if val, ok := s.peekBypass(r, req.cacheKey(hist2DSpecKey(spec))); ok {
+		respond(val, Hit, "")
+		return
+	}
+	release, aerr := s.admit(r, ClassDrill)
+	if aerr != nil {
+		if shedErr(aerr) && s.tryBrownoutHist2D(r, req, spec, respond) {
+			return
+		}
+		s.writeShed(w, ClassDrill, aerr)
+		return
+	}
+	defer release()
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	val, outcome, err := s.cacheDo(ctx, req.cacheKey(hist2DSpecKey(spec)), func(ctx context.Context) (any, error) {
 		s.backendCalls.Inc()
 		return req.st.Histogram2DCtx(ctx, req.expr, spec, req.backend)
 	})
@@ -938,23 +1086,7 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 		s.writeExecError(w, err)
 		return
 	}
-	h := val.(*histogram.Hist2D)
-	writeBody(r, w, Hist2DBody{
-		Dataset:   req.d.name,
-		Step:      req.t,
-		Plan:      req.plan,
-		Backend:   req.backend.String(),
-		XVar:      spec.XVar,
-		YVar:      spec.YVar,
-		Binning:   spec.Binning.String(),
-		XEdges:    h.XEdges,
-		YEdges:    h.YEdges,
-		Counts:    h.Counts,
-		Total:     h.Total(),
-		Outcome:   outcome.String(),
-		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
-		Trace:     traceEcho(r),
-	})
+	respond(val, outcome, "")
 }
 
 // stepsParam parses the steps parameter for sweeps: "" (all steps),
@@ -1028,6 +1160,12 @@ func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
+	release, aerr := s.admit(r, ClassSweep)
+	if aerr != nil {
+		s.writeShed(w, ClassSweep, aerr)
+		return
+	}
+	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 

@@ -51,6 +51,7 @@ done < <(grep -v '^#' "$OUT" | grep -v '^$' | sed 's/[{ ].*//' | sort -u)
 for metric in \
   serve_requests_total serve_request_seconds_bucket serve_inflight_requests \
   serve_cache_hits_total serve_admission_admitted_total \
+  serve_limit serve_brownout_active serve_degraded_total \
   fastbit_eval_rows_total fastbit_eval_seconds_bucket fastbit_candidate_check_fraction \
   scan_rows_total scan_seconds_bucket \
   cluster_rpc_calls_total cluster_unhealthy_workers; do
@@ -59,5 +60,26 @@ done
 
 # 4. Histogram invariants: an +Inf bucket exists and matches its _count.
 grep -q 'le="+Inf"' "$OUT" || fail "no histogram exports an +Inf bucket"
+
+# 5. Overload-control series: shed counters carry per-class labels, and
+# the gauges/counters carry sane values (limit >= 1, counters >= 0 — the
+# registry exports monotone counters, so a negative value means breakage).
+for class in probe drill sweep ingest; do
+  grep -q "^serve_shed_total{class=\"$class\"}" "$OUT" \
+    || fail "serve_shed_total missing class=\"$class\" series"
+  grep -q "^serve_admitted_total{class=\"$class\"}" "$OUT" \
+    || fail "serve_admitted_total missing class=\"$class\" series"
+done
+for mode in coarse-cache index-only; do
+  grep -q "^serve_degraded_total{mode=\"$mode\"}" "$OUT" \
+    || fail "serve_degraded_total missing mode=\"$mode\" series"
+done
+awk '
+/^serve_limit /            { if ($2+0 < 1)  { print "serve_limit " $2 " < 1"; bad = 1 } }
+/^serve_brownout_active /  { if ($2+0 != 0 && $2+0 != 1) { print "serve_brownout_active " $2 " not 0/1"; bad = 1 } }
+/^serve_shed_total\{/      { if ($2+0 < 0)  { print $0 " negative"; bad = 1 } }
+/^serve_degraded_total\{/  { if ($2+0 < 0)  { print $0 " negative"; bad = 1 } }
+END { exit bad }
+' "$OUT" || fail "overload-control series out of range"
 
 echo "check_metrics: OK ($(grep -cv '^#' "$OUT") samples, $(grep -c '^# TYPE' "$OUT") families)"
