@@ -90,6 +90,13 @@ func main() {
 		capShed     = flag.Float64("cap-shed-frac", 0.02, "tolerated non-200 fraction while a rate counts as sustained")
 		baselineURL = flag.String("baseline-url", "", "second qserve (conventionally a fixed gate) to sweep for comparison")
 		capEnforce  = flag.Bool("cap-enforce", false, "exit non-zero when adaptive found capacity < baseline found capacity")
+
+		// Shard comparison (-shard-bench): replay the drill mix against a
+		// sharded frontend (-url) and a single-process baseline
+		// (-baseline-url) over the same dataset, asserting identical
+		// responses; writes BENCH_shard.json with per-target percentiles
+		// and the frontend's fan-out stats.
+		shardBench = flag.Bool("shard-bench", false, "compare a sharded frontend against -baseline-url for identity and latency")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -203,6 +210,26 @@ func main() {
 			if *out == "" {
 				*out = "BENCH_openloop.json"
 			}
+		}
+	case *shardBench:
+		if *baselineURL == "" {
+			log.Fatal("-shard-bench requires -baseline-url")
+		}
+		blg := &loadgen{base: *baselineURL, backend: *backend, client: lg.client,
+			latHist: lg.latHist, stages: map[string]*stageAgg{}}
+		if err := blg.setup(*dataset, *step, *xvar, *yvar); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := lg.runShardBench(blg, *sessions, *concurrency, *xvar, *yvar, *coarse, *fine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Mismatches > 0 {
+			exitErr = fmt.Sprintf("%d response mismatches between frontend and baseline", rep.Mismatches)
+		}
+		report = rep
+		if *out == "" {
+			*out = "BENCH_shard.json"
 		}
 	case *ingSteps > 0:
 		ires, err := lg.runIngestBench(ingestOptions{

@@ -1,0 +1,220 @@
+// Shard-bench mode (-shard-bench): replay the drill mix against a sharded
+// frontend and a single-process baseline serving the same dataset, assert
+// the responses are identical — the scatter-gather tier must be
+// indistinguishable from one process, per the merge semantics — and report
+// per-target latency percentiles plus the frontend's fan-out stats.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/url"
+	"reflect"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// shardBenchReport is the BENCH_shard.json shape.
+type shardBenchReport struct {
+	Sessions int `json:"sessions"`
+	// Requests counts requests per target (each is issued to both).
+	Requests   int           `json:"requests"`
+	Mismatches int           `json:"mismatches"`
+	Frontend   targetSummary `json:"frontend"`
+	Baseline   targetSummary `json:"baseline"`
+	// Sharding is the frontend's fleet view after the run: scatter and
+	// fragment fan-out counts, partial responses, per-shard cache rates.
+	Sharding *serve.ShardingStats `json:"sharding,omitempty"`
+}
+
+// targetSummary is one target's latency distribution over the run.
+type targetSummary struct {
+	URL      string  `json:"url"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	P99MS    float64 `json:"p99_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	MaxMS    float64 `json:"max_ms"`
+	Errors   int     `json:"errors"`
+	Partials int     `json:"partials"` // responses marked partial (degraded merges)
+}
+
+func (r *shardBenchReport) print(w io.Writer) {
+	fmt.Fprintf(w, "shard-bench: sessions %d  requests/target %d  mismatches %d\n",
+		r.Sessions, r.Requests, r.Mismatches)
+	for _, t := range []struct {
+		name string
+		s    targetSummary
+	}{{"frontend", r.Frontend}, {"baseline", r.Baseline}} {
+		fmt.Fprintf(w, "%-9s %s  p50 %.2fms  p95 %.2fms  p99 %.2fms  mean %.2fms  max %.2fms  errors %d  partials %d\n",
+			t.name, t.s.URL, t.s.P50MS, t.s.P95MS, t.s.P99MS, t.s.MeanMS, t.s.MaxMS, t.s.Errors, t.s.Partials)
+	}
+	if r.Sharding != nil {
+		fmt.Fprintf(w, "fan-out: shards %d  scatters %d  fragments %d  partials %d  fleet cache hit rate %.1f%%\n",
+			r.Sharding.Shards, r.Sharding.Scatters, r.Sharding.Fragments,
+			r.Sharding.Partials, 100*r.Sharding.FleetCacheHitRate)
+	}
+}
+
+// benchReq is one request of the identity mix: the path plus how to
+// compare the two targets' bodies.
+type benchReq struct {
+	path string
+	kind string // query | hist1d | hist2d
+}
+
+// shardMix builds the drill-mix request set for one session: the standard
+// refinement loop (count, coarse conditional 2D, refined count, fine 2D)
+// plus a data-ranged conditional 1D (two-phase min/max scatter) and an
+// unconditional 1D (wholesale routing) so every planner path is compared.
+func (lg *loadgen) shardMix(i int, xvar, yvar string, coarse, fine int) []benchReq {
+	t1 := lg.yLo + 0.6*(lg.yHi-lg.yLo)
+	t2 := lg.yLo + 0.8*(lg.yHi-lg.yLo)
+	xmid := (lg.xLo + lg.xHi) / 2
+	q1 := fmt.Sprintf("%s > %g", yvar, t1)
+	q2 := fmt.Sprintf("%s > %g && %s > %g", yvar, t2, xvar, xmid)
+	if i%2 == 1 {
+		q2 = fmt.Sprintf("%s > %g && %s > %g", xvar, xmid, yvar, t2)
+	}
+	common := fmt.Sprintf("dataset=%s&step=%d", url.QueryEscape(lg.dataset), lg.step)
+	if lg.backend != "" {
+		common += "&backend=" + url.QueryEscape(lg.backend)
+	}
+	return []benchReq{
+		{fmt.Sprintf("/v1/query?%s&q=%s", common, url.QueryEscape(q1)), "query"},
+		{fmt.Sprintf("/v1/hist2d?%s&x=%s&y=%s&xbins=%d&ybins=%d&q=%s",
+			common, url.QueryEscape(xvar), url.QueryEscape(yvar), coarse, coarse, url.QueryEscape(q1)), "hist2d"},
+		{fmt.Sprintf("/v1/query?%s&q=%s", common, url.QueryEscape(q2)), "query"},
+		{fmt.Sprintf("/v1/hist2d?%s&x=%s&y=%s&xbins=%d&ybins=%d&q=%s",
+			common, url.QueryEscape(xvar), url.QueryEscape(yvar), fine, fine, url.QueryEscape(q2)), "hist2d"},
+		{fmt.Sprintf("/v1/hist1d?%s&var=%s&bins=%d&q=%s",
+			common, url.QueryEscape(yvar), fine, url.QueryEscape(q1)), "hist1d"},
+		{fmt.Sprintf("/v1/hist1d?%s&var=%s&bins=%d", common, url.QueryEscape(xvar), coarse), "hist1d"},
+	}
+}
+
+// fetchBench issues one mix request and returns the comparable portion of
+// the body plus whether the response was a partial merge.
+func (lg *loadgen) fetchBench(req benchReq) (body any, partial bool, lat time.Duration, err error) {
+	start := time.Now()
+	switch req.kind {
+	case "query":
+		var b serve.QueryBody
+		_, err = lg.getJSON(req.path, &b)
+		lat = time.Since(start)
+		// Compare the selection summary, not timings or cache outcomes.
+		return map[string]any{"rows": b.Rows, "matches": b.Matches}, b.Partial, lat, err
+	case "hist1d":
+		var b serve.Hist1DBody
+		_, err = lg.getJSON(req.path, &b)
+		lat = time.Since(start)
+		return map[string]any{"edges": b.Edges, "counts": b.Counts, "total": b.Total}, b.Partial, lat, err
+	default: // hist2d
+		var b serve.Hist2DBody
+		_, err = lg.getJSON(req.path, &b)
+		lat = time.Since(start)
+		return map[string]any{"xedges": b.XEdges, "yedges": b.YEdges,
+			"counts": b.Counts, "total": b.Total}, b.Partial, lat, err
+	}
+}
+
+// shardOutcome is one session's paired-request results.
+type shardOutcome struct {
+	frontLat, baseLat   []time.Duration
+	frontErrs, baseErrs int
+	frontPartials       int
+	basePartials        int
+	mismatches          []string
+}
+
+// runShardBench replays the mix against both targets and compares every
+// response pair.
+func (lg *loadgen) runShardBench(base *loadgen, sessions, concurrency int, xvar, yvar string, coarse, fine int) (*shardBenchReport, error) {
+	jobs := make(chan int)
+	outcomes := make(chan shardOutcome, sessions)
+	for w := 0; w < concurrency; w++ {
+		go func() {
+			for i := range jobs {
+				var o shardOutcome
+				for _, req := range lg.shardMix(i, xvar, yvar, coarse, fine) {
+					fb, fp, flat, ferr := lg.fetchBench(req)
+					bb, bp, blat, berr := base.fetchBench(req)
+					if ferr != nil {
+						o.frontErrs++
+					} else {
+						o.frontLat = append(o.frontLat, flat)
+						if fp {
+							o.frontPartials++
+						}
+					}
+					if berr != nil {
+						o.baseErrs++
+					} else {
+						o.baseLat = append(o.baseLat, blat)
+						if bp {
+							o.basePartials++
+						}
+					}
+					// A partial merge is a deliberate degradation, not a bug;
+					// only complete answers must match the baseline exactly.
+					if ferr == nil && berr == nil && !fp && !reflect.DeepEqual(fb, bb) {
+						o.mismatches = append(o.mismatches,
+							fmt.Sprintf("%s: frontend %v != baseline %v", req.path, fb, bb))
+					}
+				}
+				outcomes <- o
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < sessions; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	rep := &shardBenchReport{Sessions: sessions,
+		Frontend: targetSummary{URL: lg.base}, Baseline: targetSummary{URL: base.base}}
+	var frontAll, baseAll []time.Duration
+	logged := 0
+	for i := 0; i < sessions; i++ {
+		o := <-outcomes
+		frontAll = append(frontAll, o.frontLat...)
+		baseAll = append(baseAll, o.baseLat...)
+		rep.Frontend.Errors += o.frontErrs
+		rep.Baseline.Errors += o.baseErrs
+		rep.Frontend.Partials += o.frontPartials
+		rep.Baseline.Partials += o.basePartials
+		rep.Mismatches += len(o.mismatches)
+		for _, m := range o.mismatches {
+			if logged < 5 {
+				log.Printf("mismatch: %s", m)
+				logged++
+			}
+		}
+	}
+	rep.Requests = len(frontAll) + rep.Frontend.Errors
+	fillSummary(&rep.Frontend, frontAll)
+	fillSummary(&rep.Baseline, baseAll)
+
+	st, err := lg.stats()
+	if err != nil {
+		return nil, fmt.Errorf("frontend stats: %w", err)
+	}
+	rep.Sharding = st.Sharding
+	return rep, nil
+}
+
+func fillSummary(s *targetSummary, lats []time.Duration) {
+	s.P50MS = percentileMS(lats, 50)
+	s.P95MS = percentileMS(lats, 95)
+	s.P99MS = percentileMS(lats, 99)
+	s.MeanMS = meanMS(lats)
+	for _, d := range lats {
+		if ms := float64(d) / float64(time.Millisecond); ms > s.MaxMS {
+			s.MaxMS = ms
+		}
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"repro/internal/fastbit"
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/shard"
 )
 
 // dataFlags collects repeated -data name=dir (or plain dir) flags.
@@ -66,6 +67,14 @@ func (d *dataFlags) String() string { return strings.Join(*d, ",") }
 func (d *dataFlags) Set(v string) error {
 	*d = append(*d, v)
 	return nil
+}
+
+// splitDataSpec resolves one -data value into (name, dir).
+func splitDataSpec(spec string) (name, dir string) {
+	if i := strings.IndexByte(spec, '='); i >= 0 {
+		return spec[:i], spec[i+1:]
+	}
+	return filepath.Base(filepath.Clean(spec)), spec
 }
 
 func main() {
@@ -96,6 +105,17 @@ func main() {
 		ingWorkers   = flag.Int("ingest-workers", 1, "background index-builder pool size per live dataset")
 		catalogPoll  = flag.Duration("catalog-poll", 500*time.Millisecond, "how often a live dataset re-reads its catalog for external commits (0 disables)")
 		indexBins    = flag.Int("index-bins", 256, "bitmap index bins per variable for live-built indexes")
+
+		// Sharded serving roles. A shard worker evaluates plan fragments
+		// over RPC; a frontend scatters fragments across shard replica
+		// groups and merges the partials; local (default) is the one-shard
+		// case of the same planner path, in-process.
+		role      = flag.String("role", "local", "serving role: local | frontend | shard")
+		rpcAddr   = flag.String("rpc-addr", "127.0.0.1:7071", "shard role: fragment RPC listen address (host:0 picks a free port)")
+		shards    = flag.String("shards", "", "frontend role: comma-separated shard worker addresses; consecutive -replicas addresses form one shard's replica group")
+		replicas  = flag.Int("replicas", 1, "frontend role: replica addresses per shard in -shards")
+		hedge     = flag.Duration("hedge", 0, "frontend role: hedged-dispatch stagger across a shard's replicas (0 = first-healthy only)")
+		fragCache = flag.Int("frag-cache", 1024, "shard role: fragment result cache entries (0 disables)")
 	)
 	flag.Parse()
 	if len(datas) == 0 {
@@ -105,6 +125,34 @@ func main() {
 	obs.SetEnabled(*obsEnabled)
 	if _, err := serve.ParseLimitMode(*limitMode); err != nil {
 		fatal("bad -limit-mode", "mode", *limitMode, "err", err)
+	}
+	switch *role {
+	case "local", "frontend", "shard":
+	default:
+		fatal("bad -role", "role", *role, "want", "local | frontend | shard")
+	}
+	// Live ingestion mutates the catalog in one process; shard workers and
+	// frontends share a static dataset directory (the parallel-filesystem
+	// model), so the roles are mutually exclusive for now.
+	if *role != "local" && *live {
+		fatal("-live requires -role local", "role", *role)
+	}
+	if *role != "frontend" && *shards != "" {
+		fatal("-shards requires -role frontend", "role", *role)
+	}
+	if *role == "shard" {
+		runShard(logger, fatal, datas, shardOptions{
+			rpcAddr:      *rpcAddr,
+			adminAddr:    *adminAddr,
+			fragCache:    *fragCache,
+			concurrency:  *concurrency,
+			queueDepth:   *queueDepth,
+			queueTimeout: *queueWait,
+			limitMode:    *limitMode,
+			slo:          *slo,
+			maxConc:      *maxConc,
+		})
+		return
 	}
 
 	cfg := serve.Config{
@@ -141,12 +189,7 @@ func main() {
 	s := serve.New(cfg)
 	defer s.Close()
 	for _, spec := range datas {
-		name, dir := spec, spec
-		if i := strings.IndexByte(spec, '='); i >= 0 {
-			name, dir = spec[:i], spec[i+1:]
-		} else {
-			name = filepath.Base(filepath.Clean(dir))
-		}
+		name, dir := splitDataSpec(spec)
 		if *live {
 			lc := serve.LiveConfig{
 				IngestWorkers: *ingWorkers,
@@ -173,6 +216,22 @@ func main() {
 			fatal("connect workers", "workers", *workers, "err", err)
 		}
 		logger.Info("sweep workers connected", "count", len(addrs))
+	}
+	if *role == "frontend" {
+		if *shards == "" {
+			fatal("-role frontend requires -shards")
+		}
+		groups, err := shardGroups(strings.Split(*shards, ","), *replicas)
+		if err != nil {
+			fatal("bad -shards", "shards", *shards, "replicas", *replicas, "err", err)
+		}
+		c, err := shard.DialShards(groups, cluster.DefaultPoolConfig(), *hedge)
+		if err != nil {
+			fatal("dial shards", "shards", *shards, "err", err)
+		}
+		s.SetShardClient(c)
+		logger.Info("shard fleet connected",
+			"shards", len(groups), "replicas", *replicas, "hedge", hedge.String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,137 @@
+// Shard-worker role: instead of the HTTP query surface, the process
+// serves plan fragments over net/rpc — the executor half of the
+// planner/executor split. Frontends (qserve -role frontend) scatter
+// row-range fragments here and merge the mergeable partials.
+//
+//	qserve -role shard -data /tmp/lwfa -rpc-addr :7071
+//	qserve -role shard -data /tmp/lwfa -rpc-addr :7072
+//	qserve -role frontend -data /tmp/lwfa -shards 127.0.0.1:7071,127.0.0.1:7072
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/shard"
+)
+
+// shardOptions is the shard role's wiring, carved out of the main flag
+// set.
+type shardOptions struct {
+	rpcAddr      string
+	adminAddr    string
+	fragCache    int
+	concurrency  int
+	queueDepth   int
+	queueTimeout time.Duration
+	limitMode    string
+	slo          time.Duration
+	maxConc      int
+}
+
+// shardGroups splits a flat worker address list into per-shard replica
+// groups of size replicas, in order: with -replicas 2, addresses
+// a,b,c,d become shard 0 = {a,b}, shard 1 = {c,d}.
+func shardGroups(addrs []string, replicas int) ([][]string, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("replicas must be >= 1, got %d", replicas)
+	}
+	if len(addrs) == 0 || len(addrs)%replicas != 0 {
+		return nil, fmt.Errorf("%d addresses do not divide into replica groups of %d", len(addrs), replicas)
+	}
+	groups := make([][]string, 0, len(addrs)/replicas)
+	for i := 0; i < len(addrs); i += replicas {
+		groups = append(groups, addrs[i:i+replicas])
+	}
+	return groups, nil
+}
+
+// shardAdmit adapts a serve.Gate into the shard service's admission hook,
+// so fragment RPCs queue and shed under the same adaptive limiter the
+// HTTP layer uses. Cached fragments bypass it (the service peeks first).
+func shardAdmit(gate *serve.Gate) shard.AdmitFunc {
+	return func(ctx context.Context) (func(), error) {
+		if err := gate.Acquire(ctx, serve.ClassDrill); err != nil {
+			return nil, err
+		}
+		held := time.Now()
+		var once sync.Once
+		return func() {
+			once.Do(func() { gate.Release(time.Since(held)) })
+		}, nil
+	}
+}
+
+// runShard serves the shard-worker role until SIGTERM/SIGINT.
+func runShard(logger *obs.Logger, fatal func(string, ...any), datas dataFlags, opt shardOptions) {
+	ex := shard.NewExecutor(opt.fragCache)
+	defer ex.Close()
+	dir := ""
+	for _, spec := range datas {
+		name, d := splitDataSpec(spec)
+		if err := ex.AddDataset(name, d); err != nil {
+			fatal("add dataset", "name", name, "dir", d, "err", err)
+		}
+		dir = d
+		logger.Info("shard dataset", "name", name, "dir", d)
+	}
+
+	mode, _ := serve.ParseLimitMode(opt.limitMode) // validated by main
+	qd := opt.queueDepth
+	if qd < 0 {
+		qd = 2 * opt.concurrency
+	}
+	gate := serve.NewGate(serve.GateConfig{
+		Limit:        opt.concurrency,
+		MaxLimit:     opt.maxConc,
+		QueueDepth:   qd,
+		QueueTimeout: opt.queueTimeout,
+		Mode:         mode,
+		SLO:          opt.slo,
+	})
+
+	srv, err := shard.NewServer(shard.NewService(ex, shardAdmit(gate)), dir)
+	if err != nil {
+		fatal("shard server", "err", err)
+	}
+	l, err := net.Listen("tcp", opt.rpcAddr)
+	if err != nil {
+		fatal("rpc listen", "addr", opt.rpcAddr, "err", err)
+	}
+	fmt.Printf("qserve: shard rpc on %s\n", l.Addr())
+	srv.Serve(l)
+
+	if opt.adminAddr != "" {
+		adm := http.NewServeMux()
+		adm.Handle("/metrics", obs.Handler(obs.Default()))
+		adm.HandleFunc("/debug/pprof/", pprof.Index)
+		adm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		aln, err := net.Listen("tcp", opt.adminAddr)
+		if err != nil {
+			fatal("admin listen", "addr", opt.adminAddr, "err", err)
+		}
+		fmt.Printf("qserve: admin on %s\n", aln.Addr())
+		go func() {
+			asrv := &http.Server{Handler: adm, ReadHeaderTimeout: 10 * time.Second}
+			if err := asrv.Serve(aln); err != nil && err != http.ErrServerClosed {
+				logger.Error("admin server", "err", err)
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Info("shard shutting down")
+	srv.Close()
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cluster/faultnet"
+)
+
+// startKillableWorkers launches n workers with individual kill switches,
+// for exercising CallOn's failover and hedging against a dead primary.
+func startKillableWorkers(t *testing.T, n int) (addrs []string, kill []func()) {
+	t.Helper()
+	dir := rpcDataset(t)
+	for i := 0; i < n; i++ {
+		srv, err := NewServer(NewWorker(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv.Serve(l)
+		s := srv
+		kill = append(kill, func() { s.Close() })
+		addrs = append(addrs, l.Addr().String())
+	}
+	t.Cleanup(func() {
+		for _, k := range kill {
+			k()
+		}
+	})
+	return addrs, kill
+}
+
+func callOnConfig() PoolConfig {
+	cfg := DefaultPoolConfig()
+	cfg.CallTimeout = 5 * time.Second
+	cfg.MaxRetries = 1
+	cfg.BackoffBase = time.Millisecond
+	cfg.BackoffMax = 5 * time.Millisecond
+	cfg.ProbeInterval = 0
+	return cfg
+}
+
+func TestCallOnPing(t *testing.T) {
+	addrs, _ := startKillableWorkers(t, 3)
+	p, err := DialConfig(addrs, callOnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for primary := 0; primary < 3; primary++ {
+		var reply PingReply
+		if err := p.CallOn(context.Background(), primary, "Worker.Ping", &PingArgs{}, &reply, 0); err != nil {
+			t.Fatalf("primary %d: %v", primary, err)
+		}
+		if !reply.OK {
+			t.Fatalf("primary %d: reply not OK", primary)
+		}
+	}
+}
+
+func TestCallOnFailover(t *testing.T) {
+	addrs, kill := startKillableWorkers(t, 3)
+	p, err := DialConfig(addrs, callOnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	kill[1]()
+	var reply PingReply
+	if err := p.CallOn(context.Background(), 1, "Worker.Ping", &PingArgs{}, &reply, 0); err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if !reply.OK {
+		t.Fatal("failover reply not OK")
+	}
+	if st := p.Stats(); st.Failovers == 0 {
+		t.Fatalf("stats = %+v, want failovers > 0", st)
+	}
+}
+
+func TestCallOnHedged(t *testing.T) {
+	dir := rpcDataset(t)
+
+	// Primary behind heavy injected latency — slow, not dead — so the
+	// stagger timer fires and launches a hedge that wins the race. (A
+	// dead primary fails before the stagger and counts as failover, not
+	// a hedge.)
+	slowSrv, err := NewServer(NewWorker(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := faultnet.Wrap(sl, faultnet.Config{Seed: 3, Latency: 300 * time.Millisecond})
+	slowSrv.Serve(slow)
+	t.Cleanup(func() { slowSrv.Close() })
+
+	fastSrv, err := NewServer(NewWorker(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastSrv.Serve(fl)
+	t.Cleanup(func() { fastSrv.Close() })
+
+	p, err := DialConfig([]string{sl.Addr().String(), fl.Addr().String()}, callOnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	start := time.Now()
+	var reply PingReply
+	if err := p.CallOn(context.Background(), 0, "Worker.Ping", &PingArgs{}, &reply, 10*time.Millisecond); err != nil {
+		t.Fatalf("hedged call: %v", err)
+	}
+	if !reply.OK {
+		t.Fatal("hedged reply not OK")
+	}
+	if st := p.Stats(); st.Hedges == 0 {
+		t.Fatalf("stats = %+v, want hedges > 0", st)
+	}
+	// The hedge, not the slow primary, must have answered: well under
+	// the primary's injected per-op latency.
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedged call took %v — the slow primary answered", elapsed)
+	}
+}

@@ -25,6 +25,8 @@ var (
 		"Workers probed back to health.")
 	metricUnhealthy = obs.Default().Gauge("cluster_unhealthy_workers",
 		"Workers currently marked unhealthy, across every pool.")
+	metricHedges = obs.Default().Counter("cluster_hedges_total",
+		"Extra hedged RPC attempts launched against replica workers.")
 )
 
 // rpcSecondsFor returns the per-worker RPC latency histogram. Callers

@@ -66,6 +66,7 @@ type PoolStats struct {
 	Timeouts   int64 // attempts abandoned on deadline
 	Reconnects int64 // re-dials of previously working connections
 	Failovers  int64 // steps moved to another worker
+	Hedges     int64 // extra staggered attempts raced against slow replicas
 	Probes     int64 // health pings sent to unhealthy workers
 	Recoveries int64 // workers probed back to health
 }
@@ -115,7 +116,7 @@ func (e *SweepError) Unwrap() []error {
 }
 
 type poolCounters struct {
-	calls, retries, timeouts, reconnects, failovers, probes, recoveries atomic.Int64
+	calls, retries, timeouts, reconnects, failovers, hedges, probes, recoveries atomic.Int64
 }
 
 // Pool is a client-side connection pool over a set of worker addresses.
@@ -201,6 +202,7 @@ func (p *Pool) Stats() PoolStats {
 		Timeouts:   p.ctr.timeouts.Load(),
 		Reconnects: p.ctr.reconnects.Load(),
 		Failovers:  p.ctr.failovers.Load(),
+		Hedges:     p.ctr.hedges.Load(),
 		Probes:     p.ctr.probes.Load(),
 		Recoveries: p.ctr.recoveries.Load(),
 	}

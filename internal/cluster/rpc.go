@@ -267,6 +267,15 @@ func NewServer(w *Worker) (*Server, error) {
 	return &Server{worker: w, rpcSrv: srv, conns: make(map[net.Conn]struct{})}, nil
 }
 
+// RegisterName registers an additional RPC receiver on the server under
+// the given service name, so a node can serve more than one protocol over
+// the same listener — a shard worker serves both the "Worker" service
+// (whose Ping the pool's health probing relies on) and the "Shard"
+// fragment service.
+func (s *Server) RegisterName(name string, rcvr any) error {
+	return s.rpcSrv.RegisterName(name, rcvr)
+}
+
 // Serve accepts and serves connections on the listener in a background
 // goroutine until the listener or the server is closed.
 func (s *Server) Serve(l net.Listener) {

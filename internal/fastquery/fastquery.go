@@ -251,6 +251,14 @@ func (st *Step) ReadIDs() ([]int64, error) {
 	return st.file.ReadInt64(st.idVar())
 }
 
+// ValuesAt gathers a column's values at the given sorted row positions,
+// reading only the chunks that contain them. This is the shard executor's
+// access path: a fragment evaluates over its row range of the step, which
+// is a small slice of the full column.
+func (st *Step) ValuesAt(name string, positions []uint64) ([]float64, error) {
+	return st.file.ReadFloat64At(name, positions)
+}
+
 func (st *Step) idVar() string {
 	if st.index != nil && st.index.IDVar() != "" {
 		return st.index.IDVar()

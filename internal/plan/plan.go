@@ -1,0 +1,272 @@
+// Package plan splits query serving into a planner and an executor, the
+// Hillview scatter-gather architecture: a frontend canonicalizes a request
+// into an operation, consults the shard map to cut it into row-range
+// fragments, scatters the fragments to shard workers, and merges the
+// partial results. Histograms, counts, and min/max ranges are all
+// mergeable, so the merged answer is identical to the single-process one.
+// "Local" execution is exactly the one-shard case of the same path.
+package plan
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+)
+
+// Op is the operation a client asked for.
+type Op int
+
+const (
+	// OpCount counts the rows matching a query.
+	OpCount Op = iota
+	// OpHist1D builds a conditional 1D histogram.
+	OpHist1D
+	// OpHist2D builds a conditional 2D histogram.
+	OpHist2D
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpCount:
+		return "count"
+	case OpHist1D:
+		return "hist1d"
+	case OpHist2D:
+		return "hist2d"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// FragOp is the operation a single fragment performs on its shard.
+type FragOp int
+
+const (
+	// FragCount counts matching rows inside the fragment's row range.
+	FragCount FragOp = iota
+	// FragMinMax computes per-variable min/max over the matching rows
+	// inside the fragment's row range (phase one of a two-phase
+	// histogram whose bin range is derived from the data).
+	FragMinMax
+	// FragHist1D bins matching rows inside the row range against a spec
+	// whose range is fully resolved; partials merge bin-wise.
+	FragHist1D
+	// FragHist2D is FragHist1D over a variable pair.
+	FragHist2D
+	// FragWhole1D evaluates the original 1D spec over the whole step on
+	// one shard. Used when the result is not mergeable (adaptive edges)
+	// or when a full-step evaluation has a cheaper path than a scatter
+	// (the index-aligned fast path for unconditional histograms).
+	FragWhole1D
+	// FragWhole2D is FragWhole1D for 2D specs.
+	FragWhole2D
+)
+
+func (o FragOp) String() string {
+	switch o {
+	case FragCount:
+		return "count"
+	case FragMinMax:
+		return "minmax"
+	case FragHist1D:
+		return "hist1d"
+	case FragHist2D:
+		return "hist2d"
+	case FragWhole1D:
+		return "whole1d"
+	case FragWhole2D:
+		return "whole2d"
+	default:
+		return fmt.Sprintf("FragOp(%d)", int(o))
+	}
+}
+
+// RowRange is a half-open [Lo, Hi) row-position interval within a step.
+// The zero value means "the whole step".
+type RowRange struct {
+	Lo, Hi uint64
+}
+
+// Whole reports whether the range means the entire step.
+func (r RowRange) Whole() bool { return r.Lo == 0 && r.Hi == 0 }
+
+// Empty reports whether the range selects no rows.
+func (r RowRange) Empty() bool { return !r.Whole() && r.Hi <= r.Lo }
+
+// Query is a canonicalized client operation, the planner's input. Query
+// text must already be in canonical form (query.Canonical) so that equal
+// requests produce equal fragments and cache keys.
+type Query struct {
+	Op      Op
+	Dataset string
+	Step    int
+	Query   string // canonical query text; "" means unconditional
+	Backend fastquery.Backend
+	Spec1   histogram.Spec1D // OpHist1D
+	Spec2   histogram.Spec2D // OpHist2D
+}
+
+// Fragment is one unit of work sent to a shard worker.
+type Fragment struct {
+	Op      FragOp
+	Dataset string
+	Step    int
+	Rows    RowRange
+	Query   string
+	Backend fastquery.Backend
+	Vars    []string         // FragMinMax: variables needing ranges
+	Spec1   histogram.Spec1D // FragHist1D / FragWhole1D
+	Spec2   histogram.Spec2D // FragHist2D / FragWhole2D
+}
+
+// fmtG formats a float the way cache keys elsewhere in the system do:
+// shortest round-trippable representation (NaN formats as "NaN", which is
+// fine — distinct from every number).
+func fmtG(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Key returns a canonical identity for the fragment, used for shard-local
+// result caching and for routing whole-step fragments to a stable home
+// shard. Two fragments with equal keys compute identical results over the
+// same data generation.
+func (f Fragment) Key() string {
+	parts := []string{
+		f.Op.String(),
+		f.Dataset,
+		strconv.Itoa(f.Step),
+		strconv.FormatUint(f.Rows.Lo, 10),
+		strconv.FormatUint(f.Rows.Hi, 10),
+		f.Query,
+		f.Backend.String(),
+	}
+	switch f.Op {
+	case FragMinMax:
+		parts = append(parts, strings.Join(f.Vars, ","))
+	case FragHist1D, FragWhole1D:
+		parts = append(parts, f.Spec1.Var,
+			strconv.Itoa(f.Spec1.Bins), f.Spec1.Binning.String(),
+			fmtG(f.Spec1.Lo), fmtG(f.Spec1.Hi), fmtG(f.Spec1.MinDensity))
+	case FragHist2D, FragWhole2D:
+		parts = append(parts, f.Spec2.XVar, f.Spec2.YVar,
+			strconv.Itoa(f.Spec2.XBins), strconv.Itoa(f.Spec2.YBins),
+			f.Spec2.Binning.String(),
+			fmtG(f.Spec2.XLo), fmtG(f.Spec2.XHi),
+			fmtG(f.Spec2.YLo), fmtG(f.Spec2.YHi), fmtG(f.Spec2.MinDensity))
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// VarRange is a per-variable min/max partial. N is the number of selected
+// rows the range was computed over; a part with N == 0 contributes
+// nothing to the merge.
+type VarRange struct {
+	Var    string
+	Lo, Hi float64
+	N      uint64
+}
+
+// FragmentResult is the mergeable partial a shard returns for a fragment.
+// Exactly one field group is populated, per the fragment's Op.
+type FragmentResult struct {
+	Count  uint64            // FragCount
+	MinMax []VarRange        // FragMinMax
+	Hist1  *histogram.Hist1D // FragHist1D / FragWhole1D
+	Hist2  *histogram.Hist2D // FragHist2D / FragWhole2D
+}
+
+// Result is the merged answer the planner returns to the serving layer.
+type Result struct {
+	Count uint64
+	Hist1 *histogram.Hist1D
+	Hist2 *histogram.Hist2D
+
+	// Partial is true when one or more shards failed and the policy
+	// allowed merging the survivors; Failed lists the dead shards.
+	Partial bool
+	Failed  []int
+
+	// Mode records how the plan executed ("scatter", "wholesale", or
+	// "local") and Fragments how many fragment executions it attempted,
+	// for stats and the benchmark harness.
+	Mode      string
+	Fragments int
+}
+
+// ShardMap describes how step rows are partitioned across shard workers.
+// Every worker reads the same shared dataset directory (the paper's
+// parallel-filesystem model), so the map assigns work, not data: shard i
+// owns the i-th contiguous row range of every step, and any shard can
+// evaluate a whole-step fragment.
+type ShardMap struct {
+	Shards int
+}
+
+// Range returns shard i's row range for a step with the given row count.
+// Ranges are contiguous, disjoint, cover [0, rows), and differ in size by
+// at most one row.
+func (m ShardMap) Range(i int, rows uint64) RowRange {
+	n := uint64(m.Shards)
+	if n <= 1 {
+		return RowRange{0, rows}
+	}
+	base := rows / n
+	rem := rows % n
+	lo := base*uint64(i) + minU64(uint64(i), rem)
+	size := base
+	if uint64(i) < rem {
+		size++
+	}
+	return RowRange{lo, lo + size}
+}
+
+// Home deterministically assigns a whole-step fragment key to a shard, so
+// repeated identical requests hit the same shard's cache.
+func (m ShardMap) Home(key string) int {
+	if m.Shards <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(m.Shards))
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mergeRanges folds per-shard min/max partials into one range per
+// requested variable. Parts with N == 0 (no selected rows on that shard)
+// are skipped; when no shard selected any rows the merged range collapses
+// to (0, 0), matching scan.MinMax on an empty slice — which is what the
+// single-process path computes in that case.
+func mergeRanges(vars []string, parts []*FragmentResult) map[string]VarRange {
+	out := make(map[string]VarRange, len(vars))
+	for _, v := range vars {
+		merged := VarRange{Var: v, Lo: math.Inf(1), Hi: math.Inf(-1)}
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			for _, vr := range p.MinMax {
+				if vr.Var != v || vr.N == 0 {
+					continue
+				}
+				merged.Lo = math.Min(merged.Lo, vr.Lo)
+				merged.Hi = math.Max(merged.Hi, vr.Hi)
+				merged.N += vr.N
+			}
+		}
+		if merged.N == 0 {
+			merged.Lo, merged.Hi = 0, 0
+		}
+		out[v] = merged
+	}
+	return out
+}

@@ -1,0 +1,332 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+)
+
+func TestShardMapRangePartition(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5, 7, 16} {
+		for _, rows := range []uint64{0, 1, 2, 99, 100, 101, 1 << 20} {
+			m := ShardMap{Shards: shards}
+			var covered uint64
+			prevHi := uint64(0)
+			minSize, maxSize := rows+1, uint64(0)
+			for i := 0; i < shards; i++ {
+				rr := m.Range(i, rows)
+				if rr.Lo != prevHi {
+					t.Fatalf("shards=%d rows=%d: shard %d starts at %d, want %d", shards, rows, i, rr.Lo, prevHi)
+				}
+				if rr.Hi < rr.Lo {
+					t.Fatalf("shards=%d rows=%d: shard %d inverted range %+v", shards, rows, i, rr)
+				}
+				size := rr.Hi - rr.Lo
+				if size < minSize {
+					minSize = size
+				}
+				if size > maxSize {
+					maxSize = size
+				}
+				covered += size
+				prevHi = rr.Hi
+			}
+			if covered != rows || prevHi != rows {
+				t.Fatalf("shards=%d rows=%d: covered %d, ended at %d", shards, rows, covered, prevHi)
+			}
+			if shards > 1 && maxSize-minSize > 1 {
+				t.Fatalf("shards=%d rows=%d: imbalance %d", shards, rows, maxSize-minSize)
+			}
+		}
+	}
+}
+
+func TestShardMapHome(t *testing.T) {
+	m := ShardMap{Shards: 5}
+	for _, key := range []string{"", "a", "hist1d\x1flwfa\x1f3", "another-key"} {
+		h := m.Home(key)
+		if h < 0 || h >= 5 {
+			t.Fatalf("Home(%q) = %d out of range", key, h)
+		}
+		if h2 := m.Home(key); h2 != h {
+			t.Fatalf("Home(%q) not deterministic: %d then %d", key, h, h2)
+		}
+	}
+	if h := (ShardMap{Shards: 1}).Home("x"); h != 0 {
+		t.Fatalf("single-shard Home = %d", h)
+	}
+	if h := (ShardMap{}).Home("x"); h != 0 {
+		t.Fatalf("zero-shard Home = %d", h)
+	}
+}
+
+func TestFragmentKey(t *testing.T) {
+	base := Fragment{
+		Op: FragHist1D, Dataset: "lwfa", Step: 2, Rows: RowRange{10, 20},
+		Query: "(px > 0.5)", Backend: fastquery.FastBit,
+		Spec1: histogram.Spec1D{Var: "x", Bins: 64, Lo: 0, Hi: 1},
+	}
+	if base.Key() != base.Key() {
+		t.Fatal("Key not deterministic")
+	}
+	seen := map[string]string{base.Key(): "base"}
+	mutations := map[string]Fragment{}
+	f := base
+	f.Step = 3
+	mutations["step"] = f
+	f = base
+	f.Rows = RowRange{10, 21}
+	mutations["rows"] = f
+	f = base
+	f.Query = "(px > 0.6)"
+	mutations["query"] = f
+	f = base
+	f.Backend = fastquery.Scan
+	mutations["backend"] = f
+	f = base
+	f.Spec1.Bins = 128
+	mutations["bins"] = f
+	f = base
+	f.Spec1.Hi = 2
+	mutations["hi"] = f
+	f = base
+	f.Op = FragWhole1D
+	mutations["op"] = f
+	for name, m := range mutations {
+		k := m.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("mutation %q collides with %q: %q", name, prev, k)
+		}
+		seen[k] = name
+	}
+}
+
+func TestMergeRanges(t *testing.T) {
+	parts := []*FragmentResult{
+		{MinMax: []VarRange{{Var: "x", Lo: -1, Hi: 2, N: 10}}},
+		nil, // failed shard under ReturnPartial
+		{MinMax: []VarRange{{Var: "x", Lo: -3, Hi: 1, N: 4}}},
+		{MinMax: []VarRange{{Var: "x", Lo: 99, Hi: 100, N: 0}}}, // empty selection: skipped
+	}
+	got := mergeRanges([]string{"x"}, parts)["x"]
+	want := VarRange{Var: "x", Lo: -3, Hi: 2, N: 14}
+	if got != want {
+		t.Fatalf("merged = %+v, want %+v", got, want)
+	}
+
+	// All-empty collapses to (0, 0), matching scan.MinMax on no rows.
+	empty := mergeRanges([]string{"x"}, []*FragmentResult{
+		{MinMax: []VarRange{{Var: "x", Lo: 5, Hi: 6, N: 0}}},
+	})["x"]
+	if empty.Lo != 0 || empty.Hi != 0 || empty.N != 0 {
+		t.Fatalf("all-empty merge = %+v", empty)
+	}
+}
+
+// fakeRunner records dispatched fragments and answers them synthetically;
+// failShards simulates unreachable shards with retryable errors.
+type fakeRunner struct {
+	mu         sync.Mutex
+	calls      []Fragment
+	callShards []int
+	failShards map[int]bool
+	fatalAll   bool
+}
+
+func (r *fakeRunner) RunFragment(_ context.Context, shard int, f Fragment) (*FragmentResult, error) {
+	r.mu.Lock()
+	r.calls = append(r.calls, f)
+	r.callShards = append(r.callShards, shard)
+	r.mu.Unlock()
+	if r.fatalAll {
+		return nil, fastquery.Fatalf("poison fragment")
+	}
+	if r.failShards[shard] {
+		return nil, errors.New("connection refused")
+	}
+	switch f.Op {
+	case FragCount:
+		return &FragmentResult{Count: f.Rows.Hi - f.Rows.Lo}, nil
+	case FragMinMax:
+		var mm []VarRange
+		for _, v := range f.Vars {
+			mm = append(mm, VarRange{Var: v, Lo: float64(shard), Hi: float64(shard + 10), N: 1})
+		}
+		return &FragmentResult{MinMax: mm}, nil
+	case FragHist1D, FragWhole1D:
+		return &FragmentResult{Hist1: &histogram.Hist1D{
+			Var:    f.Spec1.Var,
+			Edges:  histogram.UniformEdges(f.Spec1.Lo, f.Spec1.Hi, f.Spec1.Bins),
+			Counts: make([]uint64, f.Spec1.Bins),
+		}}, nil
+	case FragHist2D, FragWhole2D:
+		return &FragmentResult{Hist2: &histogram.Hist2D{
+			XVar:   f.Spec2.XVar,
+			YVar:   f.Spec2.YVar,
+			XEdges: histogram.UniformEdges(f.Spec2.XLo, f.Spec2.XHi, f.Spec2.XBins),
+			YEdges: histogram.UniformEdges(f.Spec2.YLo, f.Spec2.YHi, f.Spec2.YBins),
+			Counts: make([]uint64, f.Spec2.XBins*f.Spec2.YBins),
+		}}, nil
+	}
+	return nil, fmt.Errorf("unexpected op %v", f.Op)
+}
+
+func (r *fakeRunner) ops() []FragOp {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FragOp, len(r.calls))
+	for i, f := range r.calls {
+		out[i] = f.Op
+	}
+	return out
+}
+
+func histQuery(q string, spec histogram.Spec1D) Query {
+	return Query{Op: OpHist1D, Dataset: "d", Step: 0, Query: q,
+		Backend: fastquery.Scan, Spec1: spec}
+}
+
+func TestRoutingWholesale(t *testing.T) {
+	m := ShardMap{Shards: 4}
+	cases := map[string]Query{
+		"adaptive": histQuery("(px > 1)", histogram.Spec1D{
+			Var: "x", Bins: 8, Lo: 0, Hi: 1, Binning: histogram.Adaptive}),
+		"uncond-no-range": histQuery("", histogram.NewSpec1D("x", 8)),
+	}
+	for name, q := range cases {
+		r := &fakeRunner{}
+		res, err := Execute(context.Background(), q, m, 1000, r, ReturnPartial)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Mode != "wholesale" || res.Fragments != 1 {
+			t.Fatalf("%s: mode=%q fragments=%d, want wholesale/1", name, res.Mode, res.Fragments)
+		}
+		if got := r.ops(); len(got) != 1 || got[0] != FragWhole1D {
+			t.Fatalf("%s: ops = %v", name, got)
+		}
+		r.mu.Lock()
+		f, home := r.calls[0], r.callShards[0]
+		r.mu.Unlock()
+		if !f.Rows.Whole() {
+			t.Fatalf("%s: wholesale fragment rows = %+v, want whole step", name, f.Rows)
+		}
+		if want := m.Home(f.Key()); home != want {
+			t.Fatalf("%s: wholesale landed on shard %d, want home %d", name, home, want)
+		}
+	}
+}
+
+func TestRoutingTwoPhase(t *testing.T) {
+	m := ShardMap{Shards: 3}
+	q := histQuery("(px > 1)", histogram.NewSpec1D("x", 8)) // no range: needs minmax phase
+	r := &fakeRunner{}
+	res, err := Execute(context.Background(), q, m, 999, r, ReturnPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := r.ops()
+	if len(ops) != 6 {
+		t.Fatalf("fragments = %v, want 3 minmax + 3 hist", ops)
+	}
+	minmax, hist := 0, 0
+	for _, op := range ops {
+		switch op {
+		case FragMinMax:
+			minmax++
+		case FragHist1D:
+			hist++
+		default:
+			t.Fatalf("unexpected op %v", op)
+		}
+	}
+	if minmax != 3 || hist != 3 {
+		t.Fatalf("minmax=%d hist=%d", minmax, hist)
+	}
+	if res.Mode != "scatter" || res.Fragments != 6 || res.Partial {
+		t.Fatalf("res = %+v", res)
+	}
+	// The merged range spans all shards' partials: lo = min shard id (0),
+	// hi = max shard id + 10 (12); every hist fragment must carry it.
+	for _, f := range r.calls {
+		if f.Op == FragHist1D && (f.Spec1.Lo != 0 || f.Spec1.Hi != 12) {
+			t.Fatalf("hist fragment spec = %+v", f.Spec1)
+		}
+	}
+}
+
+func TestRoutingExplicitRangeSkipsMinMax(t *testing.T) {
+	m := ShardMap{Shards: 3}
+	spec := histogram.NewSpec1D("x", 8)
+	spec.Lo, spec.Hi = -1, 1
+	r := &fakeRunner{}
+	if _, err := Execute(context.Background(), histQuery("(px > 1)", spec), m, 999, r, FailFast); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range r.ops() {
+		if op != FragHist1D {
+			t.Fatalf("unexpected op %v", op)
+		}
+	}
+}
+
+func TestCountScatterAndPartial(t *testing.T) {
+	m := ShardMap{Shards: 4}
+	q := Query{Op: OpCount, Dataset: "d", Query: "(px > 1)", Backend: fastquery.Scan}
+
+	r := &fakeRunner{}
+	res, err := Execute(context.Background(), q, m, 1000, r, ReturnPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 1000 || res.Partial {
+		t.Fatalf("res = %+v", res)
+	}
+
+	// One shard down: ReturnPartial sums the survivors and marks it.
+	r = &fakeRunner{failShards: map[int]bool{2: true}}
+	res, err = Execute(context.Background(), q, m, 1000, r, ReturnPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := m.Range(2, 1000)
+	if res.Count != 1000-(lost.Hi-lost.Lo) || !res.Partial || !reflect.DeepEqual(res.Failed, []int{2}) {
+		t.Fatalf("partial res = %+v", res)
+	}
+
+	// Same failure under FailFast is an error.
+	r = &fakeRunner{failShards: map[int]bool{2: true}}
+	if _, err := Execute(context.Background(), q, m, 1000, r, FailFast); err == nil {
+		t.Fatal("FailFast did not fail")
+	}
+
+	// All shards down: error even under ReturnPartial.
+	r = &fakeRunner{failShards: map[int]bool{0: true, 1: true, 2: true, 3: true}}
+	if _, err := Execute(context.Background(), q, m, 1000, r, ReturnPartial); err == nil {
+		t.Fatal("all-failed did not error")
+	}
+
+	// Fatal errors short-circuit regardless of policy.
+	r = &fakeRunner{fatalAll: true}
+	if _, err := Execute(context.Background(), q, m, 1000, r, ReturnPartial); err == nil || !fastquery.IsFatal(err) {
+		t.Fatalf("fatal not propagated: %v", err)
+	}
+}
+
+func TestZeroRowsCount(t *testing.T) {
+	r := &fakeRunner{}
+	q := Query{Op: OpCount, Dataset: "d", Backend: fastquery.Scan}
+	res, err := Execute(context.Background(), q, ShardMap{Shards: 3}, 0, r, ReturnPartial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 || len(r.ops()) != 1 {
+		t.Fatalf("res=%+v ops=%v", res, r.ops())
+	}
+}

@@ -20,6 +20,7 @@ package serve
 import (
 	"repro/internal/fastquery"
 	"repro/internal/obs"
+	"repro/internal/shard"
 )
 
 // ErrorBody is the JSON body of every non-2xx response.
@@ -83,7 +84,12 @@ type QueryBody struct {
 	Matches     uint64  `json:"matches"`
 	Selectivity float64 `json:"selectivity"`
 	Outcome     string  `json:"outcome"` // computed | hit | coalesced
-	ElapsedMS   float64 `json:"elapsed_ms"`
+	// Partial marks a degraded scatter-gather answer: one or more shards
+	// were unreachable and the response merges only the survivors listed
+	// absent from FailedShards. The X-Partial response header mirrors it.
+	Partial      bool    `json:"partial,omitempty"`
+	FailedShards []int   `json:"failed_shards,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
 	// Trace is the request's span tree, included when ?debug=trace is set.
 	Trace *obs.SpanData `json:"trace,omitempty"`
 }
@@ -105,8 +111,12 @@ type Hist1DBody struct {
 	// resolution of the same request; "index-only": an approximate
 	// histogram computed from bitmaps alone, counts an upper bound). The
 	// X-Degraded response header carries the same mode.
-	Degraded     bool          `json:"degraded,omitempty"`
-	DegradedMode string        `json:"degraded_mode,omitempty"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedMode string `json:"degraded_mode,omitempty"`
+	// Partial marks a scatter-gather answer merged without the shards in
+	// FailedShards; see QueryBody.
+	Partial      bool          `json:"partial,omitempty"`
+	FailedShards []int         `json:"failed_shards,omitempty"`
 	ElapsedMS    float64       `json:"elapsed_ms"`
 	Trace        *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
 }
@@ -127,8 +137,12 @@ type Hist2DBody struct {
 	Total   uint64    `json:"total"`
 	Outcome string    `json:"outcome"`
 	// Degraded and DegradedMode mark a brownout answer; see Hist1DBody.
-	Degraded     bool          `json:"degraded,omitempty"`
-	DegradedMode string        `json:"degraded_mode,omitempty"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedMode string `json:"degraded_mode,omitempty"`
+	// Partial marks a scatter-gather answer merged without the shards in
+	// FailedShards; see QueryBody.
+	Partial      bool          `json:"partial,omitempty"`
+	FailedShards []int         `json:"failed_shards,omitempty"`
 	ElapsedMS    float64       `json:"elapsed_ms"`
 	Trace        *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
 }
@@ -185,9 +199,27 @@ type StatsBody struct {
 	// Ingest reports, per live dataset, the ingestion pipeline's state:
 	// catalog generation, committed vs indexed step counts and their lag,
 	// and the background builder's counters.
-	Ingest  map[string]IngestStats `json:"ingest,omitempty"`
-	Build   BuildInfo              `json:"build"`
-	Metrics []obs.Metric           `json:"metrics"`
+	Ingest map[string]IngestStats `json:"ingest,omitempty"`
+	// Sharding is present on a scatter-gather frontend: the fleet-wide
+	// aggregate plus each shard's executor snapshot and pool counters.
+	Sharding *ShardingStats `json:"sharding,omitempty"`
+	Build    BuildInfo      `json:"build"`
+	Metrics  []obs.Metric   `json:"metrics"`
+}
+
+// ShardingStats is the frontend's fleet view in /v1/stats.
+type ShardingStats struct {
+	Shards    int    `json:"shards"`
+	Scatters  uint64 `json:"scatters"`  // requests executed via scatter-gather
+	Fragments uint64 `json:"fragments"` // plan fragments dispatched
+	Partials  uint64 `json:"partials"`  // responses merged without every shard
+	// FleetSteps is the total step count reported by shard 0 (every shard
+	// serves the same shared dataset directory, so they agree when
+	// healthy); FleetCacheHitRate aggregates the shard-local fragment
+	// caches across the fleet.
+	FleetSteps        int                 `json:"fleet_steps"`
+	FleetCacheHitRate float64             `json:"fleet_cache_hit_rate"`
+	ShardStatus       []shard.ShardStatus `json:"shard_status"`
 }
 
 // IngestStats is one live dataset's entry in StatsBody.Ingest.

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/fastquery"
 	"repro/internal/histogram"
+	"repro/internal/plan"
 )
 
 // Brownout: under sustained overload, an eligible histogram request that
@@ -92,7 +93,11 @@ func (s *Server) tryBrownoutHist1D(r *http.Request, req *request, spec histogram
 	key := req.cacheKey(strings.Join([]string{"hist1d-approx", spec.Var}, "|"))
 	val, outcome, ok := s.brownoutRescue(r, key, func(ctx context.Context) (any, error) {
 		s.backendCalls.Inc()
-		return req.st.Histogram1DIndexOnlyCtx(ctx, req.expr, spec.Var)
+		h, err := req.st.Histogram1DIndexOnlyCtx(ctx, req.expr, spec.Var)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Result{Hist1: h, Mode: "local", Fragments: 1}, nil
 	})
 	if !ok {
 		return false
@@ -124,7 +129,11 @@ func (s *Server) tryBrownoutHist2D(r *http.Request, req *request, spec histogram
 	key := req.cacheKey(strings.Join([]string{"hist2d-approx", spec.XVar, spec.YVar}, "|"))
 	val, outcome, ok := s.brownoutRescue(r, key, func(ctx context.Context) (any, error) {
 		s.backendCalls.Inc()
-		return req.st.Histogram2DIndexOnlyCtx(ctx, req.expr, spec.XVar, spec.YVar)
+		h, err := req.st.Histogram2DIndexOnlyCtx(ctx, req.expr, spec.XVar, spec.YVar)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.Result{Hist2: h, Mode: "local", Fragments: 1}, nil
 	})
 	if !ok {
 		return false

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/plan"
 )
 
 // Outcome describes how a cache lookup was satisfied.
@@ -154,7 +155,7 @@ func (c *Cache) run(key string, f *flight, fctx context.Context, fn func(ctx con
 	f.finished = true
 	f.val, f.err = val, err
 	delete(c.flights, key)
-	if err == nil && c.maxEntries > 0 {
+	if err == nil && c.maxEntries > 0 && cacheable(val) {
 		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
 		for c.ll.Len() > c.maxEntries {
 			oldest := c.ll.Back()
@@ -166,6 +167,15 @@ func (c *Cache) run(key string, f *flight, fctx context.Context, fn func(ctx con
 	c.mu.Unlock()
 	close(f.done)
 	f.cancel() // release the flight context's resources
+}
+
+// cacheable reports whether a computed value may be stored. Partial
+// scatter answers — merged without every shard — are served to their
+// waiters but never cached: the next identical request should try the full
+// fleet again rather than repeat a degraded result.
+func cacheable(val any) bool {
+	res, ok := val.(*plan.Result)
+	return !ok || !res.Partial
 }
 
 // wait blocks until the flight finishes or ctx is done. A caller that

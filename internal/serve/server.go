@@ -21,7 +21,9 @@ import (
 	"repro/internal/fastquery"
 	"repro/internal/histogram"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/shard"
 )
 
 // Limits on requested histogram resolution; beyond them a request is
@@ -215,12 +217,16 @@ type Server struct {
 	datasets map[string]*dataset
 	order    []string
 	pool     *cluster.Pool // optional worker pool for /v1/sweep2d
+	shard    *shard.Client // optional scatter client: this server is a frontend
 
 	backendCalls *obs.Counter
 	canceled     *obs.Counter // requests abandoned by their client (499)
 	execTimeouts *obs.Counter // requests that hit ExecTimeout (504)
 	panics       *obs.Counter // handler panics converted to 500
 	probeBypass  *obs.Counter // cached-key probes answered without a gate slot
+	scatters     *obs.Counter // operations executed through the scatter client
+	scatterFrags *obs.Counter // plan fragments dispatched to shard workers
+	partials     *obs.Counter // responses merged without every shard
 	draining     atomic.Bool  // /readyz reports 503 while set
 
 	// brownoutSem bounds concurrent index-only brownout rescues so the
@@ -264,6 +270,12 @@ func New(cfg Config) *Server {
 		"Handler panics converted to 500 responses.")
 	s.probeBypass = reg.Counter("serve_probe_bypass_total",
 		"Cached-key probes answered without consuming a gate slot.")
+	s.scatters = reg.Counter("serve_scatter_total",
+		"Operations executed through the shard scatter client.")
+	s.scatterFrags = reg.Counter("serve_scatter_fragments_total",
+		"Plan fragments dispatched to shard workers.")
+	s.partials = reg.Counter("serve_partial_total",
+		"Responses merged without every shard (degraded scatter answers).")
 	s.mux.HandleFunc("/healthz", s.instrumented("healthz", s.handleHealth))
 	s.mux.HandleFunc("/readyz", s.instrumented("readyz", s.handleReady))
 	s.mux.HandleFunc("/v1/datasets", s.instrumented("datasets", s.handleDatasets))
@@ -314,6 +326,30 @@ func (s *Server) workerPool() *cluster.Pool {
 	return s.pool
 }
 
+// SetShardClient turns this server into a scatter-gather frontend: query,
+// hist1d, hist2d and sweep2d fragments are scattered to the client's shard
+// workers and the mergeable partials combined, instead of evaluating
+// locally. Replaces (and closes) any previous client. The server still
+// needs its datasets registered with AddDataset — planning reads row
+// counts and variable metadata locally (every node shares the dataset
+// directory).
+func (s *Server) SetShardClient(c *shard.Client) {
+	s.mu.Lock()
+	old := s.shard
+	s.shard = c
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// shardClient returns the configured scatter client, or nil.
+func (s *Server) shardClient() *shard.Client {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.shard
+}
+
 // AddDataset opens a dataset directory and serves it under name.
 func (s *Server) AddDataset(name, dir string) error {
 	src, err := fastquery.Open(dir)
@@ -343,6 +379,10 @@ func (s *Server) Close() {
 	if s.pool != nil {
 		s.pool.Close()
 		s.pool = nil
+	}
+	if s.shard != nil {
+		s.shard.Close()
+		s.shard = nil
 	}
 }
 
@@ -549,6 +589,27 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.mu.RUnlock()
+	if c := s.shardClient(); c != nil {
+		sh := &ShardingStats{
+			Shards:      c.Shards(),
+			Scatters:    s.scatters.Load(),
+			Fragments:   s.scatterFrags.Load(),
+			Partials:    s.partials.Load(),
+			ShardStatus: c.Stats(r.Context(), 2*time.Second),
+		}
+		var hits, misses uint64
+		for _, st := range sh.ShardStatus {
+			hits += st.Stats.CacheHits
+			misses += st.Stats.CacheMisses
+			if sh.FleetSteps == 0 && st.Err == "" {
+				sh.FleetSteps = st.Stats.Steps
+			}
+		}
+		if hits+misses > 0 {
+			sh.FleetCacheHitRate = float64(hits) / float64(hits+misses)
+		}
+		body.Sharding = sh
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -818,6 +879,63 @@ func writeBody(r *http.Request, w http.ResponseWriter, body any) {
 	sp.End()
 }
 
+// planQuery builds the planner input for this request. The query text is
+// already canonical (parseRequest), so equal requests produce equal
+// fragments and fragment-cache keys across the fleet.
+func (req *request) planQuery(op plan.Op) plan.Query {
+	return plan.Query{
+		Op:      op,
+		Dataset: req.d.name,
+		Step:    req.t,
+		Query:   req.plan,
+		Backend: req.backend,
+	}
+}
+
+// localRunner evaluates plan fragments in-process against the server's own
+// open step handles: the one-shard degenerate case of the scatter path.
+// Single-process serving runs the same planner/executor code as a
+// frontend, just with this runner instead of RPCs.
+type localRunner struct {
+	s *Server
+	d *dataset
+}
+
+func (lr localRunner) RunFragment(ctx context.Context, _ int, f plan.Fragment) (*plan.FragmentResult, error) {
+	st, err := lr.d.step(f.Step)
+	if err != nil {
+		return nil, err
+	}
+	lr.s.backendCalls.Inc()
+	return shard.Eval(ctx, st, f)
+}
+
+// execPlan runs one planned operation: scattered across the shard fleet
+// when a scatter client is configured (merging partials, degrading to a
+// Partial answer when a shard is unreachable), locally otherwise.
+func (s *Server) execPlan(ctx context.Context, d *dataset, pq plan.Query, rows uint64) (*plan.Result, error) {
+	if c := s.shardClient(); c != nil {
+		s.scatters.Inc()
+		res, err := plan.Execute(ctx, pq, plan.ShardMap{Shards: c.Shards()}, rows, c, plan.ReturnPartial)
+		if res != nil {
+			s.scatterFrags.Add(uint64(res.Fragments))
+			if res.Partial {
+				s.partials.Inc()
+			}
+		}
+		return res, err
+	}
+	return plan.Execute(ctx, pq, plan.ShardMap{Shards: 1}, rows, localRunner{s: s, d: d}, plan.FailFast)
+}
+
+// markPartial mirrors a partial merge in the response headers, the way
+// X-Degraded marks brownout answers.
+func markPartial(w http.ResponseWriter, res *plan.Result) {
+	if res.Partial {
+		w.Header().Set("X-Partial", "1")
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	req, herr := s.parseRequest(r, true)
@@ -827,24 +945,27 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	key := req.cacheKey("count")
 	respond := func(val any, outcome Outcome) {
-		matches := val.(uint64)
+		res := val.(*plan.Result)
 		rows := req.st.Rows()
 		sel := 0.0
 		if rows > 0 {
-			sel = float64(matches) / float64(rows)
+			sel = float64(res.Count) / float64(rows)
 		}
+		markPartial(w, res)
 		writeBody(r, w, QueryBody{
-			Dataset:     req.d.name,
-			Step:        req.t,
-			Query:       req.src,
-			Plan:        req.plan,
-			Backend:     req.backend.String(),
-			Rows:        rows,
-			Matches:     matches,
-			Selectivity: sel,
-			Outcome:     outcome.String(),
-			ElapsedMS:   float64(time.Since(start)) / float64(time.Millisecond),
-			Trace:       traceEcho(r),
+			Dataset:      req.d.name,
+			Step:         req.t,
+			Query:        req.src,
+			Plan:         req.plan,
+			Backend:      req.backend.String(),
+			Rows:         rows,
+			Matches:      res.Count,
+			Selectivity:  sel,
+			Outcome:      outcome.String(),
+			Partial:      res.Partial,
+			FailedShards: res.Failed,
+			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
+			Trace:        traceEcho(r),
 		})
 	}
 	if val, ok := s.peekBypass(r, key); ok {
@@ -860,8 +981,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	val, outcome, err := s.cacheDo(ctx, key, func(ctx context.Context) (any, error) {
-		s.backendCalls.Inc()
-		return req.st.CountCtx(ctx, req.expr, req.backend)
+		return s.execPlan(ctx, req.d, req.planQuery(plan.OpCount), req.st.Rows())
 	})
 	if err != nil {
 		s.writeExecError(w, err)
@@ -926,7 +1046,8 @@ func hist1DSpecKey(spec histogram.Spec1D) string {
 
 func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec1D, start time.Time) {
 	respond := func(val any, outcome Outcome, degraded string) {
-		h := val.(*histogram.Hist1D)
+		res := val.(*plan.Result)
+		h := res.Hist1
 		body := Hist1DBody{
 			Dataset:      req.d.name,
 			Step:         req.t,
@@ -940,12 +1061,15 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 			Outcome:      outcome.String(),
 			Degraded:     degraded != "",
 			DegradedMode: degraded,
+			Partial:      res.Partial,
+			FailedShards: res.Failed,
 			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 			Trace:        traceEcho(r),
 		}
 		if degraded != "" {
 			w.Header().Set("X-Degraded", degraded)
 		}
+		markPartial(w, res)
 		writeBody(r, w, body)
 	}
 	if val, ok := s.peekBypass(r, req.cacheKey(hist1DSpecKey(spec))); ok {
@@ -964,8 +1088,9 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	val, outcome, err := s.cacheDo(ctx, req.cacheKey(hist1DSpecKey(spec)), func(ctx context.Context) (any, error) {
-		s.backendCalls.Inc()
-		return req.st.Histogram1DCtx(ctx, req.expr, spec, req.backend)
+		pq := req.planQuery(plan.OpHist1D)
+		pq.Spec1 = spec
+		return s.execPlan(ctx, req.d, pq, req.st.Rows())
 	})
 	if err != nil {
 		s.writeExecError(w, err)
@@ -1039,7 +1164,8 @@ func hist2DSpecKey(spec histogram.Spec2D) string {
 
 func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec2D, start time.Time) {
 	respond := func(val any, outcome Outcome, degraded string) {
-		h := val.(*histogram.Hist2D)
+		res := val.(*plan.Result)
+		h := res.Hist2
 		body := Hist2DBody{
 			Dataset:      req.d.name,
 			Step:         req.t,
@@ -1055,12 +1181,15 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 			Outcome:      outcome.String(),
 			Degraded:     degraded != "",
 			DegradedMode: degraded,
+			Partial:      res.Partial,
+			FailedShards: res.Failed,
 			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 			Trace:        traceEcho(r),
 		}
 		if degraded != "" {
 			w.Header().Set("X-Degraded", degraded)
 		}
+		markPartial(w, res)
 		writeBody(r, w, body)
 	}
 	if val, ok := s.peekBypass(r, req.cacheKey(hist2DSpecKey(spec))); ok {
@@ -1079,8 +1208,9 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	val, outcome, err := s.cacheDo(ctx, req.cacheKey(hist2DSpecKey(spec)), func(ctx context.Context) (any, error) {
-		s.backendCalls.Inc()
-		return req.st.Histogram2DCtx(ctx, req.expr, spec, req.backend)
+		pq := req.planQuery(plan.OpHist2D)
+		pq.Spec2 = spec
+		return s.execPlan(ctx, req.d, pq, req.st.Rows())
 	})
 	if err != nil {
 		s.writeExecError(w, err)
@@ -1176,7 +1306,10 @@ func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
 		mode = "cluster"
 		hists, err = p.HistogramSweepCtx(ctx, steps, req.src, spec, req.backend)
 	} else {
-		hists, err = s.localSweep(ctx, req, steps, spec)
+		if s.shardClient() != nil {
+			mode = "scatter"
+		}
+		hists, err = s.planSweep(ctx, req, steps, spec)
 	}
 	if err != nil {
 		s.writeExecError(w, err)
@@ -1205,9 +1338,11 @@ func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
 	writeBody(r, w, body)
 }
 
-// localSweep runs the per-step histograms serially in-process, each under
-// its own sweep-step span to mirror the cluster path's trace shape.
-func (s *Server) localSweep(ctx context.Context, req *request, steps []int, spec histogram.Spec2D) ([]*histogram.Hist2D, error) {
+// planSweep runs the per-step histograms serially through the planner,
+// each under its own sweep-step span to mirror the cluster path's trace
+// shape. Without a scatter client every step evaluates in-process; with
+// one, each step scatters across the shard fleet in turn.
+func (s *Server) planSweep(ctx context.Context, req *request, steps []int, spec histogram.Spec2D) ([]*histogram.Hist2D, error) {
 	out := make([]*histogram.Hist2D, len(steps))
 	for i, t := range steps {
 		st, err := req.d.step(t)
@@ -1216,15 +1351,17 @@ func (s *Server) localSweep(ctx context.Context, req *request, steps []int, spec
 		}
 		sctx, sp := obs.StartSpan(ctx, "sweep-step")
 		sp.SetAttr("step", strconv.Itoa(t))
-		s.backendCalls.Inc()
-		h, err := st.Histogram2DCtx(sctx, req.expr, spec, req.backend)
+		pq := req.planQuery(plan.OpHist2D)
+		pq.Step = t
+		pq.Spec2 = spec
+		res, err := s.execPlan(sctx, req.d, pq, st.Rows())
 		if err != nil {
 			sp.SetAttr("error", err.Error())
 			sp.End()
 			return nil, err
 		}
 		sp.End()
-		out[i] = h
+		out[i] = res.Hist2
 	}
 	return out, nil
 }

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Client is the frontend's scatter client: one cluster pool per shard,
+// each pool holding that shard's replicas with the usual retry/backoff,
+// health probing, and ring failover. It implements plan.Runner.
+type Client struct {
+	pools []*cluster.Pool
+	hedge time.Duration
+}
+
+// DialShards connects to every shard's replica group. shards[i] lists the
+// replica addresses of shard i. hedge > 0 enables staggered hedged
+// dispatch across a shard's replicas: if the first replica has not
+// answered within the stagger, the next one is raced against it.
+func DialShards(shards [][]string, cfg cluster.PoolConfig, hedge time.Duration) (*Client, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: no shards")
+	}
+	c := &Client{hedge: hedge}
+	for i, addrs := range shards {
+		p, err := cluster.DialConfig(addrs, cfg)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("shard: dial shard %d: %w", i, err)
+		}
+		c.pools = append(c.pools, p)
+	}
+	return c, nil
+}
+
+// Shards returns the number of shards.
+func (c *Client) Shards() int { return len(c.pools) }
+
+// RunFragment sends one fragment to a shard, first-healthy replica first
+// (a stable choice, so the primary replica's fragment cache stays hot),
+// hedging per the client's stagger. The shard-side span tree is attached
+// under the caller's fragment span.
+func (c *Client) RunFragment(ctx context.Context, shard int, f plan.Fragment) (*plan.FragmentResult, error) {
+	if shard < 0 || shard >= len(c.pools) {
+		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(c.pools))
+	}
+	var reply ExecReply
+	err := c.pools[shard].CallOn(ctx, 0, "Shard.Exec", &ExecArgs{
+		Frag:    f,
+		TraceID: obs.SpanFromContext(ctx).TraceID(),
+	}, &reply, c.hedge)
+	obs.SpanFromContext(ctx).AttachRemote(reply.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if reply.Result == nil {
+		return nil, fmt.Errorf("shard: shard %d returned no result", shard)
+	}
+	return reply.Result, nil
+}
+
+// ShardStatus is one shard's view in a fleet stats snapshot.
+type ShardStatus struct {
+	Shard    int               `json:"shard"`
+	Replicas int               `json:"replicas"`
+	Healthy  int               `json:"healthy"`
+	Err      string            `json:"err,omitempty"` // stats RPC failure
+	Stats    ExecStats         `json:"stats"`
+	Pool     cluster.PoolStats `json:"pool"`
+}
+
+// Stats gathers every shard's executor snapshot (best effort, bounded by
+// timeout per shard) plus the frontend-side pool counters.
+func (c *Client) Stats(ctx context.Context, timeout time.Duration) []ShardStatus {
+	out := make([]ShardStatus, len(c.pools))
+	for i, p := range c.pools {
+		st := ShardStatus{
+			Shard:    i,
+			Replicas: p.Nodes(),
+			Healthy:  p.HealthyNodes(),
+			Pool:     p.Stats(),
+		}
+		sctx, cancel := context.WithTimeout(ctx, timeout)
+		var reply StatsReply
+		if err := p.CallOn(sctx, 0, "Shard.Stats", &StatsArgs{}, &reply, 0); err != nil {
+			st.Err = err.Error()
+		} else {
+			st.Stats = reply.Stats
+		}
+		cancel()
+		out[i] = st
+	}
+	return out
+}
+
+// Close closes every shard pool.
+func (c *Client) Close() {
+	for _, p := range c.pools {
+		p.Close()
+	}
+}

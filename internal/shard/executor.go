@@ -1,0 +1,267 @@
+package shard
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fastquery"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// Package-level instruments for the shard execution tier, registered in
+// the process-wide registry like the cluster RPC series.
+var (
+	metricFragments = obs.Default().Counter("shard_fragments_total",
+		"Plan fragments evaluated by this process's shard executor.")
+	metricFragHits = obs.Default().Counter("shard_frag_cache_hits_total",
+		"Fragment results answered from the shard-local cache.")
+	metricFragMisses = obs.Default().Counter("shard_frag_cache_misses_total",
+		"Fragment requests that had to be evaluated.")
+)
+
+// ExecStats is a snapshot of one executor's counters, shipped to the
+// frontend by Shard.Stats so /v1/stats can aggregate the fleet.
+type ExecStats struct {
+	Datasets     int
+	Steps        int // total steps across datasets
+	Generation   uint64
+	Evals        uint64 // fragments evaluated (cache misses that ran)
+	CacheHits    uint64
+	CacheMisses  uint64
+	CacheEntries int
+}
+
+// Executor evaluates plan fragments over locally opened datasets, with a
+// shard-local LRU of fragment results keyed by (canonical fragment key,
+// shard generation). Hot steps — repeated drill-downs over the same
+// fragment — are answered without touching the data at all.
+type Executor struct {
+	mu       sync.Mutex
+	datasets map[string]*exDataset
+
+	cache *fragCache
+	gen   atomic.Uint64
+
+	evals, hits, misses atomic.Uint64
+}
+
+type exDataset struct {
+	src *fastquery.Source
+
+	mu    sync.Mutex
+	steps map[int]*fastquery.Step
+}
+
+// NewExecutor creates an executor whose fragment cache holds up to
+// cacheEntries results (0 disables caching).
+func NewExecutor(cacheEntries int) *Executor {
+	return &Executor{
+		datasets: map[string]*exDataset{},
+		cache:    newFragCache(cacheEntries),
+	}
+}
+
+// AddDataset opens a dataset directory under the given name.
+func (e *Executor) AddDataset(name, dir string) error {
+	src, err := fastquery.Open(dir)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.datasets[name]; dup {
+		src.Close()
+		return fmt.Errorf("shard: duplicate dataset %q", name)
+	}
+	e.datasets[name] = &exDataset{src: src, steps: map[int]*fastquery.Step{}}
+	return nil
+}
+
+// Datasets returns the dataset names and their step counts, sorted.
+func (e *Executor) Datasets() (names []string, steps []int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for name := range e.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		steps = append(steps, e.datasets[name].src.Steps())
+	}
+	return names, steps
+}
+
+// Generation returns the shard's data generation. Cached fragment results
+// are keyed by it, so Bump atomically invalidates them all.
+func (e *Executor) Generation() uint64 { return e.gen.Load() }
+
+// Bump advances the generation, invalidating every cached fragment.
+func (e *Executor) Bump() { e.gen.Add(1) }
+
+// step returns a cached open step handle for the dataset.
+func (e *Executor) step(dataset string, t int) (*fastquery.Step, error) {
+	e.mu.Lock()
+	d, ok := e.datasets[dataset]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fastquery.Fatalf("shard: unknown dataset %q", dataset)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if st, ok := d.steps[t]; ok {
+		return st, nil
+	}
+	st, err := d.src.OpenStep(t)
+	if err != nil {
+		return nil, err
+	}
+	d.steps[t] = st
+	return st, nil
+}
+
+func (e *Executor) cacheKey(f plan.Fragment) string {
+	return strconv.FormatUint(e.gen.Load(), 10) + "\x1f" + f.Key()
+}
+
+// Peek returns a cached result for the fragment without evaluating
+// anything; the RPC service uses it to answer hot fragments ahead of
+// admission control, mirroring the serve layer's cached-probe bypass.
+func (e *Executor) Peek(f plan.Fragment) (*plan.FragmentResult, bool) {
+	res, ok := e.cache.get(e.cacheKey(f))
+	if ok {
+		e.hits.Add(1)
+		metricFragHits.Inc()
+	}
+	return res, ok
+}
+
+// Run evaluates one fragment, answering from the shard-local cache when
+// possible. Cached results are shared and must be treated as read-only —
+// the planner's merge clones before mutating.
+func (e *Executor) Run(ctx context.Context, f plan.Fragment) (*plan.FragmentResult, error) {
+	key := e.cacheKey(f)
+	if res, ok := e.cache.get(key); ok {
+		e.hits.Add(1)
+		metricFragHits.Inc()
+		return res, nil
+	}
+	e.misses.Add(1)
+	metricFragMisses.Inc()
+	st, err := e.step(f.Dataset, f.Step)
+	if err != nil {
+		return nil, err
+	}
+	e.evals.Add(1)
+	metricFragments.Inc()
+	res, err := Eval(ctx, st, f)
+	if err != nil {
+		return nil, err
+	}
+	e.cache.put(key, res)
+	return res, nil
+}
+
+// Stats snapshots the executor counters.
+func (e *Executor) Stats() ExecStats {
+	e.mu.Lock()
+	datasets, steps := len(e.datasets), 0
+	for _, d := range e.datasets {
+		steps += d.src.Steps()
+	}
+	e.mu.Unlock()
+	return ExecStats{
+		Datasets:     datasets,
+		Steps:        steps,
+		Generation:   e.gen.Load(),
+		Evals:        e.evals.Load(),
+		CacheHits:    e.hits.Load(),
+		CacheMisses:  e.misses.Load(),
+		CacheEntries: e.cache.len(),
+	}
+}
+
+// Close closes every open step and dataset source.
+func (e *Executor) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var first error
+	for _, d := range e.datasets {
+		d.mu.Lock()
+		for _, st := range d.steps {
+			if err := st.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		d.steps = map[int]*fastquery.Step{}
+		d.mu.Unlock()
+		if err := d.src.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	e.datasets = map[string]*exDataset{}
+	return first
+}
+
+// fragCache is a small mutex-guarded LRU of fragment results. It has no
+// singleflight — the frontend's result cache already coalesces identical
+// client requests, so duplicate fragment evaluations are rare.
+type fragCache struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List
+	entries map[string]*list.Element
+}
+
+type fragEntry struct {
+	key string
+	res *plan.FragmentResult
+}
+
+func newFragCache(max int) *fragCache {
+	return &fragCache{max: max, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+func (c *fragCache) get(key string) (*plan.FragmentResult, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*fragEntry).res, true
+}
+
+func (c *fragCache) put(key string, res *plan.FragmentResult) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*fragEntry).res = res
+		return
+	}
+	c.entries[key] = c.ll.PushFront(&fragEntry{key: key, res: res})
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.entries, el.Value.(*fragEntry).key)
+	}
+}
+
+func (c *fragCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

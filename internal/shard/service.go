@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"runtime/debug"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/plan"
+)
+
+// AdmitFunc is the shard worker's admission hook: it blocks (or sheds)
+// under the worker's own adaptive gate and returns a release to call when
+// the fragment finishes. It is injected by the process wiring (cmd/qserve
+// builds it from a serve.Gate) so this package does not import the serve
+// layer. A nil AdmitFunc admits everything.
+type AdmitFunc func(ctx context.Context) (release func(), err error)
+
+// ExecArgs asks a shard worker to evaluate one plan fragment.
+type ExecArgs struct {
+	Frag    plan.Fragment
+	TraceID string // originating request's trace ID; "" disables tracing
+}
+
+// ExecReply carries the fragment's mergeable partial result.
+type ExecReply struct {
+	Result *plan.FragmentResult
+	Cached bool          // answered from the shard-local fragment cache
+	Trace  *obs.SpanData // shard-side span tree when TraceID was set
+}
+
+// StatsArgs is the (empty) request of Shard.Stats.
+type StatsArgs struct{}
+
+// StatsReply carries one shard's executor snapshot.
+type StatsReply struct {
+	Stats ExecStats
+}
+
+// Service is the RPC receiver a shard worker registers under the "Shard"
+// name, next to the standard "Worker" service whose Ping keeps the
+// frontend pool's health probing working unchanged.
+type Service struct {
+	ex    *Executor
+	admit AdmitFunc
+}
+
+// NewService wraps an executor for RPC serving. admit may be nil.
+func NewService(ex *Executor, admit AdmitFunc) *Service {
+	return &Service{ex: ex, admit: admit}
+}
+
+// shardTrace mirrors the cluster package's worker-side trace bootstrap: a
+// propagated trace ID starts a shard-side trace whose snapshot rides back
+// in the reply for the frontend to attach under its fragment span.
+func shardTrace(id, rootName string) (context.Context, *obs.Trace) {
+	if id == "" {
+		return context.Background(), nil
+	}
+	tr := obs.NewTrace(id, rootName)
+	return obs.ContextWithSpan(context.Background(), tr.Root()), tr
+}
+
+func finishTrace(tr *obs.Trace, slot **obs.SpanData) {
+	if tr == nil {
+		return
+	}
+	tr.Root().End()
+	*slot = tr.Data()
+}
+
+// Exec evaluates one fragment. A cached result is returned before
+// admission control — a map lookup needs no gate slot. Panics are turned
+// into errors so a poisoned fragment cannot take the whole worker down.
+func (s *Service) Exec(args *ExecArgs, reply *ExecReply) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("shard: exec panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	ctx, tr := shardTrace(args.TraceID, "shard:"+args.Frag.Op.String())
+	defer finishTrace(tr, &reply.Trace)
+	if res, ok := s.ex.Peek(args.Frag); ok {
+		reply.Result, reply.Cached = res, true
+		return nil
+	}
+	if s.admit != nil {
+		release, aerr := s.admit(ctx)
+		if aerr != nil {
+			return aerr
+		}
+		defer release()
+	}
+	res, err := s.ex.Run(ctx, args.Frag)
+	if err != nil {
+		return err
+	}
+	reply.Result = res
+	return nil
+}
+
+// Stats snapshots the shard's executor counters for the frontend's
+// fleet-wide /v1/stats aggregation.
+func (s *Service) Stats(args *StatsArgs, reply *StatsReply) error {
+	reply.Stats = s.ex.Stats()
+	return nil
+}
+
+// NewServer builds a cluster RPC server that serves both the "Shard"
+// fragment service and the standard "Worker" service (for Ping health
+// probes) over the same listeners. dir is the dataset directory the
+// embedded Worker would serve sweep RPCs from; shard workers reuse the
+// executor's first dataset directory.
+func NewServer(svc *Service, dir string) (*cluster.Server, error) {
+	srv, err := cluster.NewServer(cluster.NewWorker(dir))
+	if err != nil {
+		return nil, err
+	}
+	if err := srv.RegisterName("Shard", svc); err != nil {
+		return nil, fmt.Errorf("shard: register service: %w", err)
+	}
+	return srv, nil
+}
+
+// StartLocalShards starts n in-process shard workers over the given
+// datasets (name -> directory), one replica each, and returns the
+// per-shard address groups plus an idempotent shutdown. Tests and the
+// local walkthrough use it the way StartLocalWorkers serves sweeps.
+func StartLocalShards(n int, datasets map[string]string, cacheEntries int) (shards [][]string, shutdown func(), err error) {
+	var servers []*cluster.Server
+	var executors []*Executor
+	var once sync.Once
+	closeAll := func() {
+		once.Do(func() {
+			for _, s := range servers {
+				s.Close()
+			}
+			for _, e := range executors {
+				e.Close()
+			}
+		})
+	}
+	dir := ""
+	for i := 0; i < n; i++ {
+		ex := NewExecutor(cacheEntries)
+		for name, d := range datasets {
+			if err := ex.AddDataset(name, d); err != nil {
+				closeAll()
+				return nil, nil, err
+			}
+			dir = d
+		}
+		executors = append(executors, ex)
+		srv, err := NewServer(NewService(ex, nil), dir)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("shard: listen: %w", err)
+		}
+		servers = append(servers, srv)
+		srv.Serve(l)
+		shards = append(shards, []string{l.Addr().String()})
+	}
+	return shards, closeAll, nil
+}

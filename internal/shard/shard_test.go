@@ -1,0 +1,263 @@
+// Merge-identity property tests: a scatter over any shard split must
+// produce byte-identical answers to the single-process plan, for every
+// routing path (direct scatter, two-phase min/max, wholesale) and both
+// backends. This is the core correctness contract of the sharded tier —
+// shard boundaries are invisible in results.
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/fastbit"
+	"repro/internal/fastquery"
+	"repro/internal/histogram"
+	"repro/internal/plan"
+	"repro/internal/query"
+	"repro/internal/shard"
+	"repro/internal/sim"
+)
+
+var (
+	datasetOnce sync.Once
+	datasetDir  string
+	datasetErr  error
+)
+
+func testDataDir(t *testing.T) string {
+	t.Helper()
+	datasetOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "shard-test-*")
+		if err != nil {
+			datasetErr = err
+			return
+		}
+		cfg := sim.DefaultConfig()
+		cfg.Steps = 3
+		cfg.BackgroundPerStep = 2500
+		cfg.BeamParticles = 50
+		_, datasetErr = sim.WriteDataset(dir, cfg, sim.WriteOptions{
+			Index: fastbit.IndexOptions{Bins: 64},
+		})
+		datasetDir = dir
+	})
+	if datasetErr != nil {
+		t.Fatal(datasetErr)
+	}
+	return datasetDir
+}
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if datasetDir != "" {
+		os.RemoveAll(datasetDir)
+	}
+	os.Exit(code)
+}
+
+func testExecutor(t *testing.T) *shard.Executor {
+	t.Helper()
+	ex := shard.NewExecutor(256)
+	if err := ex.AddDataset("lwfa", testDataDir(t)); err != nil {
+		ex.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ex.Close() })
+	return ex
+}
+
+// execRunner adapts an Executor into a plan.Runner: every "shard" is the
+// same local executor, so results differ from single-process evaluation
+// only through the planner's scatter/merge — exactly what these tests
+// isolate.
+type execRunner struct{ ex *shard.Executor }
+
+func (r execRunner) RunFragment(ctx context.Context, _ int, f plan.Fragment) (*plan.FragmentResult, error) {
+	return r.ex.Run(ctx, f)
+}
+
+// canonical parses and canonicalizes query text the way the serve layer
+// does before planning.
+func canonical(t *testing.T, src string) string {
+	t.Helper()
+	expr, err := query.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return query.Canonical(expr).String()
+}
+
+// pxMedian finds a threshold that splits the px column, so conditional
+// queries select a nontrivial subset.
+func pxMedian(t *testing.T) float64 {
+	t.Helper()
+	src, err := fastquery.Open(testDataDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	st, err := src.OpenStep(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := st.ReadColumn("px")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo + 0.5*(hi-lo)
+}
+
+func TestScatterIdentity(t *testing.T) {
+	thresh := pxMedian(t)
+	cond := canonical(t, fmt.Sprintf("px > %g", thresh))
+
+	spec1 := func(bins int, lo, hi float64) histogram.Spec1D {
+		s := histogram.NewSpec1D("x", bins)
+		s.Lo, s.Hi = lo, hi
+		return s
+	}
+
+	type qcase struct {
+		name string
+		q    plan.Query
+	}
+	mkCases := func(backend fastquery.Backend) []qcase {
+		adaptive := histogram.NewSpec1D("x", 16)
+		adaptive.Binning = histogram.Adaptive
+		ranged2d := histogram.NewSpec2D("x", "px", 8, 8).WithXRange(-1, 1).WithYRange(-0.5, 0.5)
+		return []qcase{
+			{"count-cond", plan.Query{Op: plan.OpCount, Query: cond, Backend: backend}},
+			{"count-uncond", plan.Query{Op: plan.OpCount, Backend: backend}},
+			{"hist1d-explicit-range", plan.Query{Op: plan.OpHist1D, Query: cond, Backend: backend,
+				Spec1: spec1(32, -2, 2)}},
+			{"hist1d-cond-no-range", plan.Query{Op: plan.OpHist1D, Query: cond, Backend: backend,
+				Spec1: histogram.NewSpec1D("x", 24)}},
+			{"hist1d-uncond", plan.Query{Op: plan.OpHist1D, Backend: backend,
+				Spec1: histogram.NewSpec1D("x", 16)}},
+			{"hist1d-adaptive", plan.Query{Op: plan.OpHist1D, Query: cond, Backend: backend,
+				Spec1: adaptive}},
+			{"hist2d-cond-no-range", plan.Query{Op: plan.OpHist2D, Query: cond, Backend: backend,
+				Spec2: histogram.NewSpec2D("x", "px", 12, 12)}},
+			{"hist2d-explicit-range", plan.Query{Op: plan.OpHist2D, Query: cond, Backend: backend,
+				Spec2: ranged2d}},
+		}
+	}
+
+	for _, backend := range []fastquery.Backend{fastquery.FastBit, fastquery.Scan} {
+		for _, tc := range mkCases(backend) {
+			tc := tc
+			t.Run(fmt.Sprintf("%v/%s", backend, tc.name), func(t *testing.T) {
+				for step := 0; step < 3; step++ {
+					q := tc.q
+					q.Dataset, q.Step = "lwfa", step
+
+					// Fresh executor per topology so the fragment cache
+					// cannot leak results between shard splits.
+					base := testExecutor(t)
+					src, err := fastquery.Open(testDataDir(t))
+					if err != nil {
+						t.Fatal(err)
+					}
+					st, err := src.OpenStep(step)
+					if err != nil {
+						src.Close()
+						t.Fatal(err)
+					}
+					rows := st.Rows()
+					src.Close()
+
+					want, err := plan.Execute(context.Background(), q,
+						plan.ShardMap{Shards: 1}, rows, execRunner{base}, plan.FailFast)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					for _, shards := range []int{2, 3, 5, 8} {
+						ex := testExecutor(t)
+						got, err := plan.Execute(context.Background(), q,
+							plan.ShardMap{Shards: shards}, rows, execRunner{ex}, plan.FailFast)
+						if err != nil {
+							t.Fatalf("shards=%d: %v", shards, err)
+						}
+						if got.Partial {
+							t.Fatalf("shards=%d: unexpected partial", shards)
+						}
+						if got.Count != want.Count {
+							t.Fatalf("shards=%d step=%d: count %d != %d", shards, step, got.Count, want.Count)
+						}
+						if !reflect.DeepEqual(got.Hist1, want.Hist1) {
+							t.Fatalf("shards=%d step=%d: hist1 mismatch\n got %+v\nwant %+v",
+								shards, step, got.Hist1, want.Hist1)
+						}
+						if !reflect.DeepEqual(got.Hist2, want.Hist2) {
+							t.Fatalf("shards=%d step=%d: hist2 mismatch", shards, step)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestExecutorCache(t *testing.T) {
+	ex := testExecutor(t)
+	f := plan.Fragment{
+		Op: plan.FragCount, Dataset: "lwfa", Step: 0,
+		Rows: plan.RowRange{Lo: 0, Hi: 100}, Backend: fastquery.Scan,
+	}
+	ctx := context.Background()
+	first, err := ex.Run(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ex.Peek(f); !ok {
+		t.Fatal("fragment not cached after Run")
+	}
+	second, err := ex.Run(ctx, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("cached Run did not return the shared result")
+	}
+	st := ex.Stats()
+	if st.CacheHits < 2 || st.Evals != 1 {
+		t.Fatalf("stats = %+v, want >=2 hits and 1 eval", st)
+	}
+
+	// Bump invalidates: the same fragment re-evaluates under the new
+	// generation.
+	ex.Bump()
+	if _, ok := ex.Peek(f); ok {
+		t.Fatal("stale generation still cached")
+	}
+	if _, err := ex.Run(ctx, f); err != nil {
+		t.Fatal(err)
+	}
+	if st := ex.Stats(); st.Evals != 2 {
+		t.Fatalf("post-bump stats = %+v, want 2 evals", st)
+	}
+}
+
+func TestUnknownDatasetFatal(t *testing.T) {
+	ex := testExecutor(t)
+	_, err := ex.Run(context.Background(), plan.Fragment{
+		Op: plan.FragCount, Dataset: "nope", Backend: fastquery.Scan,
+	})
+	if err == nil || !fastquery.IsFatal(err) {
+		t.Fatalf("unknown dataset err = %v, want fatal", err)
+	}
+}

@@ -54,7 +54,9 @@ for metric in \
   serve_limit serve_brownout_active serve_degraded_total \
   fastbit_eval_rows_total fastbit_eval_seconds_bucket fastbit_candidate_check_fraction \
   scan_rows_total scan_seconds_bucket \
-  cluster_rpc_calls_total cluster_unhealthy_workers; do
+  cluster_rpc_calls_total cluster_unhealthy_workers cluster_hedges_total \
+  serve_scatter_total serve_scatter_fragments_total serve_partial_total \
+  shard_fragments_total shard_frag_cache_hits_total shard_frag_cache_misses_total; do
   grep -q "^$metric" "$OUT" || fail "missing required metric $metric"
 done
 
@@ -81,5 +83,17 @@ awk '
 /^serve_degraded_total\{/  { if ($2+0 < 0)  { print $0 " negative"; bad = 1 } }
 END { exit bad }
 ' "$OUT" || fail "overload-control series out of range"
+
+# 6. Scatter-gather series: partial merges can never exceed scatters, and
+# when any scatter happened the fragment fan-out is at least one per scatter.
+awk '
+/^serve_scatter_total /           { scat = $2+0 }
+/^serve_partial_total /           { part = $2+0 }
+/^serve_scatter_fragments_total / { frag = $2+0 }
+END {
+  if (part > scat) { print "serve_partial_total " part " > serve_scatter_total " scat; exit 1 }
+  if (scat > 0 && frag < scat) { print "serve_scatter_fragments_total " frag " < scatters " scat; exit 1 }
+}
+' "$OUT" || fail "scatter-gather series inconsistent"
 
 echo "check_metrics: OK ($(grep -cv '^#' "$OUT") samples, $(grep -c '^# TYPE' "$OUT") families)"
