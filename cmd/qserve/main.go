@@ -116,6 +116,12 @@ func main() {
 		replicas  = flag.Int("replicas", 1, "frontend role: replica addresses per shard in -shards")
 		hedge     = flag.Duration("hedge", 0, "frontend role: hedged-dispatch stagger across a shard's replicas (0 = first-healthy only)")
 		fragCache = flag.Int("frag-cache", 1024, "shard role: fragment result cache entries (0 disables)")
+
+		// Resilience control plane (frontend role).
+		breaker     = flag.Bool("breaker", true, "frontend role: per-replica circuit breakers on shard RPCs")
+		retryBudget = flag.Float64("retry-budget", 0.1, "frontend role: global retry budget refill ratio — retry tokens granted per successful call (0 disables)")
+		retryBurst  = flag.Int("retry-budget-burst", 20, "frontend role: retry budget bucket size")
+		budgetSlack = flag.Duration("budget-slack", shard.DefaultBudgetSlack, "frontend role: deadline headroom reserved per fragment dispatch (negative disables deadline budgets)")
 	)
 	flag.Parse()
 	if len(datas) == 0 {
@@ -225,13 +231,21 @@ func main() {
 		if err != nil {
 			fatal("bad -shards", "shards", *shards, "replicas", *replicas, "err", err)
 		}
-		c, err := shard.DialShards(groups, cluster.DefaultPoolConfig(), *hedge)
+		pc := cluster.DefaultPoolConfig()
+		if *breaker {
+			pc.Breaker = cluster.DefaultBreakerConfig()
+		}
+		pc.RetryBudgetRatio = *retryBudget
+		pc.RetryBudgetBurst = *retryBurst
+		c, err := shard.DialShards(groups, pc, *hedge)
 		if err != nil {
 			fatal("dial shards", "shards", *shards, "err", err)
 		}
+		c.SetBudgetSlack(*budgetSlack)
 		s.SetShardClient(c)
 		logger.Info("shard fleet connected",
-			"shards", len(groups), "replicas", *replicas, "hedge", hedge.String())
+			"shards", len(groups), "replicas", *replicas, "hedge", hedge.String(),
+			"breakers", *breaker, "retry_budget", *retryBudget, "budget_slack", budgetSlack.String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

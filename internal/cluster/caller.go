@@ -50,6 +50,8 @@ type Caller struct {
 	cfg        CallerConfig
 	rng        *lockedRand
 	rpcSeconds *obs.Histogram // per-worker attempt latency
+	br         *Breaker       // circuit breaker; nil = disabled
+	budget     *RetryBudget   // retry budget; nil = unlimited
 
 	mu        sync.Mutex
 	client    *rpc.Client
@@ -73,6 +75,30 @@ func newCaller(addr string, cfg CallerConfig, rng *lockedRand) *Caller {
 
 // Addr returns the worker address.
 func (c *Caller) Addr() string { return c.addr }
+
+// Breaker returns the worker's circuit breaker, or nil when breakers are
+// disabled for this pool.
+func (c *Caller) Breaker() *Breaker { return c.br }
+
+// BreakerState returns the worker's circuit state; with breakers disabled
+// it reads as closed.
+func (c *Caller) BreakerState() BreakerState { return c.br.State() }
+
+// breakerRecord settles one admitted request against the breaker. A fatal
+// or budget-exhausted reply means the worker executed the request and
+// answered — the request was doomed, not the replica — so it counts as a
+// success; an attempt that died with its caller's context carries no
+// health signal and only releases the admission slot.
+func (c *Caller) breakerRecord(err error, ctxDone bool) {
+	switch {
+	case err == nil, fastquery.IsFatal(err), fastquery.IsExhausted(err):
+		c.br.Success()
+	case ctxDone:
+		c.br.Drop()
+	default:
+		c.br.Failure()
+	}
+}
 
 // Healthy reports the worker's last known health.
 func (c *Caller) Healthy() bool { return c.healthy.Load() }
@@ -154,10 +180,16 @@ func (c *Caller) CallWithStatsCtx(ctx context.Context, method string, args, repl
 		}
 		asp.End()
 		if err == nil {
+			c.budget.Success()
 			return cs, nil
 		}
 		lastErr = err
 		if ctx.Err() != nil || attempt >= c.cfg.MaxRetries || !retryable(err) {
+			return cs, lastErr
+		}
+		if !c.budget.Spend() {
+			// The shared retry budget is empty: retrying now would multiply
+			// offered load during a brownout. Fail fast instead.
 			return cs, lastErr
 		}
 		if !c.backoffCtx(ctx, attempt) {
@@ -291,8 +323,10 @@ func retryable(err error) bool {
 	if isServerError(err) {
 		// The worker executed the request and returned an application
 		// error. Fatal-classified ones (bad query, bad step) fail the same
-		// way everywhere; others may be transient I/O trouble.
-		return !fastquery.IsFatal(err)
+		// way everywhere, and budget exhaustion means the deadline budget
+		// is spent — no replica can conjure more time; others may be
+		// transient I/O trouble.
+		return !fastquery.IsFatal(err) && !fastquery.IsExhausted(err)
 	}
 	// Dial failures, timeouts, EOF, rpc.ErrShutdown: all transport-level.
 	return true

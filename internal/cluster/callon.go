@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"fmt"
 	"reflect"
 	"time"
 
@@ -28,12 +29,23 @@ func (p *Pool) CallOn(ctx context.Context, primary int, method string, args, rep
 		return p.callHedged(ctx, cands, method, args, reply, hedge)
 	}
 	var lastErr error
+	attempted := 0
 	for k, c := range cands {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
 				return lastErr
 			}
 			return err
+		}
+		if !c.br.Allow() {
+			// Known-dead replica: skip in microseconds, no dial timeout.
+			lastErr = fmt.Errorf("cluster: %s: %w", c.Addr(), ErrBreakerOpen)
+			continue
+		}
+		if attempted > 0 && !p.budget.Spend() {
+			// Failover is an extra attempt; it spends the retry budget.
+			c.br.Drop()
+			return lastErr
 		}
 		wctx, wsp := obs.StartSpan(ctx, "rpc-worker")
 		wsp.SetAttr("worker", c.Addr())
@@ -43,17 +55,23 @@ func (p *Pool) CallOn(ctx context.Context, primary int, method string, args, rep
 			wsp.SetAttr("failover", "true")
 		}
 		cs, err := c.CallWithStatsCtx(wctx, method, args, reply)
+		attempted++
 		p.account(cs)
 		if err != nil {
 			wsp.SetAttr("error", err.Error())
 		}
 		wsp.End()
+		c.breakerRecord(err, ctx.Err() != nil)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
 		if fastquery.IsFatal(err) {
 			// The request itself is bad; every replica would refuse it.
+			return err
+		}
+		if fastquery.IsExhausted(err) {
+			// The deadline budget is spent; no replica has more time to give.
 			return err
 		}
 		if ctx.Err() != nil {
@@ -93,8 +111,7 @@ func (p *Pool) callHedged(ctx context.Context, cands []*Caller, method string, a
 	// Buffered to the attempt count so losers never block after the
 	// winner returns and this function has moved on.
 	results := make(chan attempt, len(cands))
-	launch := func(k int) {
-		c := cands[k]
+	run := func(k int, c *Caller) {
 		go func() {
 			wctx, wsp := obs.StartSpan(hctx, "rpc-worker")
 			wsp.SetAttr("worker", c.Addr())
@@ -108,23 +125,48 @@ func (p *Pool) callHedged(ctx context.Context, cands []*Caller, method string, a
 				wsp.SetAttr("error", err.Error())
 			}
 			wsp.End()
+			c.breakerRecord(err, hctx.Err() != nil)
 			results <- attempt{r, err, c}
 		}()
 	}
-	launch(0)
-	launched, pending := 1, 1
+	launched, started, pending := 0, 0, 0
+	var lastErr error
+	// launchNext starts the next candidate whose breaker admits the
+	// attempt. Every attempt beyond the first spends the shared retry
+	// budget; an empty budget stops hedging and failover alike.
+	launchNext := func() bool {
+		for launched < len(cands) {
+			k := launched
+			c := cands[k]
+			if !c.br.Allow() {
+				lastErr = fmt.Errorf("cluster: %s: %w", c.Addr(), ErrBreakerOpen)
+				launched++
+				continue
+			}
+			if started > 0 && !p.budget.Spend() {
+				c.br.Drop()
+				return false
+			}
+			launched++
+			started++
+			pending++
+			run(k, c)
+			return true
+		}
+		return false
+	}
+	if !launchNext() {
+		// Every replica's breaker refused the first attempt.
+		return lastErr
+	}
 	timer := time.NewTimer(hedge)
 	defer timer.Stop()
-	var lastErr error
 	for pending > 0 {
 		select {
 		case <-timer.C:
-			if launched < len(cands) {
+			if launchNext() {
 				p.ctr.hedges.Add(1)
 				metricHedges.Inc()
-				launch(launched)
-				launched++
-				pending++
 				timer.Reset(hedge)
 			}
 		case res := <-results:
@@ -134,20 +176,17 @@ func (p *Pool) callHedged(ctx context.Context, cands []*Caller, method string, a
 				return nil
 			}
 			lastErr = res.err
-			if fastquery.IsFatal(res.err) {
+			if fastquery.IsFatal(res.err) || fastquery.IsExhausted(res.err) {
 				return res.err
 			}
 			if hctx.Err() == nil {
 				res.c.SetHealthy(false)
 			}
-			if launched < len(cands) {
+			if launchNext() {
 				// A failed attempt frees its slot to the next replica
 				// immediately; no need to wait out the stagger.
 				p.ctr.failovers.Add(1)
 				metricFailovers.Inc()
-				launch(launched)
-				launched++
-				pending++
 			}
 		case <-ctx.Done():
 			if lastErr != nil {

@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"net"
+	"runtime"
 	"testing"
 	"time"
 
@@ -138,4 +139,130 @@ func TestCallOnHedged(t *testing.T) {
 	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
 		t.Fatalf("hedged call took %v — the slow primary answered", elapsed)
 	}
+}
+
+// startLatencyWorker launches a worker, optionally behind injected per-op
+// latency, and returns its address.
+func startLatencyWorker(t *testing.T, dir string, seed int64, lat time.Duration) string {
+	t.Helper()
+	srv, err := NewServer(NewWorker(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var serveL net.Listener = l
+	if lat > 0 {
+		serveL = faultnet.Wrap(l, faultnet.Config{Seed: seed, Latency: lat})
+	}
+	srv.Serve(serveL)
+	t.Cleanup(func() { srv.Close() })
+	return l.Addr().String()
+}
+
+// waitGoroutines fails unless the process goroutine count returns to the
+// baseline (plus a little slop for runtime helpers) within the window.
+func waitGoroutines(t *testing.T, base int, within time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, baseline %d, after %v\n%s",
+				n, base, within, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCallOnHedgedLoserCancelled: when the hedge wins, the losing attempt
+// must be cancelled with the race — its goroutine may not ride out the slow
+// worker's latency — and the race counts exactly one hedge.
+func TestCallOnHedgedLoserCancelled(t *testing.T) {
+	dir := rpcDataset(t)
+	slow := startLatencyWorker(t, dir, 11, 300*time.Millisecond)
+	fast := startLatencyWorker(t, dir, 0, 0)
+
+	p, err := DialConfig([]string{slow, fast}, callOnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Warm both connections so the goroutine baseline includes the pool's
+	// persistent rpc clients and their server-side handlers.
+	for i := 0; i < 2; i++ {
+		var reply PingReply
+		if err := p.CallOn(context.Background(), i, "Worker.Ping", &PingArgs{}, &reply, 0); err != nil {
+			t.Fatalf("warm %d: %v", i, err)
+		}
+	}
+	base := runtime.NumGoroutine()
+	before := p.Stats()
+
+	start := time.Now()
+	var reply PingReply
+	if err := p.CallOn(context.Background(), 0, "Worker.Ping", &PingArgs{}, &reply, 10*time.Millisecond); err != nil {
+		t.Fatalf("hedged call: %v", err)
+	}
+	if !reply.OK {
+		t.Fatal("hedged reply not OK")
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedged call took %v — the slow primary answered", elapsed)
+	}
+	if d := p.Stats().Hedges - before.Hedges; d != 1 {
+		t.Fatalf("hedges delta = %d, want exactly 1 (no double count)", d)
+	}
+	// The loser must exit promptly once the winner's cancel fires, not
+	// after the slow worker's full injected latency settles naturally.
+	waitGoroutines(t, base, 3*time.Second)
+}
+
+// TestCallOnHedgedCallerCancel: cancelling the caller's context mid-hedge
+// must propagate to both in-flight attempts — the call returns promptly and
+// neither attempt goroutine leaks.
+func TestCallOnHedgedCallerCancel(t *testing.T) {
+	dir := rpcDataset(t)
+	a := startLatencyWorker(t, dir, 21, 400*time.Millisecond)
+	b := startLatencyWorker(t, dir, 22, 400*time.Millisecond)
+
+	p, err := DialConfig([]string{a, b}, callOnConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	for i := 0; i < 2; i++ {
+		var reply PingReply
+		if err := p.CallOn(context.Background(), i, "Worker.Ping", &PingArgs{}, &reply, 0); err != nil {
+			t.Fatalf("warm %d: %v", i, err)
+		}
+	}
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	var reply PingReply
+	err = p.CallOn(ctx, 0, "Worker.Ping", &PingArgs{}, &reply, 10*time.Millisecond)
+	if err == nil {
+		t.Fatal("cancelled hedged call reported success")
+	}
+	// Both workers sit behind 400ms-per-op latency; a prompt return proves
+	// the cancel cut through rather than waiting out either attempt.
+	if elapsed := time.Since(start); elapsed > 200*time.Millisecond {
+		t.Fatalf("cancelled hedged call took %v, want prompt return", elapsed)
+	}
+	waitGoroutines(t, base, 3*time.Second)
 }

@@ -12,8 +12,10 @@ package faultnet
 import (
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -23,6 +25,10 @@ import (
 // injected failures from real ones with errors.Is.
 var ErrInjected = errors.New("faultnet: injected fault")
 
+// Logf is where Wrap logs each listener's seed and fault schedule, so any
+// chaos run can be replayed from its output. Tests may redirect it.
+var Logf = log.Printf
+
 // Config sets the fault mix. The zero value injects nothing.
 type Config struct {
 	Seed           int64         // RNG seed; 0 behaves as 1
@@ -31,6 +37,29 @@ type Config struct {
 	AcceptDropProb float64       // probability a freshly accepted conn is closed immediately
 	Latency        time.Duration // fixed delay added to every I/O op
 	LatencyJitter  time.Duration // extra uniform-random delay in [0, LatencyJitter)
+	StallProb      float64       // per-I/O-op probability of stalling Stall, then answering normally
+	Stall          time.Duration // stall duration for StallProb (default 1s)
+	Quiet          bool          // suppress the seed/schedule log line at Wrap
+}
+
+// String renders the schedule compactly for the Wrap log line.
+func (c Config) String() string {
+	parts := []string{fmt.Sprintf("seed=%d", c.Seed)}
+	add := func(name string, on bool, v any) {
+		if on {
+			parts = append(parts, fmt.Sprintf("%s=%v", name, v))
+		}
+	}
+	add("drop", c.DropProb > 0, c.DropProb)
+	add("err", c.ErrProb > 0, c.ErrProb)
+	add("accept-drop", c.AcceptDropProb > 0, c.AcceptDropProb)
+	add("latency", c.Latency > 0, c.Latency)
+	add("jitter", c.LatencyJitter > 0, c.LatencyJitter)
+	add("stall", c.StallProb > 0, fmt.Sprintf("%v@%v", c.StallProb, c.Stall))
+	if len(parts) == 1 {
+		parts = append(parts, "clean")
+	}
+	return strings.Join(parts, " ")
 }
 
 // Stats counts the faults a Listener has injected.
@@ -40,6 +69,10 @@ type Stats struct {
 	Drops       int64 // connections killed mid-operation
 	Errors      int64 // injected I/O errors
 	Delays      int64 // operations delayed
+	Stalls      int64 // operations stalled (then served)
+	Partitions  int64 // operations that blocked on a partition
+	Corrupts    int64 // writes corrupted
+	Truncates   int64 // writes truncated (conn closed mid-reply)
 	Killed      bool  // Kill was called
 }
 
@@ -55,14 +88,29 @@ type Listener struct {
 	conns  map[*Conn]struct{}
 	killed bool
 
+	// Dynamic fault switches, flipped at runtime by a chaos schedule.
+	partitioned atomic.Bool  // blackhole: I/O blocks until healed or the conn dies
+	corrupt     atomic.Bool  // replies get a flipped byte (decode fails client-side)
+	truncate    atomic.Bool  // replies are cut mid-write and the conn closed
+	stall       atomic.Int64 // per-op stall in nanoseconds; 0 = off
+
 	accepted, acceptDrops, drops, errs, delays atomic.Int64
+	stalls, partitions, corrupts, truncates    atomic.Int64
 }
 
-// Wrap builds a fault-injecting listener around l.
+// Wrap builds a fault-injecting listener around l. The seed and fault
+// schedule are logged (see Logf) so any run can be replayed.
 func Wrap(l net.Listener, cfg Config) *Listener {
 	seed := cfg.Seed
 	if seed == 0 {
 		seed = 1
+	}
+	cfg.Seed = seed
+	if cfg.StallProb > 0 && cfg.Stall <= 0 {
+		cfg.Stall = time.Second
+	}
+	if !cfg.Quiet {
+		Logf("faultnet: %s schedule: %s", l.Addr(), cfg)
 	}
 	return &Listener{
 		inner: l,
@@ -71,6 +119,27 @@ func Wrap(l net.Listener, cfg Config) *Listener {
 		conns: make(map[*Conn]struct{}),
 	}
 }
+
+// SetPartitioned opens or heals a network partition: while partitioned,
+// every I/O op on every conn blocks — bytes go nowhere, connections do not
+// reset — until the partition heals or the conn is closed (e.g. by the
+// peer's timeout machinery).
+func (l *Listener) SetPartitioned(v bool) { l.partitioned.Store(v) }
+
+// SetCorrupt turns reply corruption on or off: while on, every write has a
+// byte flipped, so the peer's decoder fails on a well-delivered but
+// garbage reply.
+func (l *Listener) SetCorrupt(v bool) { l.corrupt.Store(v) }
+
+// SetTruncate turns reply truncation on or off: while on, every write
+// delivers only a prefix and then kills the conn — the peer sees a reply
+// cut off mid-stream.
+func (l *Listener) SetTruncate(v bool) { l.truncate.Store(v) }
+
+// SetStall sets a dynamic per-op stall (0 turns it off): every I/O op goes
+// quiet for d and then proceeds normally — slow, not dead, the shape that
+// fools timeout-only failure detectors.
+func (l *Listener) SetStall(d time.Duration) { l.stall.Store(int64(d)) }
 
 // Accept accepts from the inner listener and wraps the conn. With
 // AcceptDropProb the conn is returned already closed, so the peer's first
@@ -133,6 +202,10 @@ func (l *Listener) Stats() Stats {
 		Drops:       l.drops.Load(),
 		Errors:      l.errs.Load(),
 		Delays:      l.delays.Load(),
+		Stalls:      l.stalls.Load(),
+		Partitions:  l.partitions.Load(),
+		Corrupts:    l.corrupts.Load(),
+		Truncates:   l.truncates.Load(),
 		Killed:      killed,
 	}
 }
@@ -173,6 +246,28 @@ type Conn struct {
 
 func (c *Conn) inject(op string) error {
 	l := c.l
+	// A partition blackholes the op: block — no bytes, no reset — until
+	// the partition heals or the conn is torn down (the peer's deadline
+	// machinery closing it is the usual exit).
+	if l.partitioned.Load() {
+		l.partitions.Add(1)
+		for l.partitioned.Load() {
+			if c.closed.Load() {
+				return fmt.Errorf("faultnet: %s: closed during partition: %w", op, ErrInjected)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if d := time.Duration(l.stall.Load()); d > 0 {
+		l.stalls.Add(1)
+		time.Sleep(d)
+	} else if l.roll(l.cfg.StallProb) {
+		// Stall-then-answer: the conn goes quiet long enough to look dead,
+		// then serves the op normally — the shape that tricks timeout-only
+		// failure detectors into duplicating work.
+		l.stalls.Add(1)
+		time.Sleep(l.cfg.Stall)
+	}
 	if d := l.delay(); d > 0 {
 		l.delays.Add(1)
 		time.Sleep(d)
@@ -199,6 +294,24 @@ func (c *Conn) Read(p []byte) (int, error) {
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.inject("write"); err != nil {
 		return 0, err
+	}
+	l := c.l
+	if l.truncate.Load() && len(p) > 0 {
+		// Deliver a prefix, then die mid-reply: the peer's decoder sees a
+		// stream cut off partway through a message.
+		l.truncates.Add(1)
+		n, _ := c.Conn.Write(p[:(len(p)+1)/2])
+		c.Close()
+		return n, fmt.Errorf("faultnet: write truncated: %w", ErrInjected)
+	}
+	if l.corrupt.Load() && len(p) > 0 {
+		// Flip one byte mid-buffer in a copy (the caller owns p): the bytes
+		// arrive intact by TCP's lights but the payload is garbage.
+		l.corrupts.Add(1)
+		q := make([]byte, len(p))
+		copy(q, p)
+		q[len(q)/2] ^= 0xff
+		return c.Conn.Write(q)
 	}
 	return c.Conn.Write(p)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -143,6 +144,117 @@ func TestKillClosesLiveConns(t *testing.T) {
 	if conn, err := net.Dial("tcp", l.Addr().String()); err == nil {
 		conn.Close()
 		t.Fatal("dial to killed node succeeded")
+	}
+}
+
+func TestStallThenAnswer(t *testing.T) {
+	l := startEcho(t, Config{Seed: 5, StallProb: 1, Stall: 50 * time.Millisecond, Quiet: true})
+	start := time.Now()
+	if err := roundTrip(l.Addr().String()); err != nil {
+		t.Fatalf("stalled round trip failed: %v", err)
+	}
+	// The op must stall but still answer — slow, not dead.
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("round trip took %v, expected a stall", el)
+	}
+	if l.Stats().Stalls == 0 {
+		t.Fatal("no stalls recorded")
+	}
+}
+
+func TestPartitionBlackholeAndHeal(t *testing.T) {
+	l := startEcho(t, Config{Quiet: true})
+	if err := roundTrip(l.Addr().String()); err != nil {
+		t.Fatal(err)
+	}
+
+	l.SetPartitioned(true)
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// During the partition nothing comes back: the read deadline fires.
+	c.SetDeadline(time.Now().Add(100 * time.Millisecond))
+	c.Write([]byte("ping"))
+	if _, err := io.ReadFull(c, make([]byte, 4)); err == nil {
+		t.Fatal("read through a partition succeeded")
+	}
+
+	// Healing restores service for fresh connections.
+	l.SetPartitioned(false)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := roundTrip(l.Addr().String()); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("service did not recover after the partition healed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if l.Stats().Partitions == 0 {
+		t.Fatal("no partition blocks recorded")
+	}
+}
+
+func TestCorruptFlipsReplyBytes(t *testing.T) {
+	l := startEcho(t, Config{Quiet: true})
+	l.SetCorrupt(true)
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatalf("corrupted reply should still arrive: %v", err)
+	}
+	if string(buf) == "ping" {
+		t.Fatal("reply arrived uncorrupted")
+	}
+	if l.Stats().Corrupts == 0 {
+		t.Fatal("no corruptions recorded")
+	}
+}
+
+func TestTruncateCutsReply(t *testing.T) {
+	l := startEcho(t, Config{Quiet: true})
+	l.SetTruncate(true)
+	c, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := io.ReadFull(c, make([]byte, 4))
+	if err == nil {
+		t.Fatal("full reply arrived despite truncation")
+	}
+	if n >= 4 {
+		t.Fatalf("read %d bytes, want a truncated prefix", n)
+	}
+	if l.Stats().Truncates == 0 {
+		t.Fatal("no truncations recorded")
+	}
+}
+
+func TestConfigStringDescribesSchedule(t *testing.T) {
+	s := Config{Seed: 9, DropProb: 0.1, Latency: time.Millisecond}.String()
+	for _, want := range []string{"seed=9", "drop=0.1", "latency=1ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("schedule %q missing %q", s, want)
+		}
+	}
+	if s := (Config{Seed: 2}).String(); !strings.Contains(s, "clean") {
+		t.Fatalf("clean schedule %q not marked clean", s)
 	}
 }
 

@@ -27,6 +27,14 @@ var (
 		"Workers currently marked unhealthy, across every pool.")
 	metricHedges = obs.Default().Counter("cluster_hedges_total",
 		"Extra hedged RPC attempts launched against replica workers.")
+	metricBreakerTrips = obs.Default().Counter("cluster_breaker_trips_total",
+		"Circuit-breaker trips (closed or half-open to open), across every worker.")
+	metricBreakerOpen = obs.Default().Gauge("cluster_breaker_open",
+		"Worker circuit breakers currently open, across every pool.")
+	metricRetryBudgetTokens = obs.Default().Gauge("cluster_retry_budget_tokens",
+		"Tokens left in the retry budget shared by retries, failovers and hedges.")
+	metricRetryBudgetExhausted = obs.Default().Counter("cluster_retry_budget_exhausted_total",
+		"Extra attempts (retries, failovers, hedges) skipped because the retry budget was empty.")
 )
 
 // rpcSecondsFor returns the per-worker RPC latency histogram. Callers
@@ -34,4 +42,12 @@ var (
 func rpcSecondsFor(addr string) *obs.Histogram {
 	return obs.Default().Histogram("cluster_rpc_seconds",
 		"Wall time of one RPC attempt to a worker.", nil, obs.L("worker", addr))
+}
+
+// breakerStateFor returns the per-worker breaker state gauge
+// (0 closed, 1 half-open, 2 open). Registration is idempotent.
+func breakerStateFor(addr string) *obs.Gauge {
+	return obs.Default().Gauge("cluster_breaker_state",
+		"Circuit-breaker state per worker: 0 closed, 1 half-open, 2 open.",
+		obs.L("worker", addr))
 }

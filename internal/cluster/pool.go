@@ -43,6 +43,18 @@ type PoolConfig struct {
 	Partial       PartialPolicy // FailFast or ReturnPartial
 	ProbeInterval time.Duration // unhealthy-worker ping period; 0 disables probing
 	Seed          int64         // backoff-jitter RNG seed (0 behaves as 1)
+
+	// Breaker enables per-worker circuit breakers (zero value: disabled).
+	Breaker BreakerConfig
+	// RetryBudgetRatio > 0 enables the retry budget: tokens refilled per
+	// successful call, spent by each retry, failover and hedge.
+	RetryBudgetRatio float64
+	// RetryBudgetBurst caps the retry-budget bucket (default 20).
+	RetryBudgetBurst int
+	// RetryBudget, when set, is shared with other pools (the frontend
+	// shares one bucket across every shard pool, making the budget truly
+	// global); it overrides RetryBudgetRatio/Burst.
+	RetryBudget *RetryBudget
 }
 
 // DefaultPoolConfig returns the production defaults used by Dial.
@@ -123,6 +135,7 @@ type poolCounters struct {
 type Pool struct {
 	cfg     PoolConfig
 	callers []*Caller
+	budget  *RetryBudget // shared retry budget; nil = unlimited
 	ctr     poolCounters
 
 	mu        sync.Mutex
@@ -144,6 +157,10 @@ func DialConfig(addrs []string, cfg PoolConfig) (*Pool, error) {
 		return nil, fmt.Errorf("cluster: no worker addresses")
 	}
 	p := &Pool{cfg: cfg, stopProbe: make(chan struct{})}
+	p.budget = cfg.RetryBudget
+	if p.budget == nil && cfg.RetryBudgetRatio > 0 {
+		p.budget = NewRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst)
+	}
 	rng := newLockedRand(cfg.Seed)
 	ccfg := CallerConfig{
 		Timeout:     cfg.CallTimeout,
@@ -153,6 +170,10 @@ func DialConfig(addrs []string, cfg PoolConfig) (*Pool, error) {
 	}
 	for _, addr := range addrs {
 		c := newCaller(addr, ccfg, rng)
+		if cfg.Breaker.Enabled {
+			c.br = newBreaker(addr, cfg.Breaker)
+		}
+		c.budget = p.budget
 		if err := c.Connect(); err != nil {
 			p.Close()
 			return nil, fmt.Errorf("cluster: dial %s: %w", addr, err)
@@ -216,8 +237,9 @@ func (p *Pool) LastSweepStats() SweepStats {
 	return p.lastSweep
 }
 
-// probeLoop pings unhealthy workers until the pool closes, restoring them
-// to the failover rotation when they answer.
+// probeLoop pings unhealthy or breaker-open workers until the pool
+// closes, restoring them to the failover rotation — and force-closing
+// their breakers — when they answer.
 func (p *Pool) probeLoop() {
 	t := time.NewTicker(p.cfg.ProbeInterval)
 	defer t.Stop()
@@ -227,15 +249,18 @@ func (p *Pool) probeLoop() {
 			return
 		case <-t.C:
 			for _, c := range p.callers {
-				if c.Healthy() {
+				if c.Healthy() && c.BreakerState() == BreakerClosed {
 					continue
 				}
 				p.ctr.probes.Add(1)
 				metricProbes.Inc()
 				if err := c.Probe(); err == nil {
+					if !c.Healthy() {
+						p.ctr.recoveries.Add(1)
+						metricRecoveries.Inc()
+					}
 					c.SetHealthy(true)
-					p.ctr.recoveries.Add(1)
-					metricRecoveries.Inc()
+					c.br.Reset()
 				}
 			}
 		}
@@ -282,12 +307,24 @@ func (p *Pool) callStep(ctx context.Context, i, step int, do func(ctx context.Co
 	ssp.SetAttr("step", strconv.Itoa(step))
 	defer ssp.End()
 	var lastErr error
+	attempted := 0
 	for k, c := range p.candidates(i % len(p.callers)) {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
 				return lastErr
 			}
 			return err
+		}
+		if !c.br.Allow() {
+			// Known-dead replica: skip it in microseconds instead of paying
+			// a dial timeout; half-open probes are admitted by the breaker.
+			lastErr = fmt.Errorf("cluster: %s: %w", c.Addr(), ErrBreakerOpen)
+			continue
+		}
+		if attempted > 0 && !p.budget.Spend() {
+			// Extra attempts beyond the first spend the shared retry budget.
+			c.br.Drop()
+			return lastErr
 		}
 		wctx, wsp := obs.StartSpan(ctx, "rpc-worker")
 		wsp.SetAttr("worker", c.Addr())
@@ -297,6 +334,7 @@ func (p *Pool) callStep(ctx context.Context, i, step int, do func(ctx context.Co
 			wsp.SetAttr("failover", "true")
 		}
 		cs, err := do(wctx, c)
+		attempted++
 		p.ctr.calls.Add(int64(cs.Attempts))
 		p.ctr.retries.Add(int64(cs.Attempts - 1))
 		p.ctr.timeouts.Add(int64(cs.Timeouts))
@@ -311,12 +349,17 @@ func (p *Pool) callStep(ctx context.Context, i, step int, do func(ctx context.Co
 			wsp.SetAttr("error", err.Error())
 		}
 		wsp.End()
+		c.breakerRecord(err, ctx.Err() != nil)
 		if err == nil {
 			return nil
 		}
 		lastErr = err
 		if fastquery.IsFatal(err) {
 			// The request itself is bad; every worker would refuse it.
+			return err
+		}
+		if fastquery.IsExhausted(err) {
+			// The deadline budget is spent; no worker can conjure more time.
 			return err
 		}
 		if ctx.Err() != nil {

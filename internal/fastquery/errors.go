@@ -52,3 +52,44 @@ func IsFatal(err error) bool {
 	}
 	return strings.Contains(err.Error(), fatalPrefix)
 }
+
+// exhaustedPrefix marks deadline-budget exhaustion in a way that survives
+// the net/rpc string round-trip, like fatalPrefix.
+const exhaustedPrefix = "budget exhausted: "
+
+type exhaustedError struct{ err error }
+
+func (e *exhaustedError) Error() string { return exhaustedPrefix + e.err.Error() }
+func (e *exhaustedError) Unwrap() error { return e.err }
+
+// Exhausted marks err as deadline-budget exhaustion: the request ran out
+// of the time budget it was given, so retrying or failing over cannot help
+// (no replica can conjure more time), but unlike a fatal error the request
+// itself was sound — the serving tier turns this into a marked-partial
+// answer rather than a failure. Exhausted is idempotent and returns nil
+// for a nil error.
+func Exhausted(err error) error {
+	if err == nil || IsExhausted(err) {
+		return err
+	}
+	return &exhaustedError{err: err}
+}
+
+// Exhaustedf formats a new budget-exhausted error.
+func Exhaustedf(format string, a ...any) error {
+	return Exhausted(fmt.Errorf(format, a...))
+}
+
+// IsExhausted reports whether err (or anything it wraps) is marked as
+// deadline-budget exhaustion, surviving the net/rpc string flattening the
+// same way IsFatal does.
+func IsExhausted(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ee *exhaustedError
+	if errors.As(err, &ee) {
+		return true
+	}
+	return strings.Contains(err.Error(), exhaustedPrefix)
+}

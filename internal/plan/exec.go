@@ -131,10 +131,18 @@ func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy)
 		if fastquery.IsFatal(err) {
 			return nil, nil, err
 		}
+		failed[tasks[i].shard] = true
+		if fastquery.IsExhausted(err) {
+			// Deadline-budget exhaustion is the partial contract working:
+			// under BOTH policies the shard is marked failed and the
+			// survivors merge into a marked partial. Escalating to an error
+			// would turn a request that still has time to ship a degraded
+			// answer into a 504.
+			continue
+		}
 		if firstErr == nil {
 			firstErr = fmt.Errorf("plan: shard %d: %w", tasks[i].shard, err)
 		}
-		failed[tasks[i].shard] = true
 	}
 	if firstErr != nil && (policy == FailFast || len(failed) >= len(tasks)) {
 		return nil, nil, firstErr
@@ -149,7 +157,9 @@ func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy)
 
 // runWholesale executes a single whole-step fragment on its home shard.
 // There is nothing to merge, so a failure is an error regardless of
-// policy (the runner has already exhausted that shard's replicas).
+// policy (the runner has already exhausted that shard's replicas) —
+// except deadline-budget exhaustion, which the exec* callers convert
+// into a marked-partial empty result.
 func runWholesale(ctx context.Context, m ShardMap, r Runner, f Fragment) (*FragmentResult, int, error) {
 	home := m.Home(f.Key())
 	fctx, span := obs.StartSpan(ctx, "fragment")
@@ -207,13 +217,22 @@ func execHist1D(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner,
 		(q.Query == "" && !spec.HasRange())
 	if wholesale {
 		f := q.fragment(FragWhole1D, RowRange{})
-		part, _, err := runWholesale(ctx, m, r, f)
-		if err != nil {
-			return nil, err
-		}
 		mode := "wholesale"
 		if m.Shards <= 1 {
 			mode = "local"
+		}
+		part, home, err := runWholesale(ctx, m, r, f)
+		if err != nil {
+			if fastquery.IsExhausted(err) {
+				// Nothing survived to merge, but the contract holds under
+				// both policies: a spent budget yields a marked-partial
+				// empty histogram, never an error (which would be a 504).
+				res := &Result{Mode: mode, Fragments: 1}
+				res.addFailed([]int{home})
+				res.Hist1, _ = mergeHist1(spec, nil)
+				return res, nil
+			}
+			return nil, err
 		}
 		return &Result{Hist1: part.Hist1, Mode: mode, Fragments: 1}, nil
 	}
@@ -253,13 +272,19 @@ func execHist2D(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner,
 		(q.Query == "" && (needX || needY))
 	if wholesale {
 		f := q.fragment(FragWhole2D, RowRange{})
-		part, _, err := runWholesale(ctx, m, r, f)
-		if err != nil {
-			return nil, err
-		}
 		mode := "wholesale"
 		if m.Shards <= 1 {
 			mode = "local"
+		}
+		part, home, err := runWholesale(ctx, m, r, f)
+		if err != nil {
+			if fastquery.IsExhausted(err) {
+				res := &Result{Mode: mode, Fragments: 1}
+				res.addFailed([]int{home})
+				res.Hist2, _ = mergeHist2(spec, nil)
+				return res, nil
+			}
+			return nil, err
 		}
 		return &Result{Hist2: part.Hist2, Mode: mode, Fragments: 1}, nil
 	}

@@ -863,10 +863,23 @@ func floatParam(r *http.Request, name string) (float64, *httpError) {
 }
 
 // cacheDo runs the cache lookup under a "cache-lookup" span recording how
-// the result was satisfied (computed, hit, coalesced).
+// the result was satisfied (computed, hit, coalesced). The flight context
+// is detached from the initiating request's cancellation (see Cache.Do)
+// but inherits its deadline: the deadline is what the scatter client
+// carves per-fragment budgets from, and work that cannot finish by the
+// first requester's deadline should not run unbounded for coalesced
+// waiters either.
 func (s *Server) cacheDo(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, Outcome, error) {
 	ctx, sp := obs.StartSpan(ctx, "cache-lookup")
-	val, outcome, err := s.cache.Do(ctx, key, fn)
+	run := fn
+	if dl, ok := ctx.Deadline(); ok {
+		run = func(fctx context.Context) (any, error) {
+			fctx, cancel := context.WithDeadline(fctx, dl)
+			defer cancel()
+			return fn(fctx)
+		}
+	}
+	val, outcome, err := s.cache.Do(ctx, key, run)
 	sp.SetAttr("outcome", outcome.String())
 	sp.End()
 	return val, outcome, err

@@ -86,8 +86,12 @@ func startShardFleet(t *testing.T, n int, wrap func(i int, l net.Listener) (net.
 // frontendServer builds a serve.Server scattering over the fleet, plus a
 // test HTTP wrapper.
 func frontendServer(t *testing.T, fleet *shardFleet) (*Server, *httptest.Server) {
+	return frontendServerCfg(t, fleet, Config{})
+}
+
+func frontendServerCfg(t *testing.T, fleet *shardFleet, scfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s, ts := testServer(t, Config{})
+	s, ts := testServer(t, scfg)
 	cfg := cluster.DefaultPoolConfig()
 	cfg.CallTimeout = 10 * time.Second
 	cfg.MaxRetries = 1
@@ -194,6 +198,48 @@ func TestFrontendPartialOnShardDeath(t *testing.T) {
 	// as if complete.
 	if !pb.Partial {
 		t.Fatal("cached partial replayed")
+	}
+}
+
+// TestBudgetPartialNotCached: when the request deadline leaves less than
+// the scatter client's budget slack, every fragment is refused before the
+// RPC and the response must be an empty marked partial — HTTP 200, all
+// shards listed failed — and must never enter the result cache (a later
+// request with more time deserves a real answer, and here would recompute
+// the same partial rather than replay it as if complete).
+func TestBudgetPartialNotCached(t *testing.T) {
+	fleet := startShardFleet(t, 3, nil)
+	// ExecTimeout below shard.DefaultBudgetSlack (25ms): the per-fragment
+	// budget is negative at dispatch, so the shed is deterministic and no
+	// shard RPC is ever made.
+	s, fts := frontendServerCfg(t, fleet, Config{ExecTimeout: 20 * time.Millisecond})
+
+	path := "/v1/query?dataset=lwfa&step=0&q=" + url.QueryEscape("px > 0.0007")
+	code, hdr, body := getFull(t, fts, path)
+	if code != http.StatusOK {
+		t.Fatalf("status %d, want 200 marked-partial (not 504): %s", code, body)
+	}
+	if hdr != "1" {
+		t.Fatalf("X-Partial = %q, want 1", hdr)
+	}
+	var pb QueryBody
+	if code, _ := get(t, fts, path, &pb); code != http.StatusOK {
+		t.Fatal("second fetch failed")
+	}
+	if !pb.Partial || pb.Matches != 0 || !reflect.DeepEqual(pb.FailedShards, []int{0, 1, 2}) {
+		t.Fatalf("body = %+v, want empty partial with failed_shards [0 1 2]", pb)
+	}
+
+	// Budget partials must never be cached: repeated fetches recompute
+	// (cache misses), they do not replay a stored partial as a hit.
+	hits := s.cache.Stats().Hits
+	for i := 0; i < 3; i++ {
+		if code, _, _ := getFull(t, fts, path); code != http.StatusOK {
+			t.Fatalf("refetch %d failed", i)
+		}
+	}
+	if got := s.cache.Stats().Hits; got != hits {
+		t.Fatalf("cache hits %d -> %d: a budget partial was cached", hits, got)
 	}
 }
 

@@ -3,12 +3,20 @@ package shard
 import (
 	"context"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fastquery"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
+
+// DefaultBudgetSlack is the deadline headroom the scatter client reserves
+// per fragment dispatch: time for the RPC round trip plus the frontend's
+// merge and serialization, so a budget-exhausted shard still settles into
+// a marked-partial response before the request deadline fires a 504.
+const DefaultBudgetSlack = 25 * time.Millisecond
 
 // Client is the frontend's scatter client: one cluster pool per shard,
 // each pool holding that shard's replicas with the usual retry/backoff,
@@ -16,17 +24,24 @@ import (
 type Client struct {
 	pools []*cluster.Pool
 	hedge time.Duration
+	slack time.Duration // budget headroom per dispatch; < 0 disables budgets
 }
 
 // DialShards connects to every shard's replica group. shards[i] lists the
 // replica addresses of shard i. hedge > 0 enables staggered hedged
 // dispatch across a shard's replicas: if the first replica has not
-// answered within the stagger, the next one is raced against it.
+// answered within the stagger, the next one is raced against it. When the
+// config enables a retry budget without supplying a shared bucket, one
+// bucket is created here and shared across every shard pool, so the
+// budget is global to the frontend rather than per shard.
 func DialShards(shards [][]string, cfg cluster.PoolConfig, hedge time.Duration) (*Client, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("shard: no shards")
 	}
-	c := &Client{hedge: hedge}
+	if cfg.RetryBudget == nil && cfg.RetryBudgetRatio > 0 {
+		cfg.RetryBudget = cluster.NewRetryBudget(cfg.RetryBudgetRatio, cfg.RetryBudgetBurst)
+	}
+	c := &Client{hedge: hedge, slack: DefaultBudgetSlack}
 	for i, addrs := range shards {
 		p, err := cluster.DialConfig(addrs, cfg)
 		if err != nil {
@@ -37,6 +52,10 @@ func DialShards(shards [][]string, cfg cluster.PoolConfig, hedge time.Duration) 
 	}
 	return c, nil
 }
+
+// SetBudgetSlack overrides the deadline headroom reserved per fragment.
+// A negative slack disables deadline-budget propagation entirely.
+func (c *Client) SetBudgetSlack(d time.Duration) { c.slack = d }
 
 // Shards returns the number of shards.
 func (c *Client) Shards() int { return len(c.pools) }
@@ -49,52 +68,112 @@ func (c *Client) RunFragment(ctx context.Context, shard int, f plan.Fragment) (*
 	if shard < 0 || shard >= len(c.pools) {
 		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(c.pools))
 	}
+	args := &ExecArgs{Frag: f, TraceID: obs.SpanFromContext(ctx).TraceID()}
+	callCtx := ctx
+	if dl, ok := ctx.Deadline(); ok && c.slack >= 0 {
+		// Carve this fragment's sub-budget from the request deadline: the
+		// time left minus the slack reserved for the round trip and the
+		// frontend's merge. A fragment that cannot fit is refused without
+		// an RPC, and the sub-budget rides in ExecArgs so the shard sheds
+		// the work the moment it can no longer finish in time.
+		budget := time.Until(dl) - c.slack
+		if budget <= 0 {
+			metricBudgetSkips.Inc()
+			return nil, fastquery.Exhaustedf("shard %d: %v of deadline budget left, slack %v",
+				shard, time.Until(dl).Round(time.Millisecond), c.slack)
+		}
+		args.BudgetMS = int64(budget / time.Millisecond)
+		if args.BudgetMS == 0 {
+			args.BudgetMS = 1
+		}
+		var cancel context.CancelFunc
+		callCtx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
 	var reply ExecReply
-	err := c.pools[shard].CallOn(ctx, 0, "Shard.Exec", &ExecArgs{
-		Frag:    f,
-		TraceID: obs.SpanFromContext(ctx).TraceID(),
-	}, &reply, c.hedge)
+	err := c.pools[shard].CallOn(callCtx, 0, "Shard.Exec", args, &reply, c.hedge)
 	obs.SpanFromContext(ctx).AttachRemote(reply.Trace)
 	if err != nil {
+		if callCtx != ctx && callCtx.Err() == context.DeadlineExceeded && ctx.Err() == nil {
+			// The sub-budget expired while the request itself is still
+			// alive (a stalled or partitioned replica ate it): settle as
+			// budget exhaustion now, slack ahead of the request deadline,
+			// so the planner merges a marked partial instead of a 504.
+			metricBudgetSkips.Inc()
+			return nil, fastquery.Exhausted(err)
+		}
 		return nil, err
 	}
 	if reply.Result == nil {
 		return nil, fmt.Errorf("shard: shard %d returned no result", shard)
 	}
+	if reply.SumOK {
+		// Verify the content checksum: gob decodes a byte-flipped float or
+		// count without complaint, and a corrupted partial would merge into
+		// a silently wrong — and unmarked — answer.
+		if sum, ok := resultSum(reply.Result); ok && sum != reply.Sum {
+			metricReplyCorrupt.Inc()
+			return nil, fmt.Errorf("shard: shard %d reply failed checksum: transport corruption", shard)
+		}
+	}
 	return reply.Result, nil
+}
+
+// ReplicaStatus is one replica's client-side view: address, health flag,
+// and circuit-breaker state ("closed", "half-open", "open").
+type ReplicaStatus struct {
+	Addr    string `json:"addr"`
+	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
 }
 
 // ShardStatus is one shard's view in a fleet stats snapshot.
 type ShardStatus struct {
-	Shard    int               `json:"shard"`
-	Replicas int               `json:"replicas"`
-	Healthy  int               `json:"healthy"`
-	Err      string            `json:"err,omitempty"` // stats RPC failure
-	Stats    ExecStats         `json:"stats"`
-	Pool     cluster.PoolStats `json:"pool"`
+	Shard        int               `json:"shard"`
+	Replicas     int               `json:"replicas"`
+	Healthy      int               `json:"healthy"`
+	Err          string            `json:"err,omitempty"` // stats RPC failure
+	Stats        ExecStats         `json:"stats"`
+	Pool         cluster.PoolStats `json:"pool"`
+	ReplicaState []ReplicaStatus   `json:"replica_state,omitempty"`
 }
 
-// Stats gathers every shard's executor snapshot (best effort, bounded by
-// timeout per shard) plus the frontend-side pool counters.
+// Stats gathers every shard's executor snapshot plus the frontend-side
+// pool counters and per-replica breaker states. The shards are polled
+// concurrently, each under its own timeout, so a dead fleet costs one
+// timeout rather than shards×timeout.
 func (c *Client) Stats(ctx context.Context, timeout time.Duration) []ShardStatus {
 	out := make([]ShardStatus, len(c.pools))
+	var wg sync.WaitGroup
 	for i, p := range c.pools {
-		st := ShardStatus{
-			Shard:    i,
-			Replicas: p.Nodes(),
-			Healthy:  p.HealthyNodes(),
-			Pool:     p.Stats(),
-		}
-		sctx, cancel := context.WithTimeout(ctx, timeout)
-		var reply StatsReply
-		if err := p.CallOn(sctx, 0, "Shard.Stats", &StatsArgs{}, &reply, 0); err != nil {
-			st.Err = err.Error()
-		} else {
-			st.Stats = reply.Stats
-		}
-		cancel()
-		out[i] = st
+		wg.Add(1)
+		go func(i int, p *cluster.Pool) {
+			defer wg.Done()
+			st := ShardStatus{
+				Shard:    i,
+				Replicas: p.Nodes(),
+				Healthy:  p.HealthyNodes(),
+				Pool:     p.Stats(),
+			}
+			for _, cl := range p.Callers() {
+				st.ReplicaState = append(st.ReplicaState, ReplicaStatus{
+					Addr:    cl.Addr(),
+					Healthy: cl.Healthy(),
+					Breaker: cl.BreakerState().String(),
+				})
+			}
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			var reply StatsReply
+			if err := p.CallOn(sctx, 0, "Shard.Stats", &StatsArgs{}, &reply, 0); err != nil {
+				st.Err = err.Error()
+			} else {
+				st.Stats = reply.Stats
+			}
+			cancel()
+			out[i] = st
+		}(i, p)
 	}
+	wg.Wait()
 	return out
 }
 

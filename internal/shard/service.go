@@ -2,12 +2,16 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"net"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fastquery"
 	"repro/internal/obs"
 	"repro/internal/plan"
 )
@@ -23,6 +27,13 @@ type AdmitFunc func(ctx context.Context) (release func(), err error)
 type ExecArgs struct {
 	Frag    plan.Fragment
 	TraceID string // originating request's trace ID; "" disables tracing
+	// BudgetMS is the deadline budget left for this fragment at dispatch,
+	// minus the frontend's network slack, in milliseconds. 0 means
+	// unbudgeted; negative means the budget was already spent when the
+	// fragment was sent. The worker sheds the fragment — in the admission
+	// queue or mid-evaluation — once the budget expires, instead of
+	// burning capacity on an answer nobody can wait for.
+	BudgetMS int64
 }
 
 // ExecReply carries the fragment's mergeable partial result.
@@ -30,6 +41,23 @@ type ExecReply struct {
 	Result *plan.FragmentResult
 	Cached bool          // answered from the shard-local fragment cache
 	Trace  *obs.SpanData // shard-side span tree when TraceID was set
+	// Sum is a content checksum over Result (SumOK marks it present).
+	// net/rpc's gob stream carries no payload integrity of its own: a
+	// flipped byte inside a float or count payload decodes "successfully"
+	// and would merge into a silently wrong answer. The client recomputes
+	// the sum and treats a mismatch as transport corruption.
+	Sum   uint32
+	SumOK bool
+}
+
+// resultSum checksums a fragment result over its canonical JSON encoding
+// (deterministic: sorted map keys, fixed struct field order on both ends).
+func resultSum(res *plan.FragmentResult) (uint32, bool) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return 0, false
+	}
+	return crc32.ChecksumIEEE(b), true
 }
 
 // StatsArgs is the (empty) request of Shard.Stats.
@@ -84,21 +112,45 @@ func (s *Service) Exec(args *ExecArgs, reply *ExecReply) (err error) {
 	ctx, tr := shardTrace(args.TraceID, "shard:"+args.Frag.Op.String())
 	defer finishTrace(tr, &reply.Trace)
 	if res, ok := s.ex.Peek(args.Frag); ok {
+		// A cached answer costs a map lookup; serve it even on a spent
+		// budget — it is faster than explaining the shed.
 		reply.Result, reply.Cached = res, true
+		reply.Sum, reply.SumOK = resultSum(res)
 		return nil
+	}
+	if args.BudgetMS < 0 {
+		metricBudgetShed.Inc()
+		return fastquery.Exhaustedf("shard: fragment arrived with budget already spent (%dms)", args.BudgetMS)
+	}
+	if args.BudgetMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(args.BudgetMS)*time.Millisecond)
+		defer cancel()
 	}
 	if s.admit != nil {
 		release, aerr := s.admit(ctx)
 		if aerr != nil {
+			if args.BudgetMS > 0 && ctx.Err() == context.DeadlineExceeded {
+				// The budget expired while the fragment waited for a slot.
+				metricBudgetShed.Inc()
+				return fastquery.Exhausted(aerr)
+			}
 			return aerr
 		}
 		defer release()
 	}
 	res, err := s.ex.Run(ctx, args.Frag)
 	if err != nil {
+		if args.BudgetMS > 0 && ctx.Err() == context.DeadlineExceeded {
+			// Evaluation outran the budget: the row-checkpointed kernels
+			// abort promptly, and the frontend merges a marked partial.
+			metricBudgetShed.Inc()
+			return fastquery.Exhausted(err)
+		}
 		return err
 	}
 	reply.Result = res
+	reply.Sum, reply.SumOK = resultSum(res)
 	return nil
 }
 

@@ -84,7 +84,23 @@ awk '
 END { exit bad }
 ' "$OUT" || fail "overload-control series out of range"
 
-# 6. Scatter-gather series: partial merges can never exceed scatters, and
+# 6. Resilience control-plane series: breaker trips, retry-budget levels
+# and deadline-budget shed counters are present; per-worker breaker state,
+# where exported, is a valid state (0 closed, 1 half-open, 2 open).
+for metric in \
+  cluster_breaker_trips_total cluster_breaker_open \
+  cluster_retry_budget_tokens cluster_retry_budget_exhausted_total \
+  shard_budget_shed_total shard_budget_skips_total shard_reply_corrupt_total; do
+  grep -q "^$metric" "$OUT" || fail "missing required metric $metric"
+done
+awk '
+/^cluster_breaker_state\{/      { v = $2+0; if (v != 0 && v != 1 && v != 2) { print $0 " not a breaker state"; bad = 1 } }
+/^cluster_breaker_open /        { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+/^cluster_retry_budget_tokens / { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+END { exit bad }
+' "$OUT" || fail "resilience series out of range"
+
+# 7. Scatter-gather series: partial merges can never exceed scatters, and
 # when any scatter happened the fragment fan-out is at least one per scatter.
 awk '
 /^serve_scatter_total /           { scat = $2+0 }
