@@ -117,6 +117,7 @@ func main() {
 		latHist: obs.NewRegistry().Histogram("qload_request_seconds",
 			"Client-observed request latency.", nil),
 		stages: map[string]*stageAgg{},
+		worst:  newWorstTracker(3),
 		client: &http.Client{Timeout: 30 * time.Second},
 	}
 	if *capacity || *rate > 0 {
@@ -305,6 +306,7 @@ type loadgen struct {
 	xLo, xHi float64
 
 	reqSeq atomic.Uint64 // request counter driving the cancel stride
+	worst  *worstTracker // slowest requests per kind, nil when not reported
 
 	stageMu sync.Mutex
 	stages  map[string]*stageAgg // per-span-name totals from sampled traces
@@ -380,24 +382,87 @@ func (lg *loadgen) getCanceled(path string) (bool, error) {
 
 // getJSON fetches path (already query-encoded) and decodes into out.
 func (lg *loadgen) getJSON(path string, out any) (int, error) {
+	code, _, err := lg.getJSONTrace(path, out)
+	return code, err
+}
+
+// getJSONTrace is getJSON additionally returning the X-Trace-Id the
+// server stamped on the response, so the worst-latency report can name
+// concrete requests to pull out of the server's slow log or spans.
+func (lg *loadgen) getJSONTrace(path string, out any) (int, string, error) {
 	resp, err := lg.client.Get(lg.base + path)
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	defer resp.Body.Close()
+	traceID := resp.Header.Get("X-Trace-Id")
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return resp.StatusCode, err
+		return resp.StatusCode, traceID, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return resp.StatusCode, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, body)
+		return resp.StatusCode, traceID, fmt.Errorf("GET %s: %d: %s", path, resp.StatusCode, body)
 	}
 	if out != nil {
 		if err := json.Unmarshal(body, out); err != nil {
-			return resp.StatusCode, fmt.Errorf("GET %s: decode: %w", path, err)
+			return resp.StatusCode, traceID, fmt.Errorf("GET %s: decode: %w", path, err)
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, traceID, nil
+}
+
+// WorstRequest identifies one of the slowest requests of a kind: the
+// latency this client observed and the trace ID the server assigned, the
+// handle that joins BENCH numbers to /v1/debug/slow entries and explain
+// profiles on the serving side.
+type WorstRequest struct {
+	TraceID    string  `json:"trace_id"`
+	DurationMS float64 `json:"duration_ms"`
+	Path       string  `json:"path,omitempty"`
+}
+
+// worstTracker keeps the top-N worst-latency requests per request kind.
+// Nil-safe: loadgens that don't report worst requests skip tracking.
+type worstTracker struct {
+	mu sync.Mutex
+	n  int
+	m  map[string][]WorstRequest
+}
+
+func newWorstTracker(n int) *worstTracker {
+	return &worstTracker{n: n, m: map[string][]WorstRequest{}}
+}
+
+func (wt *worstTracker) add(kind, traceID, path string, d time.Duration) {
+	if wt == nil || traceID == "" {
+		return
+	}
+	e := WorstRequest{TraceID: traceID, Path: path,
+		DurationMS: float64(d) / float64(time.Millisecond)}
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	l := append(wt.m[kind], e)
+	sort.Slice(l, func(i, j int) bool { return l[i].DurationMS > l[j].DurationMS })
+	if len(l) > wt.n {
+		l = l[:wt.n]
+	}
+	wt.m[kind] = l
+}
+
+func (wt *worstTracker) snapshot() map[string][]WorstRequest {
+	if wt == nil {
+		return nil
+	}
+	wt.mu.Lock()
+	defer wt.mu.Unlock()
+	if len(wt.m) == 0 {
+		return nil
+	}
+	out := make(map[string][]WorstRequest, len(wt.m))
+	for k, l := range wt.m {
+		out[k] = append([]WorstRequest(nil), l...)
+	}
+	return out
 }
 
 // setup discovers the dataset, step and variable ranges the session
@@ -471,12 +536,16 @@ type result struct {
 	LatencyHistogram []latBucket `json:"latency_histogram,omitempty"`
 	// Stages is the per-query-stage breakdown from ?debug=trace sampling:
 	// span name -> aggregate across sampled requests.
-	Stages  map[string]stageStat `json:"stages,omitempty"`
-	Shed429 int                  `json:"shed_429"`
-	Shed503 int                  `json:"shed_503"`
-	Errors  int                  `json:"errors"`
-	HitRate float64              `json:"cache_hit_rate"`
-	Backend uint64               `json:"backend_calls"`
+	Stages map[string]stageStat `json:"stages,omitempty"`
+	// WorstByKind lists, per request kind, the slowest requests this run
+	// observed with their server-assigned trace IDs — the handles to look
+	// up in /v1/debug/slow or a flight-recorder capture.
+	WorstByKind map[string][]WorstRequest `json:"worst_by_kind,omitempty"`
+	Shed429     int                       `json:"shed_429"`
+	Shed503     int                       `json:"shed_503"`
+	Errors      int                       `json:"errors"`
+	HitRate     float64                   `json:"cache_hit_rate"`
+	Backend     uint64                    `json:"backend_calls"`
 	// Cancellation exercise (-cancel-frac): requests this client abandoned
 	// mid-flight, and the server's 499/abandoned-waiter deltas confirming
 	// the backend observed the disconnects.
@@ -523,6 +592,19 @@ func (r *result) print(w io.Writer) {
 			s := r.Stages[name]
 			fmt.Fprintf(w, "  %-20s n=%-5d mean %.3fms  total %.1fms\n",
 				name, s.Count, s.MeanMS, s.TotalMS)
+		}
+	}
+	if len(r.WorstByKind) > 0 {
+		kinds := make([]string, 0, len(r.WorstByKind))
+		for kind := range r.WorstByKind {
+			kinds = append(kinds, kind)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintf(w, "worst requests by kind (trace IDs):\n")
+		for _, kind := range kinds {
+			for _, wr := range r.WorstByKind[kind] {
+				fmt.Fprintf(w, "  %-14s %8.2fms  %s\n", kind, wr.DurationMS, wr.TraceID)
+			}
 		}
 	}
 }
@@ -620,6 +702,7 @@ func (lg *loadgen) run(sessions, concurrency int, xvar, yvar string, coarse, fin
 		}
 	}
 	lg.stageMu.Unlock()
+	res.WorstByKind = lg.worst.snapshot()
 	hits := after.Cache.Hits - before.Cache.Hits
 	lookups := hits + (after.Cache.Misses - before.Cache.Misses) + (after.Cache.Coalesced - before.Cache.Coalesced)
 	if lookups > 0 {
@@ -647,11 +730,12 @@ func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine 
 		fmt.Sprintf("/v1/hist2d?%s&x=%s&y=%s&xbins=%d&ybins=%d&q=%s",
 			common, url.QueryEscape(xvar), url.QueryEscape(yvar), fine, fine, url.QueryEscape(q2)),
 	}
+	kinds := []string{"query-coarse", "hist2d-coarse", "query-fine", "hist2d-fine"}
 	// Sampled sessions ask the server to echo each request's span tree,
 	// feeding the per-stage breakdown.
 	sample := lg.traceEvery > 0 && i%lg.traceEvery == 0
 	var o sessionOutcome
-	for _, p := range paths {
+	for pi, p := range paths {
 		if lg.shouldCancel() {
 			canceled, err := lg.getCanceled(p)
 			switch {
@@ -673,7 +757,7 @@ func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine 
 			out = &tb
 		}
 		start := time.Now()
-		code, err := lg.getJSON(p, out)
+		code, traceID, err := lg.getJSONTrace(p, out)
 		lat := time.Since(start)
 		lg.recordTrace(tb.Trace)
 		switch {
@@ -685,6 +769,7 @@ func (lg *loadgen) session(i int, q1, q2a, q2b, xvar, yvar string, coarse, fine 
 			o.errs++
 		default:
 			o.latencies = append(o.latencies, lat)
+			lg.worst.add(kinds[pi], traceID, p, lat)
 		}
 	}
 	return o

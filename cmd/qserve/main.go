@@ -28,11 +28,23 @@
 //	GET /readyz                               readiness (503 once draining)
 //
 // Every request carries an X-Trace-Id header; add ?debug=trace to have
-// the per-stage span tree echoed in the response body.
+// the per-stage span tree echoed in the response body, or ?debug=explain
+// for a per-fragment execution profile (rows, bytes, index work, cache
+// disposition, budgets) whose fragment costs sum exactly to the query
+// totals. ?explain=only returns the profile instead of the answer.
 //
 // With -admin-addr a second listener serves the operational surface only:
 // /metrics, /v1/debug/slow, and net/http/pprof under /debug/pprof/ —
-// keeping profilers and scrapers off the query port.
+// keeping profilers and scrapers off the query port. On a scatter
+// frontend /metrics federates every shard worker's registry into one
+// exposition (worker series labelled shard="N"); ?exemplars=1 attaches
+// trace-ID exemplars to latency buckets.
+//
+// The server grades every request against -slo and exports the SLO
+// burn rate over two windows (-burn-fast / -burn-slow); when both
+// cross -burn-threshold, a breach fires and — with -profile-dir set —
+// the flight recorder spools CPU/heap profiles plus the slow-query
+// ring into a bounded capture directory for post-hoc analysis.
 //
 // On SIGTERM/SIGINT the server flips /readyz to 503, drains in-flight
 // requests (deadline covering -exec-timeout), and exits 0.
@@ -117,6 +129,16 @@ func main() {
 		hedge     = flag.Duration("hedge", 0, "frontend role: hedged-dispatch stagger across a shard's replicas (0 = first-healthy only)")
 		fragCache = flag.Int("frag-cache", 1024, "shard role: fragment result cache entries (0 disables)")
 
+		// SLO burn-rate monitoring and breach-triggered profile capture.
+		burnBudget    = flag.Float64("burn-budget", 0.05, "tolerated bad-request fraction (error budget) for the SLO burn monitor")
+		burnFast      = flag.Duration("burn-fast", 5*time.Minute, "fast burn-rate window")
+		burnSlow      = flag.Duration("burn-slow", time.Hour, "slow burn-rate window")
+		burnThreshold = flag.Float64("burn-threshold", 1, "burn rate both windows must reach to fire a breach")
+		burnCooldown  = flag.Duration("burn-cooldown", 0, "minimum gap between breach firings (0 = slow window)")
+		profileDir    = flag.String("profile-dir", "", "flight-recorder spool: each SLO breach captures pprof profiles + the slow-query ring here (off when empty)")
+		profileCaps   = flag.Int("profile-captures", 8, "flight-recorder spool bound (capture directories kept)")
+		profileCPU    = flag.Duration("profile-cpu", 2*time.Second, "CPU-profile sampling window per flight-recorder capture")
+
 		// Resilience control plane (frontend role).
 		breaker     = flag.Bool("breaker", true, "frontend role: per-replica circuit breakers on shard RPCs")
 		retryBudget = flag.Float64("retry-budget", 0.1, "frontend role: global retry budget refill ratio — retry tokens granted per successful call (0 disables)")
@@ -172,6 +194,15 @@ func main() {
 		SLO:            *slo,
 		MaxConcurrency: *maxConc,
 		Brownout:       *brownout,
+
+		BurnBudget:      *burnBudget,
+		BurnFast:        *burnFast,
+		BurnSlow:        *burnSlow,
+		BurnThreshold:   *burnThreshold,
+		BurnCooldown:    *burnCooldown,
+		ProfileDir:      *profileDir,
+		ProfileCaptures: *profileCaps,
+		ProfileCPU:      *profileCPU,
 	}
 	// Flag semantics: 0 disables the deadline; Config expresses that as a
 	// negative value (its own zero means "use the default").
@@ -261,7 +292,7 @@ func main() {
 	// /metrics must not compete with queries for the accept queue.
 	if *adminAddr != "" {
 		adm := http.NewServeMux()
-		adm.Handle("/metrics", obs.Handler(s.Registry(), obs.Default()))
+		adm.Handle("/metrics", s.MetricsHandler())
 		adm.Handle("/v1/debug/slow", s.SlowLog().Handler())
 		adm.HandleFunc("/debug/pprof/", pprof.Index)
 		adm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

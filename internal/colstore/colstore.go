@@ -26,6 +26,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 var magic = [4]byte{'L', 'W', 'C', '1'}
@@ -418,8 +420,10 @@ func (file *File) HasColumn(name string) bool {
 	return ok
 }
 
-// readChunk reads and CRC-verifies one chunk of a column.
-func (file *File) readChunk(ci *ColumnInfo, idx int) ([]byte, error) {
+// readChunk reads and CRC-verifies one chunk of a column. cost, when
+// non-nil, is charged the bytes actually read — the per-query view of
+// the same I/O the file-level ioBytes counter accumulates globally.
+func (file *File) readChunk(ci *ColumnInfo, idx int, cost *obs.Cost) ([]byte, error) {
 	ch := ci.chunks[idx]
 	if st, err := file.f.Stat(); err == nil {
 		if ch.offset+8*uint64(ch.rows) > uint64(st.Size()) {
@@ -431,6 +435,7 @@ func (file *File) readChunk(ci *ColumnInfo, idx int) ([]byte, error) {
 		return nil, fmt.Errorf("colstore: read %q chunk %d: %w", ci.Name, idx, err)
 	}
 	file.ioBytes.Add(uint64(len(buf)))
+	cost.AddDataBytes(uint64(len(buf)))
 	if crc := crc32.ChecksumIEEE(buf); crc != ch.crc {
 		return nil, fmt.Errorf("colstore: %q chunk %d: CRC mismatch (stored %08x, computed %08x)",
 			ci.Name, idx, ch.crc, crc)
@@ -440,6 +445,12 @@ func (file *File) readChunk(ci *ColumnInfo, idx int) ([]byte, error) {
 
 // ReadFloat64 reads a whole float64 column.
 func (file *File) ReadFloat64(name string) ([]float64, error) {
+	return file.ReadFloat64Cost(name, nil)
+}
+
+// ReadFloat64Cost is ReadFloat64 charging bytes and values into cost
+// (nil-safe) for per-query attribution.
+func (file *File) ReadFloat64Cost(name string, cost *obs.Cost) ([]float64, error) {
 	ci, ok := file.cols[name]
 	if !ok {
 		return nil, fmt.Errorf("colstore: no column %q", name)
@@ -449,7 +460,7 @@ func (file *File) ReadFloat64(name string) ([]float64, error) {
 	}
 	out := make([]float64, 0, file.rows)
 	for i := range ci.chunks {
-		buf, err := file.readChunk(ci, i)
+		buf, err := file.readChunk(ci, i, cost)
 		if err != nil {
 			return nil, err
 		}
@@ -457,11 +468,17 @@ func (file *File) ReadFloat64(name string) ([]float64, error) {
 			out = append(out, math.Float64frombits(binary.LittleEndian.Uint64(buf[j:])))
 		}
 	}
+	cost.AddValues(uint64(len(out)))
 	return out, nil
 }
 
 // ReadInt64 reads a whole int64 column.
 func (file *File) ReadInt64(name string) ([]int64, error) {
+	return file.ReadInt64Cost(name, nil)
+}
+
+// ReadInt64Cost is ReadInt64 charging bytes and values into cost.
+func (file *File) ReadInt64Cost(name string, cost *obs.Cost) ([]int64, error) {
 	ci, ok := file.cols[name]
 	if !ok {
 		return nil, fmt.Errorf("colstore: no column %q", name)
@@ -471,7 +488,7 @@ func (file *File) ReadInt64(name string) ([]int64, error) {
 	}
 	out := make([]int64, 0, file.rows)
 	for i := range ci.chunks {
-		buf, err := file.readChunk(ci, i)
+		buf, err := file.readChunk(ci, i, cost)
 		if err != nil {
 			return nil, err
 		}
@@ -479,6 +496,7 @@ func (file *File) ReadInt64(name string) ([]int64, error) {
 			out = append(out, int64(binary.LittleEndian.Uint64(buf[j:])))
 		}
 	}
+	cost.AddValues(uint64(len(out)))
 	return out, nil
 }
 
@@ -486,15 +504,20 @@ func (file *File) ReadInt64(name string) ([]int64, error) {
 // Particle identifiers fit in the 53-bit mantissa, so the conversion is
 // exact for this system's data.
 func (file *File) ReadAsFloat64(name string) ([]float64, error) {
+	return file.ReadAsFloat64Cost(name, nil)
+}
+
+// ReadAsFloat64Cost is ReadAsFloat64 charging bytes and values into cost.
+func (file *File) ReadAsFloat64Cost(name string, cost *obs.Cost) ([]float64, error) {
 	ci, ok := file.cols[name]
 	if !ok {
 		return nil, fmt.Errorf("colstore: no column %q", name)
 	}
 	switch ci.Type {
 	case Float64:
-		return file.ReadFloat64(name)
+		return file.ReadFloat64Cost(name, cost)
 	case Int64:
-		iv, err := file.ReadInt64(name)
+		iv, err := file.ReadInt64Cost(name, cost)
 		if err != nil {
 			return nil, err
 		}
@@ -513,6 +536,12 @@ func (file *File) ReadAsFloat64(name string) ([]float64, error) {
 // the access path for index candidate checks, which touch a small number
 // of rows.
 func (file *File) ReadFloat64At(name string, positions []uint64) ([]float64, error) {
+	return file.ReadFloat64AtCost(name, positions, nil)
+}
+
+// ReadFloat64AtCost is ReadFloat64At charging chunk bytes and gathered
+// values into cost for per-query attribution.
+func (file *File) ReadFloat64AtCost(name string, positions []uint64, cost *obs.Cost) ([]float64, error) {
 	ci, ok := file.cols[name]
 	if !ok {
 		return nil, fmt.Errorf("colstore: no column %q", name)
@@ -532,7 +561,7 @@ func (file *File) ReadFloat64At(name string, positions []uint64) ([]float64, err
 		rows := uint64(ci.chunks[idx].rows)
 		chunkEnd := rowBase + rows
 		if pi < len(positions) && positions[pi] < chunkEnd {
-			buf, err := file.readChunk(ci, idx)
+			buf, err := file.readChunk(ci, idx, cost)
 			if err != nil {
 				return nil, err
 			}
@@ -555,5 +584,6 @@ func (file *File) ReadFloat64At(name string, positions []uint64) ([]float64, err
 	if pi != len(positions) {
 		return nil, fmt.Errorf("colstore: position %d out of range (%d rows)", positions[pi], file.rows)
 	}
+	cost.AddValues(uint64(len(out)))
 	return out, nil
 }

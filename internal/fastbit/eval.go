@@ -79,6 +79,10 @@ type Evaluator struct {
 
 	// Stats accumulates candidate-check work across Eval calls.
 	Stats EvalStats
+
+	// Cost, when set, receives per-query charges (bitmap ORs, candidate
+	// checks, approx admissions) for the explain surface. Nil-safe.
+	Cost *obs.Cost
 }
 
 // index resolves the range index for a variable.
@@ -118,13 +122,17 @@ func (ev *Evaluator) Eval(e query.Expr) (*bitmap.Vector, error) {
 func (ev *Evaluator) EvalCtx(ctx context.Context, e query.Expr) (*bitmap.Vector, error) {
 	ctx, sp := obs.StartSpan(ctx, "bitmap-eval")
 	start := time.Now()
-	checksBefore := ev.Stats.CandidateChecks
+	statsBefore := ev.Stats
 	v, err := ev.evalCtx(ctx, e)
 	metricEvalSeconds.ObserveSince(start)
 	metricEvals.Inc()
 	metricEvalRows.Add(ev.N)
-	checks := ev.Stats.CandidateChecks - checksBefore
+	checks := ev.Stats.CandidateChecks - statsBefore.CandidateChecks
 	metricCandidateChecks.Add(checks)
+	ev.Cost.AddCandidateChecks(checks)
+	ev.Cost.AddBitmapOps(uint64((ev.Stats.FullBins - statsBefore.FullBins) +
+		(ev.Stats.BoundaryBins - statsBefore.BoundaryBins)))
+	ev.Cost.AddApproxRows(ev.Stats.ApproxRows - statsBefore.ApproxRows)
 	if sp != nil {
 		sp.SetAttr("rows", strconv.FormatUint(ev.N, 10))
 		sp.SetAttr("candidate_checks", strconv.FormatUint(checks, 10))

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // LazyStep is an index file opened for on-demand section loading: the
@@ -89,6 +91,14 @@ func (ls *LazyStep) IndexBytesRead() uint64 {
 
 // Column loads (or returns the cached) range index for one variable.
 func (ls *LazyStep) Column(name string) (*Index, error) {
+	return ls.ColumnCost(name, nil)
+}
+
+// ColumnCost is Column with per-query cost attribution: when the load
+// misses the cache, the section bytes actually read (measured as the
+// ioBytes delta under the lock, so attribution is exact) and the load
+// itself are charged to c.
+func (ls *LazyStep) ColumnCost(name string, c *obs.Cost) (*Index, error) {
 	ls.mu.Lock()
 	defer ls.mu.Unlock()
 	if ix, ok := ls.cols[name]; ok {
@@ -99,6 +109,7 @@ func (ls *LazyStep) Column(name string) (*Index, error) {
 		return nil, fmt.Errorf("fastbit: no index for variable %q in %s", name, ls.path)
 	}
 	start := time.Now()
+	bytesBefore := ls.ioBytes
 	blob, err := ls.readSection(sec)
 	if err != nil {
 		return nil, err
@@ -109,6 +120,8 @@ func (ls *LazyStep) Column(name string) (*Index, error) {
 	}
 	metricIndexLoads.Inc()
 	metricIndexLoadSeconds.ObserveSince(start)
+	c.AddIndexBytes(ls.ioBytes - bytesBefore)
+	c.AddIndexLoads(1)
 	ls.cols[name] = ix
 	return ix, nil
 }
@@ -298,11 +311,21 @@ func (ls *LazyStep) readSection(sec section) ([]byte, error) {
 
 // Evaluator returns a query evaluator that loads indexes on demand.
 func (ls *LazyStep) Evaluator(raw RawReader) *Evaluator {
+	return ls.CostEvaluator(raw, nil)
+}
+
+// CostEvaluator is Evaluator with per-query cost attribution: index
+// loads triggered by the returned evaluator are charged to c, and the
+// evaluator itself charges its bitmap and candidate-check work there.
+func (ls *LazyStep) CostEvaluator(raw RawReader, c *obs.Cost) *Evaluator {
 	return &Evaluator{
-		N:           ls.dir.n,
-		LookupIndex: ls.Column,
-		IDVar:       ls.dir.idVar,
-		LookupID:    ls.IDIndex,
-		Raw:         raw,
+		N: ls.dir.n,
+		LookupIndex: func(name string) (*Index, error) {
+			return ls.ColumnCost(name, c)
+		},
+		IDVar:    ls.dir.idVar,
+		LookupID: ls.IDIndex,
+		Raw:      raw,
+		Cost:     c,
 	}
 }

@@ -256,7 +256,13 @@ func (st *Step) ReadIDs() ([]int64, error) {
 // access path: a fragment evaluates over its row range of the step, which
 // is a small slice of the full column.
 func (st *Step) ValuesAt(name string, positions []uint64) ([]float64, error) {
-	return st.file.ReadFloat64At(name, positions)
+	return st.ValuesAtCtx(context.Background(), name, positions)
+}
+
+// ValuesAtCtx is ValuesAt charging the read to the context's per-query
+// cost accumulator, when one is attached.
+func (st *Step) ValuesAtCtx(ctx context.Context, name string, positions []uint64) ([]float64, error) {
+	return st.file.ReadFloat64AtCost(name, positions, obs.CostFromContext(ctx))
 }
 
 func (st *Step) idVar() string {
@@ -266,23 +272,29 @@ func (st *Step) idVar() string {
 	return "id"
 }
 
-// reader adapts the colstore file to fastbit's RawReader.
-type reader struct{ f *colstore.File }
+// reader adapts the colstore file to fastbit's RawReader, charging raw
+// reads to the per-query cost accumulator when one is attached.
+type reader struct {
+	f    *colstore.File
+	cost *obs.Cost
+}
 
 func (r reader) ValuesAt(name string, positions []uint64) ([]float64, error) {
-	return r.f.ReadFloat64At(name, positions)
+	return r.f.ReadFloat64AtCost(name, positions, r.cost)
 }
 
 func (r reader) Column(name string) ([]float64, error) {
-	return r.f.ReadAsFloat64(name)
+	return r.f.ReadAsFloat64Cost(name, r.cost)
 }
 
-// evaluator returns a fastbit evaluator for this step.
-func (st *Step) evaluator() (*fastbit.Evaluator, error) {
+// evaluator returns a fastbit evaluator for this step, wired to charge
+// index loads and raw reads to ctx's cost accumulator when one is set.
+func (st *Step) evaluator(ctx context.Context) (*fastbit.Evaluator, error) {
 	if st.index == nil {
 		return nil, st.noIndexError()
 	}
-	return st.index.Evaluator(reader{st.file}), nil
+	c := obs.CostFromContext(ctx)
+	return st.index.CostEvaluator(reader{f: st.file, cost: c}, c), nil
 }
 
 // loadScanColumns reads the columns needed to scan-evaluate e plus any
@@ -306,9 +318,10 @@ func (st *Step) loadScanColumns(ctx context.Context, e query.Expr, extra ...stri
 	}
 	sort.Strings(names)
 	sp.SetAttr("columns", strings.Join(names, ","))
+	cost := obs.CostFromContext(ctx)
 	cols := scan.Columns{}
 	for _, v := range names {
-		col, err := st.file.ReadAsFloat64(v)
+		col, err := st.file.ReadAsFloat64Cost(v, cost)
 		if err != nil {
 			return nil, err
 		}
@@ -328,7 +341,7 @@ func (st *Step) Select(e query.Expr, b Backend) ([]uint64, error) {
 func (st *Step) SelectCtx(ctx context.Context, e query.Expr, b Backend) ([]uint64, error) {
 	switch b {
 	case FastBit:
-		ev, err := st.evaluator()
+		ev, err := st.evaluator(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -369,7 +382,7 @@ func (st *Step) SelectIDsCtx(ctx context.Context, e query.Expr, b Backend) ([]in
 	if err != nil {
 		return nil, err
 	}
-	vals, err := st.file.ReadFloat64At(st.idVar(), pos)
+	vals, err := st.file.ReadFloat64AtCost(st.idVar(), pos, obs.CostFromContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -418,7 +431,7 @@ func (st *Step) Histogram2D(cond query.Expr, spec histogram.Spec2D, b Backend) (
 func (st *Step) Histogram2DCtx(ctx context.Context, cond query.Expr, spec histogram.Spec2D, b Backend) (*histogram.Hist2D, error) {
 	switch b {
 	case FastBit:
-		ev, err := st.evaluator()
+		ev, err := st.evaluator(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -443,7 +456,7 @@ func (st *Step) Histogram1D(cond query.Expr, spec histogram.Spec1D, b Backend) (
 func (st *Step) Histogram1DCtx(ctx context.Context, cond query.Expr, spec histogram.Spec1D, b Backend) (*histogram.Hist1D, error) {
 	switch b {
 	case FastBit:
-		ev, err := st.evaluator()
+		ev, err := st.evaluator(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -467,7 +480,7 @@ func (st *Step) Histogram1DCtx(ctx context.Context, cond query.Expr, spec histog
 // upper bound on the exact answer. This is the serve layer's brownout
 // path under sustained overload.
 func (st *Step) Histogram1DIndexOnlyCtx(ctx context.Context, cond query.Expr, name string) (*histogram.Hist1D, error) {
-	ev, err := st.evaluator()
+	ev, err := st.evaluator(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -479,7 +492,7 @@ func (st *Step) Histogram1DIndexOnlyCtx(ctx context.Context, cond query.Expr, na
 // an approximate conditional 2D histogram at the two indexes' native
 // resolutions, computed from bitmaps alone.
 func (st *Step) Histogram2DIndexOnlyCtx(ctx context.Context, cond query.Expr, xvar, yvar string) (*histogram.Hist2D, error) {
-	ev, err := st.evaluator()
+	ev, err := st.evaluator(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// BurnWindow is one burn-rate evaluation window.
+type BurnWindow struct {
+	Name string        // label value, e.g. "5m"
+	Dur  time.Duration // lookback
+}
+
+// BurnConfig configures a multi-window SLO burn-rate monitor.
+type BurnConfig struct {
+	// Budget is the tolerated bad-request fraction (the error budget);
+	// <= 0 defaults to 0.05. Burn rate is badFraction / Budget, so a
+	// burn of 1.0 means the service is consuming budget exactly as fast
+	// as it accrues.
+	Budget float64
+	// Fast and Slow are the two evaluation windows. A breach requires
+	// the burn rate over BOTH windows to reach Threshold — the classic
+	// multi-window rule: the slow window proves it is not a blip, the
+	// fast window proves it is still happening. Zero durations default
+	// to 5m / 1h.
+	Fast, Slow time.Duration
+	// Threshold is the burn rate at which both windows must sit for a
+	// breach; <= 0 defaults to 1.
+	Threshold float64
+	// Cooldown is the minimum gap between breach firings; <= 0 defaults
+	// to the slow window, so one incident triggers one capture.
+	Cooldown time.Duration
+	// OnBreach, when set, fires (edge-triggered, outside the monitor
+	// lock) each time a new breach is detected.
+	OnBreach func(fast, slow float64)
+
+	nowFn func() time.Time // injectable clock for tests
+}
+
+// burnBucket is one second's worth of request outcomes.
+type burnBucket struct {
+	sec       int64 // unix second this bucket covers
+	good, bad uint64
+}
+
+// BurnMonitor tracks SLO burn rate over multiple lookback windows from a
+// ring of per-second good/bad buckets, and fires an edge-triggered breach
+// callback when every window's burn rate crosses the threshold.
+type BurnMonitor struct {
+	cfg BurnConfig
+
+	mu       sync.Mutex
+	ring     []burnBucket // one bucket per second, len = slow window seconds
+	breaches uint64
+	lastFire time.Time
+	firing   bool
+}
+
+// NewBurnMonitor creates a burn-rate monitor.
+func NewBurnMonitor(cfg BurnConfig) *BurnMonitor {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 0.05
+	}
+	if cfg.Fast <= 0 {
+		cfg.Fast = 5 * time.Minute
+	}
+	if cfg.Slow <= 0 {
+		cfg.Slow = time.Hour
+	}
+	if cfg.Slow < cfg.Fast {
+		cfg.Slow = cfg.Fast
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 1
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = cfg.Slow
+	}
+	if cfg.nowFn == nil {
+		cfg.nowFn = time.Now
+	}
+	secs := int(cfg.Slow/time.Second) + 1
+	if secs < 2 {
+		secs = 2
+	}
+	return &BurnMonitor{cfg: cfg, ring: make([]burnBucket, secs)}
+}
+
+// Record folds one request outcome into the current second's bucket and
+// re-evaluates the breach condition. good should be false for requests
+// that burned error budget (5xx or SLO-violating latency).
+func (m *BurnMonitor) Record(good bool) {
+	if m == nil {
+		return
+	}
+	now := m.cfg.nowFn()
+	sec := now.Unix()
+	var onBreach func(fast, slow float64)
+	var fast, slow float64
+
+	m.mu.Lock()
+	b := &m.ring[sec%int64(len(m.ring))]
+	if b.sec != sec {
+		*b = burnBucket{sec: sec}
+	}
+	if good {
+		b.good++
+	} else {
+		b.bad++
+	}
+	fast = m.rateLocked(now, m.cfg.Fast)
+	slow = m.rateLocked(now, m.cfg.Slow)
+	breaching := fast >= m.cfg.Threshold && slow >= m.cfg.Threshold
+	if breaching {
+		if !m.firing && now.Sub(m.lastFire) >= m.cfg.Cooldown {
+			m.firing = true
+			m.lastFire = now
+			m.breaches++
+			onBreach = m.cfg.OnBreach
+		}
+	} else {
+		m.firing = false
+	}
+	m.mu.Unlock()
+
+	if onBreach != nil {
+		onBreach(fast, slow)
+	}
+}
+
+// rateLocked computes the burn rate over the trailing window ending now.
+func (m *BurnMonitor) rateLocked(now time.Time, window time.Duration) float64 {
+	lo := now.Unix() - int64(window/time.Second)
+	var good, bad uint64
+	for i := range m.ring {
+		b := &m.ring[i]
+		if b.sec > lo && b.sec <= now.Unix() {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	return float64(bad) / float64(total) / m.cfg.Budget
+}
+
+// Rate returns the current burn rate over the given trailing window.
+func (m *BurnMonitor) Rate(window time.Duration) float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rateLocked(m.cfg.nowFn(), window)
+}
+
+// FastRate returns the burn rate over the fast window.
+func (m *BurnMonitor) FastRate() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.Rate(m.cfg.Fast)
+}
+
+// SlowRate returns the burn rate over the slow window.
+func (m *BurnMonitor) SlowRate() float64 {
+	if m == nil {
+		return 0
+	}
+	return m.Rate(m.cfg.Slow)
+}
+
+// Breaches returns how many distinct breaches have fired.
+func (m *BurnMonitor) Breaches() uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.breaches
+}
+
+// Windows returns the configured fast and slow window durations.
+func (m *BurnMonitor) Windows() (fast, slow time.Duration) {
+	return m.cfg.Fast, m.cfg.Slow
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Cost is a per-query resource accumulator: the kernels charge rows,
+// bytes and index work into it as they execute, and the explain surface
+// snapshots it per fragment. Like Span, every method is nil-safe so the
+// kernels charge unconditionally — a request that did not ask for a
+// profile carries a nil *Cost and pays one nil check per charge site.
+type Cost struct {
+	rows       atomic.Uint64 // records visited by sequential scans
+	valuesRead atomic.Uint64 // raw column values fetched (candidate checks, gathers)
+	dataBytes  atomic.Uint64 // bytes read from columnar data files
+	indexBytes atomic.Uint64 // bytes of index sections loaded from disk
+	indexLoads atomic.Uint64 // index sections loaded (cache misses)
+	bitmapOps  atomic.Uint64 // bitmaps OR-ed during index evaluation
+	candChecks atomic.Uint64 // raw-data candidate checks for boundary bins
+	approxRows atomic.Uint64 // rows admitted without check (index-only eval)
+}
+
+// AddRows charges n sequentially scanned records.
+func (c *Cost) AddRows(n uint64) {
+	if c != nil {
+		c.rows.Add(n)
+	}
+}
+
+// AddValues charges n raw column values fetched.
+func (c *Cost) AddValues(n uint64) {
+	if c != nil {
+		c.valuesRead.Add(n)
+	}
+}
+
+// AddDataBytes charges n bytes read from columnar data files.
+func (c *Cost) AddDataBytes(n uint64) {
+	if c != nil {
+		c.dataBytes.Add(n)
+	}
+}
+
+// AddIndexBytes charges n bytes of index sections loaded from disk.
+func (c *Cost) AddIndexBytes(n uint64) {
+	if c != nil {
+		c.indexBytes.Add(n)
+	}
+}
+
+// AddIndexLoads charges n index-section loads (cache misses).
+func (c *Cost) AddIndexLoads(n uint64) {
+	if c != nil {
+		c.indexLoads.Add(n)
+	}
+}
+
+// AddBitmapOps charges n bitmap OR operations.
+func (c *Cost) AddBitmapOps(n uint64) {
+	if c != nil {
+		c.bitmapOps.Add(n)
+	}
+}
+
+// AddCandidateChecks charges n boundary-bin candidate checks.
+func (c *Cost) AddCandidateChecks(n uint64) {
+	if c != nil {
+		c.candChecks.Add(n)
+	}
+}
+
+// AddApproxRows charges n rows admitted without a raw-data check.
+func (c *Cost) AddApproxRows(n uint64) {
+	if c != nil {
+		c.approxRows.Add(n)
+	}
+}
+
+// Snapshot captures the accumulator's current values. A nil Cost
+// snapshots to the zero value.
+func (c *Cost) Snapshot() CostSnapshot {
+	if c == nil {
+		return CostSnapshot{}
+	}
+	return CostSnapshot{
+		Rows:            c.rows.Load(),
+		ValuesRead:      c.valuesRead.Load(),
+		DataBytes:       c.dataBytes.Load(),
+		IndexBytes:      c.indexBytes.Load(),
+		IndexLoads:      c.indexLoads.Load(),
+		BitmapOps:       c.bitmapOps.Load(),
+		CandidateChecks: c.candChecks.Load(),
+		ApproxRows:      c.approxRows.Load(),
+	}
+}
+
+// CostSnapshot is the JSON- and gob-friendly view of a Cost. The fields
+// are additive: the frontend sums per-fragment snapshots into query
+// totals, and the explain identity tests assert the sums are exact.
+type CostSnapshot struct {
+	Rows            uint64 `json:"rows_scanned,omitempty"`
+	ValuesRead      uint64 `json:"values_read,omitempty"`
+	DataBytes       uint64 `json:"data_bytes,omitempty"`
+	IndexBytes      uint64 `json:"index_bytes,omitempty"`
+	IndexLoads      uint64 `json:"index_loads,omitempty"`
+	BitmapOps       uint64 `json:"bitmap_ops,omitempty"`
+	CandidateChecks uint64 `json:"candidate_checks,omitempty"`
+	ApproxRows      uint64 `json:"approx_rows,omitempty"`
+}
+
+// Add folds another snapshot into this one.
+func (s *CostSnapshot) Add(o CostSnapshot) {
+	s.Rows += o.Rows
+	s.ValuesRead += o.ValuesRead
+	s.DataBytes += o.DataBytes
+	s.IndexBytes += o.IndexBytes
+	s.IndexLoads += o.IndexLoads
+	s.BitmapOps += o.BitmapOps
+	s.CandidateChecks += o.CandidateChecks
+	s.ApproxRows += o.ApproxRows
+}
+
+// IsZero reports whether nothing was charged.
+func (s CostSnapshot) IsZero() bool { return s == CostSnapshot{} }
+
+type costCtxKey struct{}
+
+// WithCost returns a context carrying the cost accumulator. Kernels
+// retrieve it with CostFromContext and charge into it; a nil c is legal
+// and yields a context whose charges are no-ops.
+func WithCost(ctx context.Context, c *Cost) context.Context {
+	return context.WithValue(ctx, costCtxKey{}, c)
+}
+
+// CostFromContext returns the context's cost accumulator, or nil when
+// the request is not being profiled. The nil result is safe to charge.
+func CostFromContext(ctx context.Context) *Cost {
+	c, _ := ctx.Value(costCtxKey{}).(*Cost)
+	return c
+}

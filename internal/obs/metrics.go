@@ -91,6 +91,16 @@ type Histogram struct {
 	over    atomic.Uint64 // observations beyond the last bound (+Inf bucket)
 	count   atomic.Uint64
 	sumBits atomic.Uint64
+	// exemplars holds one last-wins exemplar per bucket (index len(upper)
+	// is the +Inf bucket), linking a latency bucket to the trace that
+	// landed there most recently — so a p99 bucket resolves to a profile.
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one observation to the trace that produced it.
+type Exemplar struct {
+	TraceID string  `json:"trace_id"`
+	Value   float64 `json:"value"`
 }
 
 // DefLatencyBuckets is the default latency bucket boundary set, in
@@ -112,9 +122,10 @@ func newHistogram(upper []float64) *Histogram {
 		panic(fmt.Sprintf("obs: bad histogram buckets %v: %v", upper, err))
 	}
 	return &Histogram{
-		loc:   loc,
-		upper: append([]float64(nil), upper...),
-		bins:  make([]atomic.Uint64, len(upper)),
+		loc:       loc,
+		upper:     append([]float64(nil), upper...),
+		bins:      make([]atomic.Uint64, len(upper)),
+		exemplars: make([]atomic.Pointer[Exemplar], len(upper)+1),
 	}
 }
 
@@ -140,6 +151,40 @@ func (h *Histogram) Observe(v float64) {
 			break
 		}
 	}
+}
+
+// ObserveWithExemplar records one value and attaches the trace ID as the
+// landing bucket's exemplar (last observation wins). No-op while obs is
+// disabled or when traceID is empty.
+func (h *Histogram) ObserveWithExemplar(v float64, traceID string) {
+	if h == nil || !enabled.Load() {
+		return
+	}
+	h.Observe(v)
+	if traceID == "" {
+		return
+	}
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	i := h.loc.Bin(v)
+	if i < 0 {
+		i = len(h.upper) // +Inf bucket
+	}
+	h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+}
+
+// BucketExemplars returns the per-bucket exemplars, index len(upper)
+// being the +Inf bucket; entries are nil where no exemplar landed.
+func (h *Histogram) BucketExemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // ObserveSince records the elapsed time since start, in seconds.
@@ -201,22 +246,30 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return lo
 }
 
-// Metric is the JSON-friendly snapshot of one metric series.
+// Metric is the JSON-friendly snapshot of one metric series. It is also
+// the unit of metrics federation: a shard ships its registry as a
+// []Metric over RPC and the frontend re-renders the fleet as one
+// exposition, so the struct must stay gob-friendly.
 type Metric struct {
 	Name    string            `json:"name"`
 	Type    string            `json:"type"` // counter | gauge | histogram
+	Help    string            `json:"help,omitempty"`
 	Labels  map[string]string `json:"labels,omitempty"`
 	Value   float64           `json:"value,omitempty"`
 	Sum     float64           `json:"sum,omitempty"`
 	Count   uint64            `json:"count,omitempty"`
 	Buckets []Bucket          `json:"buckets,omitempty"`
+	// InfExemplar is the +Inf bucket's exemplar, if any (finite buckets
+	// carry theirs inline).
+	InfExemplar *Exemplar `json:"inf_exemplar,omitempty"`
 }
 
 // Bucket is one cumulative histogram bucket in a Metric snapshot. Bounds
 // are finite (the implicit +Inf bucket equals the series count).
 type Bucket struct {
-	LE    float64 `json:"le"`
-	Count uint64  `json:"count"`
+	LE       float64   `json:"le"`
+	Count    uint64    `json:"count"`
+	Exemplar *Exemplar `json:"exemplar,omitempty"`
 }
 
 // series is one registered metric with a concrete label set.
@@ -425,6 +478,20 @@ func promFloat(v float64) string {
 // WritePrometheus renders every metric in Prometheus text exposition
 // format (version 0.0.4).
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.writePrometheus(w, false)
+}
+
+// promExemplar renders an OpenMetrics-style exemplar suffix. Classic
+// 0.0.4 parsers reject the syntax, so callers gate it on an explicit
+// exemplars=1 request or an OpenMetrics Accept header.
+func promExemplar(e *Exemplar) string {
+	if e == nil {
+		return ""
+	}
+	return fmt.Sprintf(" # {trace_id=%q} %s", e.TraceID, promFloat(e.Value))
+}
+
+func (r *Registry) writePrometheus(w io.Writer, exemplars bool) {
 	for _, f := range r.export() {
 		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
 		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
@@ -444,12 +511,24 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(s.labels), promFloat(v))
 			case "histogram":
 				upper, cum := s.hist.Buckets()
-				for i, ub := range upper {
-					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-						promLabels(s.labels, L("le", promFloat(ub))), cum[i])
+				var exs []*Exemplar
+				if exemplars {
+					exs = s.hist.BucketExemplars()
 				}
-				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
-					promLabels(s.labels, L("le", "+Inf")), s.hist.Count())
+				for i, ub := range upper {
+					suffix := ""
+					if exemplars && i < len(exs) {
+						suffix = promExemplar(exs[i])
+					}
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+						promLabels(s.labels, L("le", promFloat(ub))), cum[i], suffix)
+				}
+				suffix := ""
+				if exemplars && len(exs) > len(upper) {
+					suffix = promExemplar(exs[len(upper)])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+					promLabels(s.labels, L("le", "+Inf")), s.hist.Count(), suffix)
 				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(s.labels), promFloat(s.hist.Sum()))
 				fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(s.labels), s.hist.Count())
 			}
@@ -464,7 +543,7 @@ func (r *Registry) Snapshot() []Metric {
 	var out []Metric
 	for _, f := range r.export() {
 		for _, s := range f.series {
-			m := Metric{Name: f.name, Type: f.typ}
+			m := Metric{Name: f.name, Type: f.typ, Help: f.help}
 			if len(s.labels) > 0 {
 				m.Labels = map[string]string{}
 				for _, l := range s.labels {
@@ -486,11 +565,18 @@ func (r *Registry) Snapshot() []Metric {
 				m.Value = v
 			case "histogram":
 				upper, cum := s.hist.Buckets()
+				exs := s.hist.BucketExemplars()
 				m.Sum = s.hist.Sum()
 				m.Count = s.hist.Count()
 				m.Buckets = make([]Bucket, len(upper))
 				for i := range upper {
 					m.Buckets[i] = Bucket{LE: upper[i], Count: cum[i]}
+					if i < len(exs) {
+						m.Buckets[i].Exemplar = exs[i]
+					}
+				}
+				if len(exs) > len(upper) {
+					m.InfExemplar = exs[len(upper)]
 				}
 			}
 			out = append(out, m)
@@ -499,14 +585,32 @@ func (r *Registry) Snapshot() []Metric {
 	return out
 }
 
+// wantExemplars reports whether a scrape asked for exemplar suffixes —
+// either explicitly (?exemplars=1) or by accepting OpenMetrics. Classic
+// 0.0.4 text parsers reject the inline syntax, so it is opt-in.
+func wantExemplars(r *http.Request) bool {
+	return WantExemplars(r)
+}
+
+// WantExemplars reports whether a scrape request opted into exemplar
+// suffixes, either explicitly (?exemplars=1) or via an OpenMetrics
+// Accept header; federated expositions share the gate.
+func WantExemplars(r *http.Request) bool {
+	if r.URL.Query().Get("exemplars") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text")
+}
+
 // Handler serves the given registries concatenated in Prometheus text
 // format — typically the server's own registry plus Default() for the
 // package-level backend instruments.
 func Handler(regs ...*Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		ex := wantExemplars(r)
 		for _, reg := range regs {
-			reg.WritePrometheus(w)
+			reg.writePrometheus(w, ex)
 		}
 	})
 }
@@ -518,4 +622,92 @@ func SnapshotAll(regs ...*Registry) []Metric {
 		out = append(out, reg.Snapshot()...)
 	}
 	return out
+}
+
+// MetricsGroup is one source's snapshot in a federated exposition, with
+// extra labels (e.g. shard="2") stamped onto every series.
+type MetricsGroup struct {
+	Extra   []Label
+	Metrics []Metric
+}
+
+// WriteFederated renders several metric snapshots as one Prometheus text
+// exposition: families sharing a name across groups are merged under a
+// single HELP/TYPE header (first group's help wins), and each group's
+// series carry its extra labels. The frontend uses this to expose its
+// own registry unlabeled next to every shard's registry labeled
+// shard="N" on one scrape.
+func WriteFederated(w io.Writer, exemplars bool, groups ...MetricsGroup) {
+	type fedSeries struct {
+		m     Metric
+		extra []Label
+	}
+	type fedFamily struct {
+		name, help, typ string
+		series          []fedSeries
+	}
+	var order []string
+	families := map[string]*fedFamily{}
+	for _, g := range groups {
+		for _, m := range g.Metrics {
+			f, ok := families[m.Name]
+			if !ok {
+				f = &fedFamily{name: m.Name, help: m.Help, typ: m.Type}
+				families[m.Name] = f
+				order = append(order, m.Name)
+			}
+			if f.typ != m.Type {
+				// A name registered with different types across processes
+				// cannot merge; keep the first and drop the stragglers
+				// rather than emit an inconsistent exposition.
+				continue
+			}
+			if f.help == "" {
+				f.help = m.Help
+			}
+			f.series = append(f.series, fedSeries{m: m, extra: g.Extra})
+		}
+	}
+	for _, name := range order {
+		f := families[name]
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			labels := metricLabels(s.m, s.extra)
+			switch f.typ {
+			case "counter":
+				fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(labels),
+					strconv.FormatFloat(s.m.Value, 'f', -1, 64))
+			case "gauge":
+				fmt.Fprintf(w, "%s%s %s\n", f.name, promLabels(labels), promFloat(s.m.Value))
+			case "histogram":
+				for _, b := range s.m.Buckets {
+					suffix := ""
+					if exemplars {
+						suffix = promExemplar(b.Exemplar)
+					}
+					fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+						promLabels(labels, L("le", promFloat(b.LE))), b.Count, suffix)
+				}
+				suffix := ""
+				if exemplars {
+					suffix = promExemplar(s.m.InfExemplar)
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.name,
+					promLabels(labels, L("le", "+Inf")), s.m.Count, suffix)
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name, promLabels(labels), promFloat(s.m.Sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name, promLabels(labels), s.m.Count)
+			}
+		}
+	}
+}
+
+// metricLabels flattens a Metric's label map (sorted) plus extras.
+func metricLabels(m Metric, extra []Label) []Label {
+	var out []Label
+	for k, v := range m.Labels {
+		out = append(out, L(k, v))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return append(out, extra...)
 }

@@ -8,6 +8,10 @@ import (
 )
 
 // SlowEntry is one completed over-threshold request kept in the slow log.
+// The execution-context fields (Shards onward) distinguish the reasons a
+// request can be slow — a marked-partial scatter whose budget ran out is
+// a different incident than a clean slow scan, and /v1/debug/slow should
+// say which one happened.
 type SlowEntry struct {
 	Time       time.Time `json:"time"`
 	TraceID    string    `json:"trace_id"`
@@ -16,6 +20,14 @@ type SlowEntry struct {
 	Status     int       `json:"status"`
 	Detail     string    `json:"detail,omitempty"`
 	Trace      *SpanData `json:"trace,omitempty"`
+
+	Shards          int    `json:"shards,omitempty"`           // scatter fan-out (0 = local)
+	Fragments       int    `json:"fragments,omitempty"`        // plan fragments executed
+	CachedFrags     int    `json:"cached_fragments,omitempty"` // answered from a fragment cache
+	Partial         bool   `json:"partial,omitempty"`          // merged with failed shards
+	Degraded        string `json:"degraded,omitempty"`         // brownout mode served, if any
+	BudgetExhausted bool   `json:"budget_exhausted,omitempty"` // deadline budget ran out mid-plan
+	CacheSource     string `json:"cache_source,omitempty"`     // result | coalesced | fragment | coarse
 }
 
 // SlowLog is a bounded in-memory ring of slow-query entries, newest kept.

@@ -87,10 +87,11 @@ func scatterTasks(m ShardMap, rows uint64, mk func(RowRange) Fragment) []task {
 
 // runTasks scatters the tasks concurrently and collects partials. It
 // returns the per-task results (nil where a task failed), the sorted
-// distinct failed shard indices, and an error when the operation cannot
-// proceed: context canceled, a fatal (non-retryable) fragment error,
-// every task failed, or any task failed under FailFast.
-func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy) ([]*FragmentResult, []int, error) {
+// distinct failed shard indices, whether any failure was deadline-budget
+// exhaustion, and an error when the operation cannot proceed: context
+// canceled, a fatal (non-retryable) fragment error, every task failed,
+// or any task failed under FailFast.
+func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy) ([]*FragmentResult, []int, bool, error) {
 	sctx, scatterSpan := obs.StartSpan(ctx, "scatter")
 	scatterSpan.SetAttr("fragments", strconv.Itoa(len(tasks)))
 	if len(tasks) > 0 {
@@ -120,16 +121,17 @@ func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy)
 	wg.Wait()
 
 	if err := ctx.Err(); err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	var firstErr error
+	var exhausted bool
 	failed := map[int]bool{}
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
 		if fastquery.IsFatal(err) {
-			return nil, nil, err
+			return nil, nil, false, err
 		}
 		failed[tasks[i].shard] = true
 		if fastquery.IsExhausted(err) {
@@ -138,6 +140,7 @@ func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy)
 			// survivors merge into a marked partial. Escalating to an error
 			// would turn a request that still has time to ship a degraded
 			// answer into a 504.
+			exhausted = true
 			continue
 		}
 		if firstErr == nil {
@@ -145,14 +148,14 @@ func runTasks(ctx context.Context, r Runner, tasks []task, policy PartialPolicy)
 		}
 	}
 	if firstErr != nil && (policy == FailFast || len(failed) >= len(tasks)) {
-		return nil, nil, firstErr
+		return nil, nil, false, firstErr
 	}
 	shards := make([]int, 0, len(failed))
 	for s := range failed {
 		shards = append(shards, s)
 	}
 	sort.Ints(shards)
-	return results, shards, nil
+	return results, shards, exhausted, nil
 }
 
 // runWholesale executes a single whole-step fragment on its home shard.
@@ -197,11 +200,14 @@ func execCount(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner, 
 	if len(tasks) == 0 {
 		tasks = []task{{shard: 0, frag: q.fragment(FragCount, RowRange{})}}
 	}
-	parts, failedShards, err := runTasks(ctx, r, tasks, policy)
+	parts, failedShards, exhausted, err := runTasks(ctx, r, tasks, policy)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Mode: mode, Fragments: len(tasks), Failed: failedShards, Partial: len(failedShards) > 0}
+	res := &Result{
+		Mode: mode, Fragments: len(tasks), Failed: failedShards,
+		Partial: len(failedShards) > 0, BudgetExhausted: exhausted,
+	}
 	for _, p := range parts {
 		if p != nil {
 			res.Count += p.Count
@@ -227,7 +233,7 @@ func execHist1D(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner,
 				// Nothing survived to merge, but the contract holds under
 				// both policies: a spent budget yields a marked-partial
 				// empty histogram, never an error (which would be a 504).
-				res := &Result{Mode: mode, Fragments: 1}
+				res := &Result{Mode: mode, Fragments: 1, BudgetExhausted: true}
 				res.addFailed([]int{home})
 				res.Hist1, _ = mergeHist1(spec, nil)
 				return res, nil
@@ -250,12 +256,13 @@ func execHist1D(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner,
 		f.Spec1 = spec
 		return f
 	})
-	parts, failedShards, err := runTasks(ctx, r, tasks, policy)
+	parts, failedShards, exhausted, err := runTasks(ctx, r, tasks, policy)
 	if err != nil {
 		return nil, err
 	}
 	res.Fragments += len(tasks)
 	res.addFailed(failedShards)
+	res.BudgetExhausted = res.BudgetExhausted || exhausted
 	merged, err := mergeHist1(spec, parts)
 	if err != nil {
 		return nil, err
@@ -279,7 +286,7 @@ func execHist2D(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner,
 		part, home, err := runWholesale(ctx, m, r, f)
 		if err != nil {
 			if fastquery.IsExhausted(err) {
-				res := &Result{Mode: mode, Fragments: 1}
+				res := &Result{Mode: mode, Fragments: 1, BudgetExhausted: true}
 				res.addFailed([]int{home})
 				res.Hist2, _ = mergeHist2(spec, nil)
 				return res, nil
@@ -318,12 +325,13 @@ func execHist2D(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner,
 		f.Spec2 = spec
 		return f
 	})
-	parts, failedShards, err := runTasks(ctx, r, tasks, policy)
+	parts, failedShards, exhausted, err := runTasks(ctx, r, tasks, policy)
 	if err != nil {
 		return nil, err
 	}
 	res.Fragments += len(tasks)
 	res.addFailed(failedShards)
+	res.BudgetExhausted = res.BudgetExhausted || exhausted
 	merged, err := mergeHist2(spec, parts)
 	if err != nil {
 		return nil, err
@@ -342,12 +350,13 @@ func minmaxPhase(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner
 		f.Vars = vars
 		return f
 	})
-	parts, failedShards, err := runTasks(ctx, r, tasks, policy)
+	parts, failedShards, exhausted, err := runTasks(ctx, r, tasks, policy)
 	if err != nil {
 		return nil, err
 	}
 	res.Fragments += len(tasks)
 	res.addFailed(failedShards)
+	res.BudgetExhausted = res.BudgetExhausted || exhausted
 	_, span := obs.StartSpan(ctx, "merge-range")
 	merged := mergeRanges(vars, parts)
 	span.End()

@@ -189,6 +189,12 @@ type Result struct {
 	Partial bool
 	Failed  []int
 
+	// BudgetExhausted is true when at least one of the failed shards was
+	// lost to deadline-budget exhaustion rather than an outright error —
+	// the marker the slow-query log and explain surface expose so a
+	// degraded answer can be told apart from a shard outage.
+	BudgetExhausted bool
+
 	// Mode records how the plan executed ("scatter", "wholesale", or
 	// "local") and Fragments how many fragment executions it attempted,
 	// for stats and the benchmark harness.

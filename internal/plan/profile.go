@@ -1,0 +1,90 @@
+package plan
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// FragProfile is the execution profile of one plan fragment: what it
+// cost, where the answer came from, and how the budget machinery treated
+// it. Shard workers fill one per Exec and ship it beside the result (it
+// rides the ExecReply, never the cacheable FragmentResult, so a cached
+// fragment correctly reports zero cost); the local runner fills one
+// in-process. The frontend sums the Cost fields into query totals, and
+// the explain identity tests assert the sums are exact.
+type FragProfile struct {
+	Shard int    `json:"shard"`
+	Op    string `json:"op"`
+	Rows  [2]int `json:"rows"` // row range [lo, hi); [0,0] = whole step
+
+	Cached      bool   `json:"cached,omitempty"`       // answered without evaluation
+	CacheSource string `json:"cache_source,omitempty"` // "fragment" for the shard LRU
+
+	Cost   obs.CostSnapshot `json:"cost"`
+	EvalMS float64          `json:"eval_ms"`           // shard-side evaluation wall time
+	WaitMS float64          `json:"wait_ms,omitempty"` // shard-side admission wait
+
+	BudgetMS  int64  `json:"budget_ms,omitempty"` // deadline budget at dispatch (0 = unbudgeted)
+	Exhausted bool   `json:"exhausted,omitempty"` // failed because the budget ran out
+	Err       string `json:"err,omitempty"`       // failure, including refusals before dispatch
+}
+
+// Profile collects per-fragment profiles for one query. It rides the
+// request context (WithProfile / ProfileFromContext) so the scatter
+// client and the local runner can append from concurrent goroutines; a
+// nil *Profile swallows appends, so un-profiled requests pay one nil
+// check per fragment.
+type Profile struct {
+	mu    sync.Mutex
+	frags []FragProfile
+}
+
+// NewProfile creates an empty profile collector.
+func NewProfile() *Profile { return &Profile{} }
+
+// Add appends one fragment profile. Safe on nil.
+func (p *Profile) Add(fp FragProfile) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.frags = append(p.frags, fp)
+	p.mu.Unlock()
+}
+
+// Fragments returns a copy of the collected fragment profiles.
+func (p *Profile) Fragments() []FragProfile {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]FragProfile(nil), p.frags...)
+}
+
+// Totals sums the collected fragment costs — by construction the exact
+// sum of the per-fragment breakdown, which is the identity the explain
+// surface exposes.
+func (p *Profile) Totals() obs.CostSnapshot {
+	var t obs.CostSnapshot
+	for _, fp := range p.Fragments() {
+		t.Add(fp.Cost)
+	}
+	return t
+}
+
+type profileCtxKey struct{}
+
+// WithProfile returns a context carrying the profile collector.
+func WithProfile(ctx context.Context, p *Profile) context.Context {
+	return context.WithValue(ctx, profileCtxKey{}, p)
+}
+
+// ProfileFromContext returns the context's profile collector, or nil
+// when the request is not being profiled.
+func ProfileFromContext(ctx context.Context) *Profile {
+	p, _ := ctx.Value(profileCtxKey{}).(*Profile)
+	return p
+}

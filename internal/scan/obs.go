@@ -1,6 +1,8 @@
 package scan
 
 import (
+	"context"
+
 	"repro/internal/obs"
 )
 
@@ -24,11 +26,13 @@ func init() {
 }
 
 // observeScan records one completed scan pass over n rows taking sec
-// seconds.
-func observeScan(n int, sec float64) {
+// seconds, and charges the rows to the request's per-query cost
+// accumulator when the context carries one.
+func observeScan(ctx context.Context, n int, sec float64) {
 	metricScans.Inc()
 	metricScanRows.Add(uint64(n))
 	metricScanSeconds.Observe(sec)
+	obs.CostFromContext(ctx).AddRows(uint64(n))
 	if sec > 0 {
 		obs.Default().Gauge("scan_last_rows_per_second", "").Set(float64(n) / sec)
 	}

@@ -108,7 +108,7 @@ func SelectCtx(ctx context.Context, c Columns, e query.Expr) ([]uint64, error) {
 			out = append(out, uint64(row))
 		}
 	}
-	observeScan(n, time.Since(start).Seconds())
+	observeScan(ctx, n, time.Since(start).Seconds())
 	sp.End()
 	return out, nil
 }
@@ -139,7 +139,7 @@ func CountCtx(ctx context.Context, c Columns, e query.Expr) (uint64, error) {
 			cnt++
 		}
 	}
-	observeScan(n, time.Since(start).Seconds())
+	observeScan(ctx, n, time.Since(start).Seconds())
 	sp.End()
 	return cnt, nil
 }
@@ -209,7 +209,7 @@ func ConditionalHistogram2DCtx(ctx context.Context, c Columns, xvar, yvar string
 		}
 		counts[iy][ix]++
 	}
-	observeScan(len(xs), time.Since(start).Seconds())
+	observeScan(ctx, len(xs), time.Since(start).Seconds())
 	sp.End()
 	h := &histogram.Hist2D{
 		XVar: xvar, YVar: yvar,
@@ -258,7 +258,7 @@ func Histogram1DCtx(ctx context.Context, c Columns, v string, cond query.Expr, e
 			h.Counts[i]++
 		}
 	}
-	observeScan(len(vs), time.Since(start).Seconds())
+	observeScan(ctx, len(vs), time.Since(start).Seconds())
 	sp.End()
 	return h, nil
 }
@@ -305,7 +305,7 @@ func FindIDsCtx(ctx context.Context, ids []int64, searchSet []int64) ([]uint64, 
 			out = append(out, uint64(row))
 		}
 	}
-	observeScan(len(ids), time.Since(start).Seconds())
+	observeScan(ctx, len(ids), time.Since(start).Seconds())
 	sp.End()
 	return out, nil
 }

@@ -92,6 +92,8 @@ type QueryBody struct {
 	ElapsedMS    float64 `json:"elapsed_ms"`
 	// Trace is the request's span tree, included when ?debug=trace is set.
 	Trace *obs.SpanData `json:"trace,omitempty"`
+	// Explain is the execution profile, included when ?debug=explain is set.
+	Explain *ExplainBody `json:"explain,omitempty"`
 }
 
 // Hist1DBody is the /v1/hist1d response.
@@ -118,7 +120,8 @@ type Hist1DBody struct {
 	Partial      bool          `json:"partial,omitempty"`
 	FailedShards []int         `json:"failed_shards,omitempty"`
 	ElapsedMS    float64       `json:"elapsed_ms"`
-	Trace        *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+	Trace        *obs.SpanData `json:"trace,omitempty"`   // set with ?debug=trace
+	Explain      *ExplainBody  `json:"explain,omitempty"` // set with ?debug=explain
 }
 
 // Hist2DBody is the /v1/hist2d response. Counts are row-major:
@@ -144,7 +147,8 @@ type Hist2DBody struct {
 	Partial      bool          `json:"partial,omitempty"`
 	FailedShards []int         `json:"failed_shards,omitempty"`
 	ElapsedMS    float64       `json:"elapsed_ms"`
-	Trace        *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+	Trace        *obs.SpanData `json:"trace,omitempty"`   // set with ?debug=trace
+	Explain      *ExplainBody  `json:"explain,omitempty"` // set with ?debug=explain
 }
 
 // Sweep2DBody is the /v1/sweep2d response: one conditional 2D histogram
@@ -165,7 +169,8 @@ type Sweep2DBody struct {
 	Total     uint64        `json:"total"`
 	Failed    []int         `json:"failed,omitempty"` // steps with no result (partial sweeps)
 	ElapsedMS float64       `json:"elapsed_ms"`
-	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
+	Trace     *obs.SpanData `json:"trace,omitempty"`   // set with ?debug=trace
+	Explain   *ExplainBody  `json:"explain,omitempty"` // set with ?debug=explain
 }
 
 // BuildInfo is the binary/runtime identity block of /v1/stats.

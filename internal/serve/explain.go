@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/plan"
+	"repro/internal/shard"
+)
+
+// ExplainBody is the per-query execution profile returned with
+// ?debug=explain (embedded in the response) or ?explain=only (returned
+// instead of the answer). Fragments lists every fragment the plan
+// attempted — cache hits, budget refusals and transport failures
+// included — and Totals is the exact sum of the fragment costs, the
+// identity the explain tests assert.
+type ExplainBody struct {
+	TraceID  string `json:"trace_id,omitempty"`
+	Endpoint string `json:"endpoint"`
+	// Mode mirrors plan.Result.Mode: scatter, wholesale, or local.
+	Mode   string `json:"mode,omitempty"`
+	Shards int    `json:"shards"`
+
+	// Outcome is the result-cache disposition (computed | hit |
+	// coalesced); CacheSource names where a no-work answer came from:
+	// "result" (frontend result cache), "coalesced" (another request's
+	// in-flight computation), or "coarse" (brownout's coarser cached
+	// resolution). Empty means the plan actually executed.
+	Outcome     string `json:"outcome"`
+	CacheSource string `json:"cache_source,omitempty"`
+
+	Fragments       []plan.FragProfile `json:"fragments,omitempty"`
+	FragmentCount   int                `json:"fragment_count"`
+	CachedFragments int                `json:"cached_fragments"`
+	Totals          obs.CostSnapshot   `json:"totals"`
+
+	AdmissionWaitMS float64 `json:"admission_wait_ms"`
+	// BudgetLeftMS is the time left until the request deadline when the
+	// response was assembled; 0 when the request ran unbounded.
+	BudgetLeftMS float64 `json:"budget_left_ms,omitempty"`
+
+	Partial         bool   `json:"partial,omitempty"`
+	FailedShards    []int  `json:"failed_shards,omitempty"`
+	BudgetExhausted bool   `json:"budget_exhausted,omitempty"`
+	Degraded        string `json:"degraded,omitempty"`
+
+	// Replicas is the frontend's client-side view of each shard's
+	// replicas (health, circuit-breaker state) at respond time, present
+	// on scatter frontends only.
+	Replicas [][]shard.ReplicaStatus `json:"replicas,omitempty"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// explainOnlyBody wraps an explain profile when the caller asked for the
+// profile instead of the answer.
+type explainOnlyBody struct {
+	Explain *ExplainBody `json:"explain"`
+}
+
+// parseExplain reads the explain request knobs: ?debug=explain asks for
+// a profile beside the answer, ?explain=only for the profile alone.
+func parseExplain(r *http.Request) (explain, only bool) {
+	only = r.FormValue("explain") == "only"
+	return only || r.FormValue("debug") == "explain", only
+}
+
+// buildExplain assembles the explain body for one request from the
+// profile collector and the plan result (nil when the answer came from a
+// cache and no plan ran). ctx is the execution context when one was
+// derived (its deadline yields the remaining budget); nil on cache-peek
+// paths that never executed.
+func (s *Server) buildExplain(ctx context.Context, r *http.Request, req *request, endpoint string, res *plan.Result, outcome Outcome, degraded string, start time.Time) *ExplainBody {
+	eb := &ExplainBody{
+		Endpoint:        endpoint,
+		Shards:          1,
+		Outcome:         outcome.String(),
+		AdmissionWaitMS: req.waitMS,
+		ElapsedMS:       float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if sp := obs.SpanFromContext(r.Context()); sp != nil {
+		eb.TraceID = sp.TraceID()
+	}
+	if c := s.shardClient(); c != nil {
+		eb.Shards = c.Shards()
+		eb.Replicas = c.ReplicaStates()
+	}
+	switch {
+	case degraded == degradedCoarse:
+		eb.CacheSource = "coarse"
+	case outcome == Hit:
+		eb.CacheSource = "result"
+	case outcome == Coalesced:
+		eb.CacheSource = "coalesced"
+	}
+	eb.Degraded = degraded
+	if ctx != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			if left := time.Until(dl); left > 0 {
+				eb.BudgetLeftMS = float64(left) / float64(time.Millisecond)
+			}
+		}
+	}
+	if res != nil {
+		eb.Mode = res.Mode
+		eb.Partial = res.Partial
+		eb.FailedShards = res.Failed
+		eb.BudgetExhausted = res.BudgetExhausted
+	}
+	if req.prof != nil {
+		eb.Fragments = req.prof.Fragments()
+		eb.FragmentCount = len(eb.Fragments)
+		eb.Totals = req.prof.Totals()
+		for _, fp := range eb.Fragments {
+			if fp.Cached {
+				eb.CachedFragments++
+			}
+		}
+	}
+	return eb
+}
+
+// noteExplain records the request's plan shape in the slow-query note so
+// slow entries carry shard/fragment counts and degradation markers even
+// when no explain was requested. The note is written by the handler and
+// read by the middleware's finish on the same goroutine, so no lock.
+func (s *Server) noteExplain(r *http.Request, req *request, res *plan.Result, outcome Outcome, degraded string) {
+	n := noteFromContext(r.Context())
+	if n == nil {
+		return
+	}
+	n.shards = 1
+	if c := s.shardClient(); c != nil {
+		n.shards = c.Shards()
+	}
+	if res != nil {
+		n.fragments = res.Fragments
+		n.partial = res.Partial
+		n.budgetExhausted = res.BudgetExhausted
+	}
+	n.degraded = degraded
+	switch {
+	case degraded == degradedCoarse:
+		n.cacheSource = "coarse"
+	case outcome == Hit:
+		n.cacheSource = "result"
+	case outcome == Coalesced:
+		n.cacheSource = "coalesced"
+	}
+	if req.prof != nil {
+		for _, fp := range req.prof.Fragments() {
+			if fp.Cached {
+				n.cachedFrags++
+			}
+		}
+	}
+}
+
+// MetricsHandler returns the server's /metrics handler — federated
+// across the shard fleet on a scatter frontend — for mounting on an
+// admin mux next to pprof.
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(s.handleMetrics)
+}
+
+// handleMetrics serves /metrics. A plain server exposes its own registry
+// plus the process-wide default; a scatter frontend additionally polls
+// every shard worker's registry over RPC and merges the fleet into one
+// federated exposition, shard series labelled shard="N" and the
+// frontend's own series unlabelled.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := s.shardClient()
+	if c == nil {
+		obs.Handler(s.reg, obs.Default()).ServeHTTP(w, r)
+		return
+	}
+	groups := []obs.MetricsGroup{{Metrics: obs.SnapshotAll(s.reg, obs.Default())}}
+	for _, sm := range c.Metrics(r.Context(), 2*time.Second) {
+		if sm.Err != "" {
+			s.federationErrors.Inc()
+			continue
+		}
+		groups = append(groups, obs.MetricsGroup{
+			Extra:   []obs.Label{obs.L("shard", strconv.Itoa(sm.Shard))},
+			Metrics: sm.Metrics,
+		})
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.WriteFederated(w, obs.WantExemplars(r), groups...)
+}

@@ -1,12 +1,36 @@
 package serve
 
 import (
+	"context"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/obs"
 )
+
+// reqNote is the per-request execution note handlers fill in (via
+// noteExplain) and the middleware folds into slow-query entries: the
+// fields that distinguish a slow partial scatter from a clean slow scan.
+// Handler and middleware run on the same goroutine, so no lock.
+type reqNote struct {
+	shards          int
+	fragments       int
+	cachedFrags     int
+	partial         bool
+	budgetExhausted bool
+	degraded        string
+	cacheSource     string
+}
+
+type noteCtxKey struct{}
+
+// noteFromContext returns the request's execution note, or nil outside
+// the instrumented middleware.
+func noteFromContext(ctx context.Context) *reqNote {
+	n, _ := ctx.Value(noteCtxKey{}).(*reqNote)
+	return n
+}
 
 // serverMetrics binds the server's instruments to its registry. Request
 // counters are labelled by endpoint and status code; registration is
@@ -159,6 +183,8 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 			w.Header().Set("X-Trace-Id", tr.ID)
 			r = r.WithContext(obs.ContextWithSpan(r.Context(), tr.Root()))
 		}
+		note := &reqNote{}
+		r = r.WithContext(context.WithValue(r.Context(), noteCtxKey{}, note))
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		s.metrics.inflight.Add(1)
 		finished := false
@@ -167,14 +193,26 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 				return
 			}
 			finished = true
+			dur := time.Since(start)
 			s.metrics.inflight.Add(-1)
 			s.metrics.requests(endpoint, code).Inc()
-			s.metrics.seconds(endpoint).ObserveSince(start)
+			// An SLO-bad request is a server failure or an over-target
+			// latency: exactly the traffic that burns error budget. 499s
+			// (client went away) and shed 4xxs do not burn budget.
+			s.burn.Record(code < 500 && dur <= s.slo)
+			traceID := ""
+			if tr != nil {
+				traceID = tr.ID
+			}
+			// The exemplar links the latency bucket this request landed in
+			// back to its trace, so a scrape that shows a slow bucket also
+			// names a concrete request to pull up.
+			s.metrics.seconds(endpoint).ObserveWithExemplar(dur.Seconds(), traceID)
 			if tr == nil {
 				return
 			}
 			tr.Root().End()
-			if dur := time.Since(start); s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold {
+			if s.cfg.SlowThreshold > 0 && dur >= s.cfg.SlowThreshold {
 				s.metrics.slowQueries.Inc()
 				s.slowLog.Add(obs.SlowEntry{
 					Time:       time.Now(),
@@ -184,6 +222,14 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 					Status:     code,
 					Detail:     r.URL.RawQuery,
 					Trace:      tr.Data(),
+
+					Shards:          note.shards,
+					Fragments:       note.fragments,
+					CachedFrags:     note.cachedFrags,
+					Partial:         note.partial,
+					Degraded:        note.degraded,
+					BudgetExhausted: note.budgetExhausted,
+					CacheSource:     note.cacheSource,
 				})
 				s.logger.Info("slow query",
 					"endpoint", endpoint, "trace_id", tr.ID,

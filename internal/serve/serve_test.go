@@ -25,7 +25,7 @@ var (
 	datasetErr  error
 )
 
-func testDataDir(t *testing.T) string {
+func testDataDir(t testing.TB) string {
 	t.Helper()
 	datasetOnce.Do(func() {
 		dir, err := os.MkdirTemp("", "serve-test-*")
@@ -56,7 +56,7 @@ func TestMain(m *testing.M) {
 	os.Exit(code)
 }
 
-func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+func testServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	s := New(cfg)
 	if err := s.AddDataset("lwfa", testDataDir(t)); err != nil {

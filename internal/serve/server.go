@@ -80,6 +80,31 @@ type Config struct {
 	// resolution, or index-only approximation) under sustained pressure,
 	// instead of shedding.
 	Brownout bool
+
+	// BurnBudget is the tolerated bad-request fraction for the SLO
+	// burn-rate monitor (0 means the monitor default, 5%). A request is
+	// "bad" when it returns a 5xx or takes longer than SLO.
+	BurnBudget float64
+	// BurnFast and BurnSlow are the multi-window burn-rate lookbacks.
+	// Zero means the monitor defaults (5m / 1h).
+	BurnFast, BurnSlow time.Duration
+	// BurnThreshold is the burn rate both windows must reach to fire a
+	// breach (0 means 1.0 — consuming budget exactly as fast as it
+	// accrues).
+	BurnThreshold float64
+	// BurnCooldown is the minimum gap between breach firings (0 means
+	// the slow window).
+	BurnCooldown time.Duration
+
+	// ProfileDir, when set, arms the flight recorder: each SLO burn-rate
+	// breach captures CPU + heap profiles and the slow-query ring into a
+	// bounded spool of capture directories under this path.
+	ProfileDir string
+	// ProfileCaptures bounds the capture spool (0 means 8).
+	ProfileCaptures int
+	// ProfileCPU is the CPU-profile sampling window per capture (0 means
+	// 2s).
+	ProfileCPU time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +237,9 @@ type Server struct {
 	slowLog *obs.SlowLog
 	logger  *obs.Logger
 	started time.Time
+	slo     time.Duration       // latency target the burn monitor judges against
+	burn    *obs.BurnMonitor    // SLO burn-rate monitor fed by instrumented()
+	flight  *obs.FlightRecorder // nil unless ProfileDir armed it
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
@@ -219,15 +247,17 @@ type Server struct {
 	pool     *cluster.Pool // optional worker pool for /v1/sweep2d
 	shard    *shard.Client // optional scatter client: this server is a frontend
 
-	backendCalls *obs.Counter
-	canceled     *obs.Counter // requests abandoned by their client (499)
-	execTimeouts *obs.Counter // requests that hit ExecTimeout (504)
-	panics       *obs.Counter // handler panics converted to 500
-	probeBypass  *obs.Counter // cached-key probes answered without a gate slot
-	scatters     *obs.Counter // operations executed through the scatter client
-	scatterFrags *obs.Counter // plan fragments dispatched to shard workers
-	partials     *obs.Counter // responses merged without every shard
-	draining     atomic.Bool  // /readyz reports 503 while set
+	backendCalls     *obs.Counter
+	canceled         *obs.Counter // requests abandoned by their client (499)
+	execTimeouts     *obs.Counter // requests that hit ExecTimeout (504)
+	panics           *obs.Counter // handler panics converted to 500
+	probeBypass      *obs.Counter // cached-key probes answered without a gate slot
+	scatters         *obs.Counter // operations executed through the scatter client
+	scatterFrags     *obs.Counter // plan fragments dispatched to shard workers
+	partials         *obs.Counter // responses merged without every shard
+	explains         *obs.Counter // requests that asked for an execution profile
+	federationErrors *obs.Counter // shard scrapes that failed during /metrics federation
+	draining         atomic.Bool  // /readyz reports 503 while set
 
 	// brownoutSem bounds concurrent index-only brownout rescues so the
 	// degraded path cannot itself become the overload.
@@ -276,6 +306,62 @@ func New(cfg Config) *Server {
 		"Plan fragments dispatched to shard workers.")
 	s.partials = reg.Counter("serve_partial_total",
 		"Responses merged without every shard (degraded scatter answers).")
+	s.explains = reg.Counter("serve_explain_total",
+		"Requests that asked for a per-query execution profile (?debug=explain).")
+	s.federationErrors = reg.Counter("serve_federation_errors_total",
+		"Shard metric scrapes that failed during /metrics federation.")
+
+	// SLO burn-rate monitoring and breach-triggered capture. The monitor
+	// always runs (its gauges are the alerting surface); the flight
+	// recorder only when a spool directory was configured.
+	s.slo = cfg.SLO
+	if s.slo <= 0 {
+		s.slo = 250 * time.Millisecond
+	}
+	if cfg.ProfileDir != "" {
+		fr, err := obs.NewFlightRecorder(cfg.ProfileDir, cfg.ProfileCaptures, cfg.ProfileCPU)
+		if err != nil {
+			s.logger.Error("flight recorder disabled", "error", err.Error())
+		} else {
+			s.flight = fr
+		}
+	}
+	s.burn = obs.NewBurnMonitor(obs.BurnConfig{
+		Budget:    cfg.BurnBudget,
+		Fast:      cfg.BurnFast,
+		Slow:      cfg.BurnSlow,
+		Threshold: cfg.BurnThreshold,
+		Cooldown:  cfg.BurnCooldown,
+		OnBreach: func(fast, slow float64) {
+			s.logger.Error("SLO burn-rate breach",
+				"fast_burn", fmt.Sprintf("%.2f", fast),
+				"slow_burn", fmt.Sprintf("%.2f", slow),
+				"slo", s.slo.String())
+			s.flight.Capture(
+				fmt.Sprintf("slo-burn fast=%.2f slow=%.2f", fast, slow),
+				s.slowLog,
+				map[string]any{
+					"fast_burn": fast,
+					"slow_burn": slow,
+					"slo_ms":    float64(s.slo) / float64(time.Millisecond),
+				})
+		},
+	})
+	reg.GaugeFunc("serve_slo_burn_rate",
+		"SLO burn rate (bad fraction over error budget) per lookback window.",
+		s.burn.FastRate, obs.L("window", "fast"))
+	reg.GaugeFunc("serve_slo_burn_rate",
+		"SLO burn rate (bad fraction over error budget) per lookback window.",
+		s.burn.SlowRate, obs.L("window", "slow"))
+	reg.CounterFunc("serve_slo_breaches_total",
+		"Multi-window SLO burn-rate breaches fired.", s.burn.Breaches)
+	reg.CounterFunc("serve_flight_captures_total",
+		"Flight-recorder captures completed (profiles + slow log spooled to disk).",
+		func() uint64 { return s.flight.Captures() })
+	reg.CounterFunc("serve_flight_dropped_total",
+		"Flight-recorder capture requests dropped because one was already in flight.",
+		func() uint64 { return s.flight.Dropped() })
+
 	s.mux.HandleFunc("/healthz", s.instrumented("healthz", s.handleHealth))
 	s.mux.HandleFunc("/readyz", s.instrumented("readyz", s.handleReady))
 	s.mux.HandleFunc("/v1/datasets", s.instrumented("datasets", s.handleDatasets))
@@ -287,7 +373,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/sweep2d", s.instrumented("sweep2d", s.handleSweep2D))
 	s.mux.HandleFunc("/v1/ingest", s.instrumented("ingest", s.handleIngest))
 	s.mux.HandleFunc("/v1/stats", s.instrumented("stats", s.handleStats))
-	s.mux.Handle("/metrics", obs.Handler(reg, obs.Default()))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.Handle("/v1/debug/slow", s.slowLog.Handler())
 	return s
 }
@@ -727,6 +813,11 @@ type request struct {
 	src     string     // query text as received
 	plan    string     // canonical rendering, "" when expr == nil
 	backend fastquery.Backend
+
+	explain     bool          // ?debug=explain: attach an execution profile
+	explainOnly bool          // ?explain=only: return the profile instead of the answer
+	prof        *plan.Profile // per-fragment collector, nil unless explain
+	waitMS      float64       // frontend admission wait, for the profile
 }
 
 // parseRequest resolves dataset, step, condition and backend, validating
@@ -746,6 +837,9 @@ func (s *Server) parseRequest(r *http.Request, requireQuery bool) (*request, *ht
 		return nil, errf(http.StatusInternalServerError, "%v", err)
 	}
 	req := &request{d: d, st: st, t: t, gen: d.stepGen(t), src: r.FormValue("q")}
+	if req.explain, req.explainOnly = parseExplain(r); req.explain {
+		req.prof = plan.NewProfile()
+	}
 	if req.src == "" && requireQuery {
 		return nil, errf(http.StatusBadRequest, "missing q parameter")
 	}
@@ -872,10 +966,23 @@ func floatParam(r *http.Request, name string) (float64, *httpError) {
 func (s *Server) cacheDo(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (any, Outcome, error) {
 	ctx, sp := obs.StartSpan(ctx, "cache-lookup")
 	run := fn
-	if dl, ok := ctx.Deadline(); ok {
+	dl, hasDL := ctx.Deadline()
+	prof := plan.ProfileFromContext(ctx)
+	if hasDL || prof != nil {
 		run = func(fctx context.Context) (any, error) {
-			fctx, cancel := context.WithDeadline(fctx, dl)
-			defer cancel()
+			if hasDL {
+				var cancel context.CancelFunc
+				fctx, cancel = context.WithDeadline(fctx, dl)
+				defer cancel()
+			}
+			if prof != nil {
+				// The flight context is detached from the request, which
+				// drops context values: re-attach the initiating request's
+				// profile collector so the fragments the flight runs are
+				// attributed to it. Coalesced waiters never reach here, so
+				// they report zero fragments with cache_source "coalesced".
+				fctx = plan.WithProfile(fctx, prof)
+			}
 			return fn(fctx)
 		}
 	}
@@ -914,13 +1021,35 @@ type localRunner struct {
 	d *dataset
 }
 
-func (lr localRunner) RunFragment(ctx context.Context, _ int, f plan.Fragment) (*plan.FragmentResult, error) {
+func (lr localRunner) RunFragment(ctx context.Context, shardIdx int, f plan.Fragment) (*plan.FragmentResult, error) {
 	st, err := lr.d.step(f.Step)
 	if err != nil {
 		return nil, err
 	}
 	lr.s.backendCalls.Inc()
-	return shard.Eval(ctx, st, f)
+	profile := plan.ProfileFromContext(ctx)
+	if profile == nil {
+		return shard.Eval(ctx, st, f)
+	}
+	// Profiled request: charge the fragment's evaluation to a fresh cost
+	// accumulator, exactly the way a shard worker does, so local and
+	// scattered explains carry the same per-fragment breakdown.
+	cost := &obs.Cost{}
+	start := time.Now()
+	res, err := shard.Eval(obs.WithCost(ctx, cost), st, f)
+	fp := plan.FragProfile{
+		Shard:  shardIdx,
+		Op:     f.Op.String(),
+		Rows:   [2]int{int(f.Rows.Lo), int(f.Rows.Hi)},
+		Cost:   cost.Snapshot(),
+		EvalMS: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if err != nil {
+		fp.Err = err.Error()
+		fp.Exhausted = fastquery.IsExhausted(err)
+	}
+	profile.Add(fp)
+	return res, err
 }
 
 // execPlan runs one planned operation: scattered across the shard fleet
@@ -957,6 +1086,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := req.cacheKey("count")
+	var execCtx context.Context // set once execution starts; nil on peek hits
 	respond := func(val any, outcome Outcome) {
 		res := val.(*plan.Result)
 		rows := req.st.Rows()
@@ -964,8 +1094,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if rows > 0 {
 			sel = float64(res.Count) / float64(rows)
 		}
+		s.noteExplain(r, req, res, outcome, "")
 		markPartial(w, res)
-		writeBody(r, w, QueryBody{
+		body := QueryBody{
 			Dataset:      req.d.name,
 			Step:         req.t,
 			Query:        req.src,
@@ -979,13 +1110,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			FailedShards: res.Failed,
 			ElapsedMS:    float64(time.Since(start)) / float64(time.Millisecond),
 			Trace:        traceEcho(r),
-		})
+		}
+		if req.explain {
+			s.explains.Inc()
+			body.Explain = s.buildExplain(execCtx, r, req, "query", res, outcome, "", start)
+			if req.explainOnly {
+				writeBody(r, w, explainOnlyBody{Explain: body.Explain})
+				return
+			}
+		}
+		writeBody(r, w, body)
 	}
 	if val, ok := s.peekBypass(r, key); ok {
 		respond(val, Hit)
 		return
 	}
+	admitStart := time.Now()
 	release, aerr := s.admit(r, ClassDrill)
+	req.waitMS = float64(time.Since(admitStart)) / float64(time.Millisecond)
 	if aerr != nil {
 		s.writeShed(w, ClassDrill, aerr)
 		return
@@ -993,6 +1135,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	if req.prof != nil {
+		ctx = plan.WithProfile(ctx, req.prof)
+	}
+	execCtx = ctx
 	val, outcome, err := s.cacheDo(ctx, key, func(ctx context.Context) (any, error) {
 		return s.execPlan(ctx, req.d, req.planQuery(plan.OpCount), req.st.Rows())
 	})
@@ -1058,6 +1204,7 @@ func hist1DSpecKey(spec histogram.Spec1D) string {
 }
 
 func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec1D, start time.Time) {
+	var execCtx context.Context // set once execution starts; nil on peek/brownout hits
 	respond := func(val any, outcome Outcome, degraded string) {
 		res := val.(*plan.Result)
 		h := res.Hist1
@@ -1082,14 +1229,25 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 		if degraded != "" {
 			w.Header().Set("X-Degraded", degraded)
 		}
+		s.noteExplain(r, req, res, outcome, degraded)
 		markPartial(w, res)
+		if req.explain {
+			s.explains.Inc()
+			body.Explain = s.buildExplain(execCtx, r, req, "hist1d", res, outcome, degraded, start)
+			if req.explainOnly {
+				writeBody(r, w, explainOnlyBody{Explain: body.Explain})
+				return
+			}
+		}
 		writeBody(r, w, body)
 	}
 	if val, ok := s.peekBypass(r, req.cacheKey(hist1DSpecKey(spec))); ok {
 		respond(val, Hit, "")
 		return
 	}
+	admitStart := time.Now()
 	release, aerr := s.admit(r, ClassDrill)
+	req.waitMS = float64(time.Since(admitStart)) / float64(time.Millisecond)
 	if aerr != nil {
 		if shedErr(aerr) && s.tryBrownoutHist1D(r, req, spec, respond) {
 			return
@@ -1100,6 +1258,10 @@ func (s *Server) serveHist1D(w http.ResponseWriter, r *http.Request, req *reques
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	if req.prof != nil {
+		ctx = plan.WithProfile(ctx, req.prof)
+	}
+	execCtx = ctx
 	val, outcome, err := s.cacheDo(ctx, req.cacheKey(hist1DSpecKey(spec)), func(ctx context.Context) (any, error) {
 		pq := req.planQuery(plan.OpHist1D)
 		pq.Spec1 = spec
@@ -1176,6 +1338,7 @@ func hist2DSpecKey(spec histogram.Spec2D) string {
 }
 
 func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *request, spec histogram.Spec2D, start time.Time) {
+	var execCtx context.Context // set once execution starts; nil on peek/brownout hits
 	respond := func(val any, outcome Outcome, degraded string) {
 		res := val.(*plan.Result)
 		h := res.Hist2
@@ -1202,14 +1365,25 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 		if degraded != "" {
 			w.Header().Set("X-Degraded", degraded)
 		}
+		s.noteExplain(r, req, res, outcome, degraded)
 		markPartial(w, res)
+		if req.explain {
+			s.explains.Inc()
+			body.Explain = s.buildExplain(execCtx, r, req, "hist2d", res, outcome, degraded, start)
+			if req.explainOnly {
+				writeBody(r, w, explainOnlyBody{Explain: body.Explain})
+				return
+			}
+		}
 		writeBody(r, w, body)
 	}
 	if val, ok := s.peekBypass(r, req.cacheKey(hist2DSpecKey(spec))); ok {
 		respond(val, Hit, "")
 		return
 	}
+	admitStart := time.Now()
 	release, aerr := s.admit(r, ClassDrill)
+	req.waitMS = float64(time.Since(admitStart)) / float64(time.Millisecond)
 	if aerr != nil {
 		if shedErr(aerr) && s.tryBrownoutHist2D(r, req, spec, respond) {
 			return
@@ -1220,6 +1394,10 @@ func (s *Server) serveHist2D(w http.ResponseWriter, r *http.Request, req *reques
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	if req.prof != nil {
+		ctx = plan.WithProfile(ctx, req.prof)
+	}
+	execCtx = ctx
 	val, outcome, err := s.cacheDo(ctx, req.cacheKey(hist2DSpecKey(spec)), func(ctx context.Context) (any, error) {
 		pq := req.planQuery(plan.OpHist2D)
 		pq.Spec2 = spec
@@ -1303,7 +1481,9 @@ func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
 		writeError(w, herr.status, "%s", herr.msg)
 		return
 	}
+	admitStart := time.Now()
 	release, aerr := s.admit(r, ClassSweep)
+	req.waitMS = float64(time.Since(admitStart)) / float64(time.Millisecond)
 	if aerr != nil {
 		s.writeShed(w, ClassSweep, aerr)
 		return
@@ -1311,6 +1491,9 @@ func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
 	defer release()
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
+	if req.prof != nil {
+		ctx = plan.WithProfile(ctx, req.prof)
+	}
 
 	var hists []*histogram.Hist2D
 	var err error
@@ -1347,6 +1530,15 @@ func (s *Server) handleSweep2D(w http.ResponseWriter, r *http.Request) {
 		}
 		body.Totals[i] = h.Total()
 		body.Total += h.Total()
+	}
+	s.noteExplain(r, req, nil, Computed, "")
+	if req.explain {
+		s.explains.Inc()
+		body.Explain = s.buildExplain(ctx, r, req, "sweep2d", nil, Computed, "", start)
+		if req.explainOnly {
+			writeBody(r, w, explainOnlyBody{Explain: body.Explain})
+			return
+		}
 	}
 	writeBody(r, w, body)
 }

@@ -68,7 +68,24 @@ func (c *Client) RunFragment(ctx context.Context, shard int, f plan.Fragment) (*
 	if shard < 0 || shard >= len(c.pools) {
 		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(c.pools))
 	}
-	args := &ExecArgs{Frag: f, TraceID: obs.SpanFromContext(ctx).TraceID()}
+	// When the request is being profiled, ask the worker for a fragment
+	// profile and collect it (or a synthesized one for refusals and
+	// transport failures) so the explain surface accounts for every
+	// fragment the plan attempted.
+	profile := plan.ProfileFromContext(ctx)
+	fail := func(err error, exhausted bool) {
+		if profile == nil {
+			return
+		}
+		profile.Add(plan.FragProfile{
+			Shard:     shard,
+			Op:        f.Op.String(),
+			Rows:      [2]int{int(f.Rows.Lo), int(f.Rows.Hi)},
+			Exhausted: exhausted,
+			Err:       err.Error(),
+		})
+	}
+	args := &ExecArgs{Frag: f, TraceID: obs.SpanFromContext(ctx).TraceID(), Profile: profile != nil}
 	callCtx := ctx
 	if dl, ok := ctx.Deadline(); ok && c.slack >= 0 {
 		// Carve this fragment's sub-budget from the request deadline: the
@@ -79,8 +96,10 @@ func (c *Client) RunFragment(ctx context.Context, shard int, f plan.Fragment) (*
 		budget := time.Until(dl) - c.slack
 		if budget <= 0 {
 			metricBudgetSkips.Inc()
-			return nil, fastquery.Exhaustedf("shard %d: %v of deadline budget left, slack %v",
+			err := fastquery.Exhaustedf("shard %d: %v of deadline budget left, slack %v",
 				shard, time.Until(dl).Round(time.Millisecond), c.slack)
+			fail(err, true)
+			return nil, err
 		}
 		args.BudgetMS = int64(budget / time.Millisecond)
 		if args.BudgetMS == 0 {
@@ -100,12 +119,17 @@ func (c *Client) RunFragment(ctx context.Context, shard int, f plan.Fragment) (*
 			// budget exhaustion now, slack ahead of the request deadline,
 			// so the planner merges a marked partial instead of a 504.
 			metricBudgetSkips.Inc()
-			return nil, fastquery.Exhausted(err)
+			err = fastquery.Exhausted(err)
+			fail(err, true)
+			return nil, err
 		}
+		fail(err, fastquery.IsExhausted(err))
 		return nil, err
 	}
 	if reply.Result == nil {
-		return nil, fmt.Errorf("shard: shard %d returned no result", shard)
+		err := fmt.Errorf("shard: shard %d returned no result", shard)
+		fail(err, false)
+		return nil, err
 	}
 	if reply.SumOK {
 		// Verify the content checksum: gob decodes a byte-flipped float or
@@ -113,8 +137,24 @@ func (c *Client) RunFragment(ctx context.Context, shard int, f plan.Fragment) (*
 		// a silently wrong — and unmarked — answer.
 		if sum, ok := resultSum(reply.Result); ok && sum != reply.Sum {
 			metricReplyCorrupt.Inc()
-			return nil, fmt.Errorf("shard: shard %d reply failed checksum: transport corruption", shard)
+			err := fmt.Errorf("shard: shard %d reply failed checksum: transport corruption", shard)
+			fail(err, false)
+			return nil, err
 		}
+	}
+	if profile != nil {
+		fp := reply.Prof
+		if fp == nil {
+			// An older worker (or one restarted mid-rollout) that does not
+			// fill profiles still accounts for the fragment, with zero cost.
+			fp = &plan.FragProfile{
+				Op:     f.Op.String(),
+				Rows:   [2]int{int(f.Rows.Lo), int(f.Rows.Hi)},
+				Cached: reply.Cached,
+			}
+		}
+		fp.Shard = shard
+		profile.Add(*fp)
 	}
 	return reply.Result, nil
 }
@@ -171,6 +211,58 @@ func (c *Client) Stats(ctx context.Context, timeout time.Duration) []ShardStatus
 			}
 			cancel()
 			out[i] = st
+		}(i, p)
+	}
+	wg.Wait()
+	return out
+}
+
+// ReplicaStates returns every shard's client-side replica view (address,
+// health, breaker state) without any RPC — the failover context the
+// explain surface attaches to a profiled query.
+func (c *Client) ReplicaStates() [][]ReplicaStatus {
+	out := make([][]ReplicaStatus, len(c.pools))
+	for i, p := range c.pools {
+		for _, cl := range p.Callers() {
+			out[i] = append(out[i], ReplicaStatus{
+				Addr:    cl.Addr(),
+				Healthy: cl.Healthy(),
+				Breaker: cl.BreakerState().String(),
+			})
+		}
+	}
+	return out
+}
+
+// ShardMetrics is one shard worker's metrics snapshot (or the reason it
+// could not be scraped) in a federated poll.
+type ShardMetrics struct {
+	Shard   int
+	Err     string
+	Metrics []obs.Metric
+}
+
+// Metrics polls every shard worker's metrics registry over RPC for the
+// frontend's federated /metrics exposition. Like Stats, the shards are
+// polled concurrently under individual timeouts; a shard that cannot be
+// reached contributes an error marker instead of failing the scrape.
+func (c *Client) Metrics(ctx context.Context, timeout time.Duration) []ShardMetrics {
+	out := make([]ShardMetrics, len(c.pools))
+	var wg sync.WaitGroup
+	for i, p := range c.pools {
+		wg.Add(1)
+		go func(i int, p *cluster.Pool) {
+			defer wg.Done()
+			sm := ShardMetrics{Shard: i}
+			sctx, cancel := context.WithTimeout(ctx, timeout)
+			var reply MetricsReply
+			if err := p.CallOn(sctx, 0, "Shard.Metrics", &MetricsArgs{}, &reply, 0); err != nil {
+				sm.Err = err.Error()
+			} else {
+				sm.Metrics = reply.Metrics
+			}
+			cancel()
+			out[i] = sm
 		}(i, p)
 	}
 	wg.Wait()

@@ -64,7 +64,7 @@ func Eval(ctx context.Context, st *fastquery.Step, f plan.Fragment) (*plan.Fragm
 		}
 		res := &plan.FragmentResult{}
 		for _, v := range f.Vars {
-			vs, err := st.ValuesAt(v, pos)
+			vs, err := st.ValuesAtCtx(ctx, v, pos)
 			if err != nil {
 				return nil, err
 			}
@@ -78,7 +78,7 @@ func Eval(ctx context.Context, st *fastquery.Step, f plan.Fragment) (*plan.Fragm
 		if err != nil {
 			return nil, err
 		}
-		vs, err := st.ValuesAt(f.Spec1.Var, pos)
+		vs, err := st.ValuesAtCtx(ctx, f.Spec1.Var, pos)
 		if err != nil {
 			return nil, err
 		}
@@ -97,11 +97,11 @@ func Eval(ctx context.Context, st *fastquery.Step, f plan.Fragment) (*plan.Fragm
 		if err != nil {
 			return nil, err
 		}
-		xs, err := st.ValuesAt(f.Spec2.XVar, pos)
+		xs, err := st.ValuesAtCtx(ctx, f.Spec2.XVar, pos)
 		if err != nil {
 			return nil, err
 		}
-		ys, err := st.ValuesAt(f.Spec2.YVar, pos)
+		ys, err := st.ValuesAtCtx(ctx, f.Spec2.YVar, pos)
 		if err != nil {
 			return nil, err
 		}

@@ -151,26 +151,34 @@ func (e *Executor) Peek(f plan.Fragment) (*plan.FragmentResult, bool) {
 // possible. Cached results are shared and must be treated as read-only —
 // the planner's merge clones before mutating.
 func (e *Executor) Run(ctx context.Context, f plan.Fragment) (*plan.FragmentResult, error) {
+	res, _, err := e.RunCached(ctx, f)
+	return res, err
+}
+
+// RunCached is Run reporting whether the result came from the shard-local
+// cache, so the explain surface can mark cache-served fragments (which
+// correctly charged zero cost).
+func (e *Executor) RunCached(ctx context.Context, f plan.Fragment) (*plan.FragmentResult, bool, error) {
 	key := e.cacheKey(f)
 	if res, ok := e.cache.get(key); ok {
 		e.hits.Add(1)
 		metricFragHits.Inc()
-		return res, nil
+		return res, true, nil
 	}
 	e.misses.Add(1)
 	metricFragMisses.Inc()
 	st, err := e.step(f.Dataset, f.Step)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.evals.Add(1)
 	metricFragments.Inc()
 	res, err := Eval(ctx, st, f)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	e.cache.put(key, res)
-	return res, nil
+	return res, false, nil
 }
 
 // Stats snapshots the executor counters.

@@ -34,6 +34,10 @@ type ExecArgs struct {
 	// queue or mid-evaluation — once the budget expires, instead of
 	// burning capacity on an answer nobody can wait for.
 	BudgetMS int64
+	// Profile asks the worker to attach a per-fragment execution profile
+	// (resource costs, admission wait, cache disposition) to the reply,
+	// for the frontend's explain surface.
+	Profile bool
 }
 
 // ExecReply carries the fragment's mergeable partial result.
@@ -41,6 +45,10 @@ type ExecReply struct {
 	Result *plan.FragmentResult
 	Cached bool          // answered from the shard-local fragment cache
 	Trace  *obs.SpanData // shard-side span tree when TraceID was set
+	// Prof is the fragment execution profile when Profile was requested.
+	// It rides the reply, never the cacheable Result, so a cache-served
+	// fragment correctly reports zero cost.
+	Prof *plan.FragProfile
 	// Sum is a content checksum over Result (SumOK marks it present).
 	// net/rpc's gob stream carries no payload integrity of its own: a
 	// flipped byte inside a float or count payload decodes "successfully"
@@ -111,11 +119,25 @@ func (s *Service) Exec(args *ExecArgs, reply *ExecReply) (err error) {
 	}()
 	ctx, tr := shardTrace(args.TraceID, "shard:"+args.Frag.Op.String())
 	defer finishTrace(tr, &reply.Trace)
+	prof := func() *plan.FragProfile {
+		if !args.Profile {
+			return nil
+		}
+		return &plan.FragProfile{
+			Op:       args.Frag.Op.String(),
+			Rows:     [2]int{int(args.Frag.Rows.Lo), int(args.Frag.Rows.Hi)},
+			BudgetMS: args.BudgetMS,
+		}
+	}
 	if res, ok := s.ex.Peek(args.Frag); ok {
 		// A cached answer costs a map lookup; serve it even on a spent
 		// budget — it is faster than explaining the shed.
 		reply.Result, reply.Cached = res, true
 		reply.Sum, reply.SumOK = resultSum(res)
+		if fp := prof(); fp != nil {
+			fp.Cached, fp.CacheSource = true, "fragment"
+			reply.Prof = fp
+		}
 		return nil
 	}
 	if args.BudgetMS < 0 {
@@ -127,8 +149,13 @@ func (s *Service) Exec(args *ExecArgs, reply *ExecReply) (err error) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(args.BudgetMS)*time.Millisecond)
 		defer cancel()
 	}
+	fp := prof()
 	if s.admit != nil {
+		waitStart := time.Now()
 		release, aerr := s.admit(ctx)
+		if fp != nil {
+			fp.WaitMS = float64(time.Since(waitStart)) / float64(time.Millisecond)
+		}
 		if aerr != nil {
 			if args.BudgetMS > 0 && ctx.Err() == context.DeadlineExceeded {
 				// The budget expired while the fragment waited for a slot.
@@ -139,7 +166,21 @@ func (s *Service) Exec(args *ExecArgs, reply *ExecReply) (err error) {
 		}
 		defer release()
 	}
-	res, err := s.ex.Run(ctx, args.Frag)
+	var cost *obs.Cost
+	if fp != nil {
+		cost = &obs.Cost{}
+		ctx = obs.WithCost(ctx, cost)
+	}
+	evalStart := time.Now()
+	res, cached, err := s.ex.RunCached(ctx, args.Frag)
+	if fp != nil {
+		fp.EvalMS = float64(time.Since(evalStart)) / float64(time.Millisecond)
+		fp.Cost = cost.Snapshot()
+		if cached {
+			fp.Cached, fp.CacheSource = true, "fragment"
+		}
+		reply.Prof = fp
+	}
 	if err != nil {
 		if args.BudgetMS > 0 && ctx.Err() == context.DeadlineExceeded {
 			// Evaluation outran the budget: the row-checkpointed kernels
@@ -158,6 +199,22 @@ func (s *Service) Exec(args *ExecArgs, reply *ExecReply) (err error) {
 // fleet-wide /v1/stats aggregation.
 func (s *Service) Stats(args *StatsArgs, reply *StatsReply) error {
 	reply.Stats = s.ex.Stats()
+	return nil
+}
+
+// MetricsArgs is the (empty) request of Shard.Metrics.
+type MetricsArgs struct{}
+
+// MetricsReply carries one shard worker's full metrics snapshot for the
+// frontend's federated /metrics exposition.
+type MetricsReply struct {
+	Metrics []obs.Metric
+}
+
+// Metrics snapshots the worker's process-wide registry so the frontend
+// can expose a fleet-wide federated scrape with shard labels.
+func (s *Service) Metrics(args *MetricsArgs, reply *MetricsReply) error {
+	reply.Metrics = obs.Default().Snapshot()
 	return nil
 }
 

@@ -112,4 +112,24 @@ END {
 }
 ' "$OUT" || fail "scatter-gather series inconsistent"
 
+# 8. Observability-plane series: the explain counter, the multi-window
+# SLO burn-rate gauges, and the flight-recorder counters. Burn rates are
+# ratios (>= 0); a negative or missing window label means the monitor
+# wiring broke.
+for metric in \
+  serve_explain_total serve_federation_errors_total \
+  serve_slo_breaches_total serve_flight_captures_total serve_flight_dropped_total; do
+  grep -q "^$metric" "$OUT" || fail "missing required metric $metric"
+done
+for window in fast slow; do
+  grep -q "^serve_slo_burn_rate{window=\"$window\"}" "$OUT" \
+    || fail "serve_slo_burn_rate missing window=\"$window\" series"
+done
+awk '
+/^serve_slo_burn_rate\{/       { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+/^serve_slo_breaches_total /   { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+/^serve_flight_captures_total/ { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+END { exit bad }
+' "$OUT" || fail "observability series out of range"
+
 echo "check_metrics: OK ($(grep -cv '^#' "$OUT") samples, $(grep -c '^# TYPE' "$OUT") families)"
