@@ -97,6 +97,14 @@ func main() {
 		// responses; writes BENCH_shard.json with per-target percentiles
 		// and the frontend's fan-out stats.
 		shardBench = flag.Bool("shard-bench", false, "compare a sharded frontend against -baseline-url for identity and latency")
+
+		// Session comparison (-session-bench): replay brush → refine → track
+		// chains through /v1/session twice — once with incremental refine=and
+		// deltas (server-side bitmap reuse), once re-sending the folded
+		// conjunction from scratch — and write BENCH_session.json with both
+		// arms' refinement percentiles.
+		sessionBench   = flag.Bool("session-bench", false, "benchmark incremental session refinement against from-scratch evaluation")
+		sessionRefines = flag.Int("session-refines", 5, "refinement steps per session in -session-bench")
 	)
 	flag.Parse()
 	if *base == "" {
@@ -231,6 +239,19 @@ func main() {
 		report = rep
 		if *out == "" {
 			*out = "BENCH_shard.json"
+		}
+	case *sessionBench:
+		rep, err := lg.runSessionBench(*sessions, *concurrency, *sessionRefines, *xvar, *yvar)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if rep.Refine.P95MS >= rep.Scratch.P95MS {
+			log.Printf("warning: refine p95 %.3fms not below scratch p95 %.3fms",
+				rep.Refine.P95MS, rep.Scratch.P95MS)
+		}
+		report = rep
+		if *out == "" {
+			*out = "BENCH_session.json"
 		}
 	case *ingSteps > 0:
 		ires, err := lg.runIngestBench(ingestOptions{

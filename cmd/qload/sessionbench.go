@@ -1,0 +1,249 @@
+// Session-bench mode (-session-bench): replay the paper's brush → refine →
+// track loop against the analysis-session API and compare the two ways the
+// server can answer a refinement. The refine arm sends incremental deltas
+// (refine=and) so the server combines the stored WAH bitmap with the delta's
+// bitmap; the scratch arm re-evaluates the fully folded conjunction on every
+// step, which is what a session-less client would be forced to do. Both arms
+// run the same chain shape; thresholds carry a per-(session, arm) epsilon so
+// neither arm can be served out of a fragment cache warmed by the other.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/session"
+)
+
+// sessionBenchReport is the BENCH_session.json shape.
+type sessionBenchReport struct {
+	Sessions int `json:"sessions"`
+	Refines  int `json:"refines_per_session"`
+	// Refine is the incremental arm: stored-bitmap ∧ delta-bitmap.
+	Refine armSummary `json:"refine"`
+	// Scratch is the baseline arm: full folded-conjunction evaluation.
+	Scratch armSummary `json:"scratch"`
+	// SpeedupP95 is scratch p95 / refine p95; the session layer earns its
+	// keep only when this exceeds 1.
+	SpeedupP95 float64 `json:"speedup_p95"`
+	TrackP50MS float64 `json:"track_p50_ms"`
+	TrackP95MS float64 `json:"track_p95_ms"`
+	// Server-side confirmation that the refine arm actually reused bitmaps
+	// and the scratch arm actually re-evaluated: /v1/stats session counter
+	// deltas across the run.
+	ReuseDelta   uint64 `json:"refine_reuse_delta"`
+	ScratchDelta uint64 `json:"refine_scratch_delta"`
+	Errors       int    `json:"errors"`
+}
+
+// armSummary is one arm's latency distribution over all refinement requests.
+type armSummary struct {
+	Requests int     `json:"requests"`
+	P50MS    float64 `json:"p50_ms"`
+	P95MS    float64 `json:"p95_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	MaxMS    float64 `json:"max_ms"`
+}
+
+func (r *sessionBenchReport) print(w io.Writer) {
+	fmt.Fprintf(w, "session-bench: sessions %d  refines/session %d  errors %d\n",
+		r.Sessions, r.Refines, r.Errors)
+	for _, a := range []struct {
+		name string
+		s    armSummary
+	}{{"refine", r.Refine}, {"scratch", r.Scratch}} {
+		fmt.Fprintf(w, "%-8s n=%-5d p50 %.3fms  p95 %.3fms  mean %.3fms  max %.3fms\n",
+			a.name, a.s.Requests, a.s.P50MS, a.s.P95MS, a.s.MeanMS, a.s.MaxMS)
+	}
+	fmt.Fprintf(w, "speedup p95 %.2fx  track p50 %.3fms p95 %.3fms  server reuse +%d scratch +%d\n",
+		r.SpeedupP95, r.TrackP50MS, r.TrackP95MS, r.ReuseDelta, r.ScratchDelta)
+}
+
+// postJSON POSTs path (no body; session endpoints take query parameters)
+// and decodes the response into out.
+func (lg *loadgen) postJSON(path string, out any) error {
+	resp, err := lg.client.Post(lg.base+path, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: %d", path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sessionChain builds one session's predicate chain: the brush plus the
+// refinement deltas. jit perturbs every threshold so distinct (session, arm)
+// pairs canonicalize to distinct plans — otherwise the executor's fragment
+// cache would answer one arm with work the other arm paid for.
+func (lg *loadgen) sessionChain(refines int, jit float64, xvar, yvar string) (brush string, deltas []string) {
+	dx, dy := lg.xHi-lg.xLo, lg.yHi-lg.yLo
+	brush = fmt.Sprintf("%s > %g", yvar, lg.yLo+(0.55+jit)*dy)
+	for k := 1; k <= refines; k++ {
+		f := 0.04*float64(k) + jit
+		if k%2 == 1 {
+			deltas = append(deltas, fmt.Sprintf("%s > %g", xvar, lg.xLo+f*dx))
+		} else {
+			deltas = append(deltas, fmt.Sprintf("%s < %g", xvar, lg.xHi-f*dx))
+		}
+	}
+	return brush, deltas
+}
+
+func (lg *loadgen) selectPath(sid string, q, extra string) string {
+	p := fmt.Sprintf("/v1/session/%s/select?dataset=%s&step=%d&q=%s",
+		url.PathEscape(sid), url.QueryEscape(lg.dataset), lg.step, url.QueryEscape(q))
+	if lg.backend != "" {
+		p += "&backend=" + url.QueryEscape(lg.backend)
+	}
+	return p + extra
+}
+
+// sessionArm runs one arm's chain in a fresh session and returns the timed
+// refinement latencies. incremental selects use refine=and; the baseline
+// re-sends the folded conjunction as a fresh brush each step.
+func (lg *loadgen) sessionArm(incremental bool, refines int, jit float64, xvar, yvar string) (lats []time.Duration, track time.Duration, errs int) {
+	var info session.Info
+	if err := lg.postJSON("/v1/session", &info); err != nil {
+		return nil, 0, 1
+	}
+	defer lg.postDiscard("DELETE", "/v1/session/"+url.PathEscape(info.ID))
+
+	brush, deltas := lg.sessionChain(refines, jit, xvar, yvar)
+	var sel serve.SessionSelectBody
+	if err := lg.postJSON(lg.selectPath(info.ID, brush, ""), &sel); err != nil {
+		return nil, 0, 1
+	}
+	folded := brush
+	for _, d := range deltas {
+		var path string
+		if incremental {
+			path = lg.selectPath(info.ID, d, "&refine=and")
+		} else {
+			folded += " && " + d
+			path = lg.selectPath(info.ID, folded, "")
+		}
+		start := time.Now()
+		err := lg.postJSON(path, &sel)
+		lat := time.Since(start)
+		if err != nil {
+			errs++
+			continue
+		}
+		lats = append(lats, lat)
+	}
+	if incremental {
+		var tr serve.SessionTrackBody
+		tp := fmt.Sprintf("/v1/session/%s/track?name=sel", url.PathEscape(info.ID))
+		start := time.Now()
+		if err := lg.postJSON(tp, &tr); err != nil {
+			errs++
+		} else {
+			track = time.Since(start)
+		}
+	}
+	return lats, track, errs
+}
+
+// postDiscard issues a bodyless request of the given method, ignoring the
+// response; best-effort cleanup.
+func (lg *loadgen) postDiscard(method, path string) {
+	req, err := http.NewRequest(method, lg.base+path, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := lg.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}
+
+// runSessionBench replays sessions brush → refine×N → track chains through
+// both arms and reports per-arm refinement percentiles.
+func (lg *loadgen) runSessionBench(sessions, concurrency, refines int, xvar, yvar string) (*sessionBenchReport, error) {
+	before, err := lg.stats()
+	if err != nil {
+		return nil, err
+	}
+	if before.Sessions == nil {
+		return nil, fmt.Errorf("server does not expose session stats — too old for -session-bench?")
+	}
+
+	type outcome struct {
+		refine, scratch []time.Duration
+		track           time.Duration
+		errs            int
+	}
+	jobs := make(chan int)
+	outcomes := make(chan outcome, sessions)
+	for w := 0; w < concurrency; w++ {
+		go func() {
+			for i := range jobs {
+				var o outcome
+				// Distinct epsilon per (session, arm): 2i for the refine
+				// arm, 2i+1 for the scratch arm.
+				var e int
+				o.refine, o.track, e = lg.sessionArm(true, refines, 1e-4*float64(2*i), xvar, yvar)
+				o.errs += e
+				o.scratch, _, e = lg.sessionArm(false, refines, 1e-4*float64(2*i+1), xvar, yvar)
+				o.errs += e
+				outcomes <- o
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < sessions; i++ {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	rep := &sessionBenchReport{Sessions: sessions, Refines: refines}
+	var refineAll, scratchAll, trackAll []time.Duration
+	for i := 0; i < sessions; i++ {
+		o := <-outcomes
+		refineAll = append(refineAll, o.refine...)
+		scratchAll = append(scratchAll, o.scratch...)
+		if o.track > 0 {
+			trackAll = append(trackAll, o.track)
+		}
+		rep.Errors += o.errs
+	}
+	fillArm(&rep.Refine, refineAll)
+	fillArm(&rep.Scratch, scratchAll)
+	if rep.Refine.P95MS > 0 {
+		rep.SpeedupP95 = rep.Scratch.P95MS / rep.Refine.P95MS
+	}
+	rep.TrackP50MS = percentileMS(trackAll, 50)
+	rep.TrackP95MS = percentileMS(trackAll, 95)
+
+	after, err := lg.stats()
+	if err != nil {
+		return nil, err
+	}
+	if after.Sessions != nil {
+		rep.ReuseDelta = after.Sessions.RefineReuse - before.Sessions.RefineReuse
+		rep.ScratchDelta = after.Sessions.RefineScratch - before.Sessions.RefineScratch
+	}
+	return rep, nil
+}
+
+func fillArm(a *armSummary, lats []time.Duration) {
+	a.Requests = len(lats)
+	a.P50MS = percentileMS(lats, 50)
+	a.P95MS = percentileMS(lats, 95)
+	a.MeanMS = meanMS(lats)
+	for _, d := range lats {
+		if ms := float64(d) / float64(time.Millisecond); ms > a.MaxMS {
+			a.MaxMS = ms
+		}
+	}
+}

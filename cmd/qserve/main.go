@@ -139,6 +139,11 @@ func main() {
 		profileCaps   = flag.Int("profile-captures", 8, "flight-recorder spool bound (capture directories kept)")
 		profileCPU    = flag.Duration("profile-cpu", 2*time.Second, "CPU-profile sampling window per flight-recorder capture")
 
+		// Analysis sessions (server-side selections).
+		sessionTTL      = flag.Duration("session-ttl", 15*time.Minute, "evict analysis sessions idle longer than this (0 = never)")
+		sessionMax      = flag.Int("session-max", 64, "max live analysis sessions, LRU-evicted (0 = unbounded)")
+		sessionMaxBytes = flag.Int64("session-max-bytes", 64<<20, "max bytes of stored selections across sessions (0 = unbounded)")
+
 		// Resilience control plane (frontend role).
 		breaker     = flag.Bool("breaker", true, "frontend role: per-replica circuit breakers on shard RPCs")
 		retryBudget = flag.Float64("retry-budget", 0.1, "frontend role: global retry budget refill ratio — retry tokens granted per successful call (0 disables)")
@@ -203,6 +208,21 @@ func main() {
 		ProfileDir:      *profileDir,
 		ProfileCaptures: *profileCaps,
 		ProfileCPU:      *profileCPU,
+
+		SessionTTL:      *sessionTTL,
+		SessionMax:      *sessionMax,
+		SessionMaxBytes: *sessionMaxBytes,
+	}
+	// Flag semantics: 0 disables a session bound; Config expresses that as
+	// a negative value (its zero means "use the default").
+	if *sessionTTL <= 0 {
+		cfg.SessionTTL = -1
+	}
+	if *sessionMax <= 0 {
+		cfg.SessionMax = -1
+	}
+	if *sessionMaxBytes <= 0 {
+		cfg.SessionMaxBytes = -1
 	}
 	// Flag semantics: 0 disables the deadline; Config expresses that as a
 	// negative value (its own zero means "use the default").

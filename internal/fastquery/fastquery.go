@@ -272,6 +272,25 @@ func (st *Step) idVar() string {
 	return "id"
 }
 
+// IDVar returns the name of the identifier column this step resolves ID
+// queries against ("id" unless the index metadata names another).
+func (st *Step) IDVar() string { return st.idVar() }
+
+// IDsAtCtx gathers the identifier column's values at the given sorted row
+// positions — the particle-tracking handoff: a selection's positions
+// become the ID set that an `id in (...)` predicate follows across steps.
+func (st *Step) IDsAtCtx(ctx context.Context, positions []uint64) ([]int64, error) {
+	vals, err := st.file.ReadFloat64AtCost(st.idVar(), positions, obs.CostFromContext(ctx))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(vals))
+	for i, v := range vals {
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
 // reader adapts the colstore file to fastbit's RawReader, charging raw
 // reads to the per-query cost accumulator when one is attached.
 type reader struct {

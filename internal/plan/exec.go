@@ -59,6 +59,8 @@ func Execute(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner, po
 		return execHist1D(ctx, q, m, rows, r, policy)
 	case OpHist2D:
 		return execHist2D(ctx, q, m, rows, r, policy)
+	case OpSelect:
+		return execSelect(ctx, q, m, rows, r, policy)
 	default:
 		return nil, fmt.Errorf("plan: unknown op %v", q.Op)
 	}
@@ -210,6 +212,49 @@ func execCount(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner, 
 	}
 	for _, p := range parts {
 		if p != nil {
+			res.Count += p.Count
+		}
+	}
+	return res, nil
+}
+
+// execSelect scatters FragSelect fragments and merges the per-shard
+// position lists. Shard row ranges are contiguous, disjoint and ascending
+// by shard index, and each partial is sorted within its range, so
+// concatenation in task order yields the globally sorted position list —
+// identical to the single-process selection regardless of the split.
+func execSelect(ctx context.Context, q Query, m ShardMap, rows uint64, r Runner, policy PartialPolicy) (*Result, error) {
+	mode := "scatter"
+	if m.Shards <= 1 {
+		mode = "local"
+	}
+	tasks := scatterTasks(m, rows, func(rr RowRange) Fragment {
+		if m.Shards <= 1 {
+			rr = RowRange{} // whole step: one fragment, no clipping
+		}
+		return q.fragment(FragSelect, rr)
+	})
+	if len(tasks) == 0 { // zero-row step: nothing to select
+		return &Result{Mode: mode}, nil
+	}
+	parts, failedShards, exhausted, err := runTasks(ctx, r, tasks, policy)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Mode: mode, Fragments: len(tasks), Failed: failedShards,
+		Partial: len(failedShards) > 0, BudgetExhausted: exhausted,
+	}
+	total := 0
+	for _, p := range parts {
+		if p != nil {
+			total += len(p.Sel)
+		}
+	}
+	res.Sel = make([]uint64, 0, total)
+	for _, p := range parts {
+		if p != nil {
+			res.Sel = append(res.Sel, p.Sel...)
 			res.Count += p.Count
 		}
 	}

@@ -28,6 +28,10 @@ const (
 	OpHist1D
 	// OpHist2D builds a conditional 2D histogram.
 	OpHist2D
+	// OpSelect materializes the matching row positions — the analysis-
+	// session primitive: the serving layer compresses the merged positions
+	// into a selection bitmap it can refine incrementally.
+	OpSelect
 )
 
 func (o Op) String() string {
@@ -38,6 +42,8 @@ func (o Op) String() string {
 		return "hist1d"
 	case OpHist2D:
 		return "hist2d"
+	case OpSelect:
+		return "select"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
 	}
@@ -65,6 +71,11 @@ const (
 	FragWhole1D
 	// FragWhole2D is FragWhole1D for 2D specs.
 	FragWhole2D
+	// FragSelect returns the sorted matching row positions inside the
+	// fragment's row range. Shard ranges are contiguous and disjoint, so
+	// partials merge by concatenation in shard order and the union is
+	// byte-identical to a single-process selection.
+	FragSelect
 )
 
 func (o FragOp) String() string {
@@ -81,6 +92,8 @@ func (o FragOp) String() string {
 		return "whole1d"
 	case FragWhole2D:
 		return "whole2d"
+	case FragSelect:
+		return "select"
 	default:
 		return fmt.Sprintf("FragOp(%d)", int(o))
 	}
@@ -172,10 +185,11 @@ type VarRange struct {
 // FragmentResult is the mergeable partial a shard returns for a fragment.
 // Exactly one field group is populated, per the fragment's Op.
 type FragmentResult struct {
-	Count  uint64            // FragCount
+	Count  uint64            // FragCount / FragSelect (position count)
 	MinMax []VarRange        // FragMinMax
 	Hist1  *histogram.Hist1D // FragHist1D / FragWhole1D
 	Hist2  *histogram.Hist2D // FragHist2D / FragWhole2D
+	Sel    []uint64          // FragSelect: sorted global row positions
 }
 
 // Result is the merged answer the planner returns to the serving layer.
@@ -183,6 +197,9 @@ type Result struct {
 	Count uint64
 	Hist1 *histogram.Hist1D
 	Hist2 *histogram.Hist2D
+	// Sel is OpSelect's answer: the sorted matching row positions over the
+	// whole step (the concatenation of the per-shard partials).
+	Sel []uint64
 
 	// Partial is true when one or more shards failed and the policy
 	// allowed merging the survivors; Failed lists the dead shards.

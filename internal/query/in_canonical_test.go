@@ -1,0 +1,82 @@
+// Property tests for identifier-membership predicates: the `id in (…)`
+// expressions that analysis sessions ship to shards as text must survive
+// canonicalization and a String → Parse round trip with their sorted,
+// deduplicated value set and their semantics intact.
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInCanonicalStringParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		vals := make([]float64, n)
+		for i := range vals {
+			// Duplicate-heavy integral IDs, the tracking workload.
+			vals[i] = float64(rng.Intn(n))
+		}
+		orig := NewIn("id", vals)
+		canon := Canonical(orig)
+		text := canon.String()
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("trial %d: Parse(%q): %v", trial, text, err)
+		}
+		if got := Canonical(back).String(); got != text {
+			t.Fatalf("trial %d: round trip %q -> %q", trial, text, got)
+		}
+		in, ok := Canonical(back).(*In)
+		if !ok {
+			t.Fatalf("trial %d: canonical form is %T, want *In", trial, Canonical(back))
+		}
+		for i := 1; i < len(in.Values); i++ {
+			if in.Values[i-1] >= in.Values[i] {
+				t.Fatalf("trial %d: values not strictly ascending after round trip: %v", trial, in.Values)
+			}
+		}
+		// Semantics: membership agrees with the original for every probed ID.
+		for probe := 0; probe < n+2; probe++ {
+			v := float64(probe)
+			if orig.Contains(v) != in.Contains(v) {
+				t.Fatalf("trial %d: Contains(%g) diverged after round trip", trial, v)
+			}
+		}
+	}
+}
+
+func TestInDedupSortThroughConjunction(t *testing.T) {
+	// An In folded into a refinement chain must round-trip inside the
+	// composite expression the session layer builds.
+	in := NewIn("id", []float64{9, 1, 5, 1, 9})
+	if len(in.Values) != 3 || in.Values[0] != 1 || in.Values[2] != 9 {
+		t.Fatalf("NewIn dedup/sort: %v", in.Values)
+	}
+	chain := &And{Terms: []Expr{
+		MustParse("px > 0.25"),
+		&Not{Term: in},
+	}}
+	text := Canonical(chain).String()
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	if got := Canonical(back).String(); got != text {
+		t.Fatalf("composite round trip %q -> %q", text, got)
+	}
+	// Semantics spot-check: inside the In and below the threshold → out.
+	probe := func(id, px float64) bool {
+		return Canonical(back).Eval(row(map[string]float64{"id": id, "px": px}))
+	}
+	if probe(5, 1) {
+		t.Error("id=5 excluded by !(id in …) still matched")
+	}
+	if !probe(4, 1) {
+		t.Error("id=4 px=1 should match")
+	}
+	if probe(4, 0) {
+		t.Error("px=0 fails the threshold but matched")
+	}
+}

@@ -20,6 +20,7 @@ package serve
 import (
 	"repro/internal/fastquery"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/shard"
 )
 
@@ -208,6 +209,9 @@ type StatsBody struct {
 	// Sharding is present on a scatter-gather frontend: the fleet-wide
 	// aggregate plus each shard's executor snapshot and pool counters.
 	Sharding *ShardingStats `json:"sharding,omitempty"`
+	// Sessions is the analysis-session store's state: live sessions,
+	// stored selection bytes, refinement reuse and eviction counters.
+	Sessions *session.Stats `json:"sessions,omitempty"`
 	Build    BuildInfo      `json:"build"`
 	Metrics  []obs.Metric   `json:"metrics"`
 }
@@ -256,6 +260,104 @@ type IngestBody struct {
 	// Dataset may instead be given as a ?dataset= query parameter.
 	Dataset string         `json:"dataset,omitempty"`
 	Columns []IngestColumn `json:"columns"`
+}
+
+// SessionListBody is the GET /v1/session response.
+type SessionListBody struct {
+	Sessions []session.Info `json:"sessions"`
+}
+
+// SessionSelectBody is the POST /v1/session/{id}/select response: the
+// selection summary after evaluating (or incrementally refining) a named
+// server-side selection.
+type SessionSelectBody struct {
+	Session string `json:"session"`
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Step    int    `json:"step"`
+	Query   string `json:"query"` // delta predicate as received
+	Plan    string `json:"plan"`  // delta predicate, canonical
+	// Expr is the canonical effective predicate after this operation — the
+	// whole refinement chain folded into one parseable expression.
+	Expr    string `json:"expr"`
+	Backend string `json:"backend"`
+	// Refine is the refinement mode applied ("" for a fresh selection);
+	// Refines counts the chain's incremental refinements so far; Reused
+	// reports whether the stored bitmap was reused (only the delta
+	// predicate evaluated) rather than re-evaluating from scratch.
+	Refine      string  `json:"refine,omitempty"`
+	Refines     int     `json:"refines,omitempty"`
+	Reused      bool    `json:"reused,omitempty"`
+	Rows        uint64  `json:"rows"`
+	Matches     uint64  `json:"matches"`
+	Selectivity float64 `json:"selectivity"`
+	// Stored is false when the result was refused storage: a partial merge
+	// must never become the authoritative selection. SizeBytes is the
+	// stored selection's accounted memory.
+	SizeBytes int64 `json:"size_bytes,omitempty"`
+	Stored    bool  `json:"stored"`
+	// Partial marks a scatter-gather answer merged without the shards in
+	// FailedShards; see QueryBody. Mirrored by X-Partial.
+	Partial      bool          `json:"partial,omitempty"`
+	FailedShards []int         `json:"failed_shards,omitempty"`
+	ElapsedMS    float64       `json:"elapsed_ms"`
+	Trace        *obs.SpanData `json:"trace,omitempty"`   // set with ?debug=trace
+	Explain      *ExplainBody  `json:"explain,omitempty"` // set with ?debug=explain
+}
+
+// SessionTrackBody is the POST /v1/session/{id}/track response: the
+// selection's particle IDs followed across timesteps, one membership
+// count per step.
+type SessionTrackBody struct {
+	Session string `json:"session"`
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Step    int    `json:"step"` // the step the selection was brushed on
+	Backend string `json:"backend"`
+	IDVar   string `json:"id_var"`
+	IDs     int    `json:"ids"`  // particles followed
+	Expr    string `json:"expr"` // canonical id-membership predicate
+	Steps   []int  `json:"steps"`
+	// Counts[i] is how many of the selected IDs appear at Steps[i].
+	Counts []uint64 `json:"counts"`
+	// Stored is false when the track was refused storage because a step in
+	// FailedSteps merged without every shard (store-or-reject).
+	Stored      bool          `json:"stored"`
+	Partial     bool          `json:"partial,omitempty"`
+	FailedSteps []int         `json:"failed_steps,omitempty"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+	Trace       *obs.SpanData `json:"trace,omitempty"`   // set with ?debug=trace
+	Explain     *ExplainBody  `json:"explain,omitempty"` // set with ?debug=explain
+}
+
+// ViewPanel is one conditional 1D histogram panel of a views response.
+type ViewPanel struct {
+	Var    string    `json:"var"`
+	Edges  []float64 `json:"edges"`
+	Counts []uint64  `json:"counts"`
+	Total  uint64    `json:"total"`
+}
+
+// SessionViewsBody is the GET /v1/session/{id}/views JSON response (the
+// format=png variant streams a parallel-coordinates PNG instead).
+type SessionViewsBody struct {
+	Session string `json:"session"`
+	Name    string `json:"name"`
+	Dataset string `json:"dataset"`
+	Step    int    `json:"step"`
+	Backend string `json:"backend"`
+	// Expr is the predicate the view renders under: the selection's
+	// effective expression, or the tracked ID-membership predicate once
+	// the selection has been tracked (Temporal true, Steps the tracked
+	// steps).
+	Expr      string        `json:"expr"`
+	Vars      []string      `json:"vars"`
+	Steps     []int         `json:"steps"`
+	Temporal  bool          `json:"temporal"`
+	Panels    []ViewPanel   `json:"panels"`
+	Partial   bool          `json:"partial,omitempty"`
+	ElapsedMS float64       `json:"elapsed_ms"`
+	Trace     *obs.SpanData `json:"trace,omitempty"` // set with ?debug=trace
 }
 
 // IngestResponse acknowledges a durably committed timestep.

@@ -23,6 +23,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/query"
+	"repro/internal/session"
 	"repro/internal/shard"
 )
 
@@ -105,6 +106,16 @@ type Config struct {
 	// ProfileCPU is the CPU-profile sampling window per capture (0 means
 	// 2s).
 	ProfileCPU time.Duration
+
+	// SessionTTL evicts analysis sessions idle longer than this (0 means
+	// 15m; negative disables TTL eviction).
+	SessionTTL time.Duration
+	// SessionMax bounds live analysis sessions, LRU-evicted (0 means 64;
+	// negative unbounded).
+	SessionMax int
+	// SessionMaxBytes bounds total stored selection bytes across sessions
+	// (0 means 64 MiB; negative unbounded).
+	SessionMaxBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -232,14 +243,15 @@ type Server struct {
 	gate  *Gate
 	mux   *http.ServeMux
 
-	reg     *obs.Registry
-	metrics *serverMetrics
-	slowLog *obs.SlowLog
-	logger  *obs.Logger
-	started time.Time
-	slo     time.Duration       // latency target the burn monitor judges against
-	burn    *obs.BurnMonitor    // SLO burn-rate monitor fed by instrumented()
-	flight  *obs.FlightRecorder // nil unless ProfileDir armed it
+	reg      *obs.Registry
+	metrics  *serverMetrics
+	slowLog  *obs.SlowLog
+	logger   *obs.Logger
+	started  time.Time
+	slo      time.Duration       // latency target the burn monitor judges against
+	burn     *obs.BurnMonitor    // SLO burn-rate monitor fed by instrumented()
+	flight   *obs.FlightRecorder // nil unless ProfileDir armed it
+	sessions *session.Manager    // analysis sessions: named selections + tracks
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
@@ -375,6 +387,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/stats", s.instrumented("stats", s.handleStats))
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.Handle("/v1/debug/slow", s.slowLog.Handler())
+	s.registerSessions()
 	return s
 }
 
@@ -658,6 +671,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Build:        s.buildInfo(),
 		Metrics:      obs.SnapshotAll(s.reg, obs.Default()),
 	}
+	sess := s.sessions.Stats()
+	body.Sessions = &sess
 	s.mu.RLock()
 	for _, name := range s.order {
 		d := s.datasets[name]

@@ -57,6 +57,16 @@ func Eval(ctx context.Context, st *fastquery.Step, f plan.Fragment) (*plan.Fragm
 		}
 		return &plan.FragmentResult{Count: uint64(len(pos))}, nil
 
+	case plan.FragSelect:
+		pos, err := selectRange(ctx, st, expr, f.Backend, f.Rows)
+		if err != nil {
+			return nil, err
+		}
+		// Clone: selectRange may return a sub-slice of a shared buffer, and
+		// cached fragment results must not alias each other's backing arrays.
+		sel := append([]uint64(nil), pos...)
+		return &plan.FragmentResult{Sel: sel, Count: uint64(len(sel))}, nil
+
 	case plan.FragMinMax:
 		pos, err := selectRange(ctx, st, expr, f.Backend, f.Rows)
 		if err != nil {

@@ -132,4 +132,31 @@ awk '
 END { exit bad }
 ' "$OUT" || fail "observability series out of range"
 
+# 9. Analysis-session series: the gauges and counters the session layer
+# exports, with reason-labeled evictions. Gauges are sizes (>= 0). With
+# REQUIRE_SESSION_REUSE=1 (set by CI jobs that just drove a refinement
+# workload) the reuse counter must actually have incremented.
+for metric in \
+  session_active session_selections session_bytes \
+  session_refine_reuse_total session_refine_scratch_total \
+  session_partial_rejects_total; do
+  grep -q "^$metric" "$OUT" || fail "missing required metric $metric"
+done
+for reason in ttl count bytes; do
+  grep -q "^session_evictions_total{reason=\"$reason\"}" "$OUT" \
+    || fail "session_evictions_total missing reason=\"$reason\" series"
+done
+awk -v need_reuse="${REQUIRE_SESSION_REUSE:-0}" '
+/^session_active /              { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+/^session_bytes /               { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+/^session_selections /          { if ($2+0 < 0) { print $0 " negative"; bad = 1 } }
+/^session_refine_reuse_total /  { reuse = $2+0 }
+END {
+  if (need_reuse+0 == 1 && reuse <= 0) {
+    print "session_refine_reuse_total did not increment"; bad = 1
+  }
+  exit bad
+}
+' "$OUT" || fail "session series out of range"
+
 echo "check_metrics: OK ($(grep -cv '^#' "$OUT") samples, $(grep -c '^# TYPE' "$OUT") families)"
